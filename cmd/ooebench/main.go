@@ -1,0 +1,277 @@
+// Command ooebench regenerates every table and figure of the paper's
+// evaluation section on this repository's substrate:
+//
+//	ooebench -table2    ω/θ/γ/π sets for *min = *max = a[0]
+//	ooebench -table3    impure-call counter-example suppression
+//	ooebench -table4    Polybench speedups
+//	ooebench -table5    SPEC-shaped corpus analysis statistics
+//	ooebench -table6    SPEC-shaped corpus runtime comparison
+//	ooebench -fig2      nine SPEC case-study patterns
+//	ooebench -intro     the two introduction examples
+//	ooebench -ubsan     sanitizer sweep over every workload
+//	ooebench -all       everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/driver"
+	"repro/internal/ooe"
+	"repro/internal/parser"
+	"repro/internal/sanitizer"
+	"repro/internal/sema"
+	"repro/internal/workload"
+)
+
+func main() {
+	t2 := flag.Bool("table2", false, "reproduce Table 2")
+	t3 := flag.Bool("table3", false, "reproduce Table 3")
+	t4 := flag.Bool("table4", false, "reproduce Table 4")
+	t5 := flag.Bool("table5", false, "reproduce Table 5")
+	t6 := flag.Bool("table6", false, "reproduce Table 6")
+	f2 := flag.Bool("fig2", false, "reproduce Fig. 2 case studies")
+	intro := flag.Bool("intro", false, "reproduce the introduction examples")
+	ub := flag.Bool("ubsan", false, "run the sanitizer sweep (§4.2.3)")
+	all := flag.Bool("all", false, "run everything")
+	flag.Parse()
+
+	any := false
+	run := func(enabled bool, f func() error) {
+		if !enabled && !*all {
+			return
+		}
+		any = true
+		if err := f(); err != nil {
+			fmt.Fprintln(os.Stderr, "ooebench:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run(*t2, table2)
+	run(*t3, table3)
+	run(*intro, introExamples)
+	run(*t4, table4)
+	run(*f2, fig2)
+	run(*t5, table5)
+	run(*t6, table6)
+	run(*ub, ubsanSweep)
+
+	if !any {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// table2 prints the judgement sets for the paper's running example.
+func table2() error {
+	fmt.Println("== Table 2: sets for  *min = *max = a[0]  ==")
+	src := "double a[16];\nvoid f(double *min, double *max) { *min = *max = a[0]; }"
+	tu, perrs := parser.ParseFile("table2.c", src, nil)
+	if len(perrs) > 0 {
+		return perrs[0]
+	}
+	if errs := sema.Check(tu); len(errs) > 0 {
+		return errs[0]
+	}
+	an := ooe.New(ooe.Config{}, ooe.FuncMap(tu))
+	e := ast.FullExprs(tu.Funcs[0].Body)[0]
+	r := an.AnalyzeExpr(e)
+
+	type row struct {
+		id   int
+		text string
+	}
+	var rows []row
+	for id, ex := range r.Exprs {
+		rows = append(rows, row{id, ast.ExprString(ex)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+	name := func(ids []int) string {
+		s := "{"
+		for i, id := range ids {
+			if i > 0 {
+				s += ", "
+			}
+			s += ast.ExprString(r.Exprs[id])
+		}
+		return s + "}"
+	}
+	fmt.Printf("%-22s %-28s %-18s %-18s %s\n", "expression", "ω", "θ", "γ", "π")
+	for _, rw := range rows {
+		sets, ok := r.ByID[rw.id]
+		if !ok {
+			continue
+		}
+		pi := "{"
+		for i, p := range sets.Pi.Sorted() {
+			if i > 0 {
+				pi += ", "
+			}
+			pi += "(" + ast.ExprString(r.Exprs[p.A]) + "," + ast.ExprString(r.Exprs[p.B]) + ")"
+		}
+		pi += "}"
+		fmt.Printf("%-22s %-28s %-18s %-18s %s\n",
+			rw.text, name(sets.Omega.Sorted()), name(sets.Theta.Sorted()),
+			name(sets.Gamma.Sorted()), pi)
+	}
+	return nil
+}
+
+// table3 shows the impure-call override suppressing the unsound pair.
+func table3() error {
+	fmt.Println("== Table 3: impure-call counter-example ==")
+	src := `int a = 0, b = 2;
+int *foo() {
+  if (a == 1) return &a;
+  else return &b;
+}
+int main() { return (a = 1) + *foo(); }`
+	tu, perrs := parser.ParseFile("table3.c", src, nil)
+	if len(perrs) > 0 {
+		return perrs[0]
+	}
+	if errs := sema.Check(tu); len(errs) > 0 {
+		return errs[0]
+	}
+	an := ooe.New(ooe.Config{}, ooe.FuncMap(tu))
+	for _, f := range tu.Funcs {
+		if f.Name != "main" {
+			continue
+		}
+		for _, rep := range an.AnalyzeFunction(f) {
+			preds := an.Predicates(rep.Result)
+			fmt.Printf("expression: %s\n", ast.ExprString(rep.Result.Root))
+			fmt.Printf("predicates after impure-fun-call override: %d (paper: the (a, *foo()) pair must be suppressed)\n", len(preds))
+		}
+	}
+	c, err := driver.Compile("table3.c", src, driver.Config{OOElala: true})
+	if err != nil {
+		return err
+	}
+	res, _, err := c.Run("")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compiled & run: result=%d (well-defined; 2 or 3 depending on the chosen OOE — our deterministic lowering evaluates left-to-right)\n", res)
+	return nil
+}
+
+func introExamples() error {
+	fmt.Println("== Introduction examples ==")
+	for _, p := range []workload.Program{workload.IntroMinmax(256), workload.IntroImagick(6)} {
+		ratio, _, err := driver.Speedup(p.Name, p.Source, workload.Files(), nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s %-48s measured %.2fx   paper %.2fx\n",
+			p.Name, p.Description, ratio, p.PaperSpeedup)
+	}
+	return nil
+}
+
+func table4() error {
+	fmt.Println("== Table 4: Polybench speedups (annotated kernels) ==")
+	fmt.Printf("%-12s %-10s %-10s %s\n", "kernel", "measured", "paper", "mechanism")
+	for _, p := range workload.PolybenchKernels() {
+		ratio, _, err := driver.Speedup(p.Name, p.Source, workload.Files(), nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %-10.2f %-10.2f %s\n", p.Name, ratio, p.PaperSpeedup, p.Description)
+	}
+	return nil
+}
+
+func fig2() error {
+	fmt.Println("== Fig. 2: SPEC CPU 2017 case-study patterns ==")
+	fmt.Printf("%-20s %-10s %-12s %s\n", "case", "measured", "paper", "passes")
+	for _, cs := range workload.Fig2CaseStudies() {
+		ratio, _, err := driver.Speedup(cs.Name, cs.Source, workload.Files(), cs.MeasureOpts())
+		if err != nil {
+			return err
+		}
+		paper := "n/a (not executed)"
+		if cs.PaperImprovementPct > 0 {
+			paper = fmt.Sprintf("+%.2f%%", cs.PaperImprovementPct)
+		}
+		fmt.Printf("%-20s %-10.3f %-12s %s\n", cs.Name, ratio, paper, cs.Passes)
+	}
+	return nil
+}
+
+func table5() error {
+	fmt.Println("== Table 5: analysis statistics on the SPEC-shaped corpus ==")
+	fmt.Printf("%-10s %6s %6s %8s %8s %8s %8s %10s %8s\n",
+		"bench", "kloc*", "unseq", "initial", "final", "unique", "noalias", "queries", "q-incr%")
+	for _, b := range workload.SpecSuite() {
+		row, err := workload.MeasureTable5(b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %6.1f %6d %8d %8d %8d %8d %10d %8.2f\n",
+			b.Name, float64(row.GenLOC)/1000, row.UnseqExprs, row.InitialPreds,
+			row.FinalPreds, row.UniquePreds, row.ExtraNoAlias, row.QueriesOOE,
+			row.QueryIncreasePct())
+	}
+	fmt.Println("(*kloc of the generated scaled-down corpus; paper densities preserved — see EXPERIMENTS.md)")
+	return nil
+}
+
+func table6() error {
+	fmt.Println("== Table 6: runtime comparison on the SPEC-shaped corpus ==")
+	fmt.Printf("%-10s %14s %14s %10s %10s\n", "bench", "base cycles", "ooelala", "delta%", "paper%")
+	var base, ooeC, baseNP, ooeNP float64
+	for _, b := range workload.SpecSuite() {
+		row, err := workload.MeasureTable6(b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %14.0f %14.0f %+10.3f %+10.3f\n",
+			b.Name, row.CyclesBase, row.CyclesOOE, row.DeltaPct(), b.PaperDeltaPct)
+		base += row.CyclesBase
+		ooeC += row.CyclesOOE
+		if b.Name != "perlbench" {
+			baseNP += row.CyclesBase
+			ooeNP += row.CyclesOOE
+		}
+	}
+	fmt.Printf("%-10s %14.0f %14.0f %+10.3f %+10.3f\n", "overall", base, ooeC,
+		100*(base-ooeC)/base, 0.064)
+	fmt.Printf("%-10s %14.0f %14.0f %+10.3f %+10.3f\n", "w/o perl", baseNP, ooeNP,
+		100*(baseNP-ooeNP)/baseNP, 0.147)
+	return nil
+}
+
+func ubsanSweep() error {
+	fmt.Println("== §4.2.3: sanitizer sweep over every workload ==")
+	var programs []workload.Program
+	programs = append(programs, workload.IntroMinmax(64), workload.IntroImagick(3))
+	programs = append(programs, workload.PolybenchKernels()...)
+	programs = append(programs, workload.ExtraPolybenchKernels()...)
+	programs = append(programs,
+		workload.RestrictScale(), workload.AnnotatedScale(), workload.PartialOverlapKernel())
+	for _, cs := range workload.Fig2CaseStudies() {
+		programs = append(programs, cs.Program)
+	}
+	for _, b := range workload.SpecSuite() {
+		programs = append(programs, workload.GenerateUnits(b)...)
+	}
+	failures := 0
+	checks := 0
+	for _, p := range programs {
+		rep, err := sanitizer.Check(p.Name, p.Source, workload.Files(), "")
+		if err != nil {
+			return fmt.Errorf("%s: %w", p.Name, err)
+		}
+		failures += len(rep.Failures)
+		checks += rep.ChecksInserted
+	}
+	fmt.Printf("programs: %d, checks inserted: %d, assertion failures: %d (paper: 0 on all of SPEC)\n",
+		len(programs), checks, failures)
+	return nil
+}

@@ -1,0 +1,134 @@
+// Command ooelala is the compiler driver: it compiles a C source file
+// with the order-of-evaluation alias analysis enabled (or disabled, for
+// baseline comparisons), optionally executes it on the cost-model
+// machine, and prints the analysis/optimization statistics the paper's
+// evaluation reports.
+//
+// Usage:
+//
+//	ooelala [flags] file.c
+//
+//	-baseline      disable unseq-aa (Clang-like baseline)
+//	-O0            disable optimization
+//	-run           execute main() and report result + simulated cycles
+//	-compare       compile and run under BOTH configurations, report speedup
+//	-dump-ir       print the optimized IR
+//	-stats         print analysis and pass statistics
+//	-D name=value  predefine an object-like macro (repeatable)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/annotate"
+	"repro/internal/ast"
+	"repro/internal/driver"
+	"repro/internal/workload"
+)
+
+type defineFlags map[string]string
+
+func (d defineFlags) String() string { return "" }
+
+func (d defineFlags) Set(v string) error {
+	name, val, ok := strings.Cut(v, "=")
+	if !ok {
+		val = "1"
+	}
+	d[name] = val
+	return nil
+}
+
+func main() {
+	baseline := flag.Bool("baseline", false, "disable unseq-aa (baseline Clang-like compiler)")
+	noOpt := flag.Bool("O0", false, "disable optimization")
+	run := flag.Bool("run", false, "execute main() and report result + cycles")
+	compare := flag.Bool("compare", false, "run under both configurations and report the speedup")
+	dumpIR := flag.Bool("dump-ir", false, "print the optimized IR")
+	stats := flag.Bool("stats", false, "print analysis and pass statistics")
+	autoAnnotate := flag.Bool("auto-annotate", false,
+		"insert CANT_ALIAS-equivalent annotations algorithmically (validated via the sanitizer)")
+	defines := defineFlags{}
+	flag.Var(defines, "D", "predefine an object-like macro: -D NAME=VALUE")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ooelala [flags] file.c")
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := driver.Config{
+		OOElala: !*baseline,
+		NoOpt:   *noOpt,
+		Files:   workload.Files(),
+		Defines: defines,
+	}
+	if *autoAnnotate {
+		rep, err := annotate.Validate(path, string(src), workload.Files())
+		if err != nil {
+			fatal(err)
+		}
+		if !rep.Validated {
+			fmt.Fprintf(os.Stderr, "ooelala: auto-annotations violated at runtime (%d violations); refusing to use them\n",
+				len(rep.Violations))
+			os.Exit(1)
+		}
+		fmt.Printf("auto-annotate: %d annotation statements inserted, sanitizer-validated\n", rep.Inserted)
+		cfg.Transform = func(tu *ast.TranslationUnit) { annotate.Unit(tu) }
+	}
+
+	if *compare {
+		ratio, result, err := driver.Speedup(path, string(src), workload.Files(), nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("result   %d (identical under both configurations)\n", result)
+		fmt.Printf("speedup  %.3fx (baseline cycles / ooelala cycles)\n", ratio)
+		return
+	}
+
+	c, err := driver.Compile(path, string(src), cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *stats {
+		fmt.Printf("full expressions analyzed:         %d\n", c.Frontend.FullExprs)
+		fmt.Printf("  with unsequenced side effects:   %d\n", c.Frontend.FullExprsUnseqSE)
+		fmt.Printf("initial must-not-alias predicates: %d\n", c.Frontend.InitialPreds)
+		fmt.Printf("  containing function calls:       %d\n", c.Frontend.PredsWithCalls)
+		fmt.Printf("  dropped (both sides bitfields):  %d\n", c.Frontend.BitfieldDropped)
+		fmt.Printf("final predicates in IR:            %d (%d unique)\n", c.FinalPreds, c.UniqueFinalPreds)
+		fmt.Printf("aa queries:                        %d\n", c.AAStats.Queries)
+		fmt.Printf("  extra NoAlias from unseq-aa:     %d\n", c.AAStats.UnseqNoAlias)
+		fmt.Printf("passes: %s\n", c.PassStats)
+	}
+	if *dumpIR {
+		fmt.Print(c.Module.String())
+	}
+	if *run {
+		result, cycles, err := c.Run("")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("result %d\ncycles %.0f\n", result, cycles)
+	}
+	if !*stats && !*dumpIR && !*run {
+		fmt.Printf("compiled %s: %d functions, %d predicates (%d unique)\n",
+			path, len(c.Module.Funcs), c.FinalPreds, c.UniqueFinalPreds)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ooelala:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,168 @@
+package repro_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/csem"
+	"repro/internal/driver"
+	"repro/internal/parser"
+	"repro/internal/sema"
+)
+
+// TestDifferentialCsemVsCompiler is the strongest whole-system check:
+// random UB-free programs must produce the same result under
+//
+//  1. the nondeterministic reference semantics (csem, left-to-right),
+//  2. the O0 compiled pipeline, and
+//  3. the O3+unseq compiled pipeline.
+//
+// Programs where csem detects an unsequenced race on any sampled order
+// are skipped (their behaviour is undefined; nothing to compare).
+func TestDifferentialCsemVsCompiler(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	checked := 0
+	for trial := 0; trial < 60; trial++ {
+		src := genDiffProgram(rng)
+
+		// Reference verdict and value.
+		tu, perrs := parser.ParseFile("d.c", src, nil)
+		if len(perrs) > 0 {
+			t.Fatalf("trial %d parse: %v\n%s", trial, perrs[0], src)
+		}
+		if errs := sema.Check(tu); len(errs) > 0 {
+			t.Fatalf("trial %d sema: %v\n%s", trial, errs[0], src)
+		}
+		ub := false
+		var ref int64
+		for _, o := range []csem.Oracle{csem.LeftFirst{}, csem.RightFirst{}} {
+			m, err := csem.NewMachine(tu, o)
+			if err == nil {
+				var v csem.Value
+				v, err = m.Run("main")
+				ref = v.AsInt()
+			}
+			if err != nil {
+				var u *csem.Undefined
+				if errors.As(err, &u) {
+					ub = true
+					break
+				}
+				t.Fatalf("trial %d csem: %v\n%s", trial, err, src)
+			}
+		}
+		if ub {
+			continue
+		}
+		checked++
+
+		for _, cfg := range []driver.Config{
+			{OOElala: true, NoOpt: true},
+			{OOElala: false},
+			{OOElala: true},
+		} {
+			c, err := driver.Compile("d.c", src, cfg)
+			if err != nil {
+				t.Fatalf("trial %d compile: %v\n%s", trial, err, src)
+			}
+			got, _, err := c.Run("")
+			if err != nil {
+				t.Fatalf("trial %d run: %v\n%s", trial, err, src)
+			}
+			if got != ref {
+				t.Fatalf("trial %d: pipeline (ooelala=%v noopt=%v) = %d, reference = %d\n%s",
+					trial, cfg.OOElala, cfg.NoOpt, got, ref, src)
+			}
+		}
+	}
+	if checked < 20 {
+		t.Errorf("too few UB-free programs checked: %d", checked)
+	}
+}
+
+// genDiffProgram builds a random program over globals, arrays, loops,
+// pointers, and unsequenced expressions.
+func genDiffProgram(rng *rand.Rand) string {
+	var b strings.Builder
+	n := 6 + rng.Intn(10)
+	fmt.Fprintf(&b, "int A[%d], B[%d];\nint ga, gb;\n", n, n)
+	b.WriteString("int main() {\n  int s = 0, t = 1;\n  int *p = &ga, *q = &gb;\n")
+	fmt.Fprintf(&b, "  for (int i = 0; i < %d; i++) { A[i] = i * %d %% 19; B[i] = (i + %d) %% 7; }\n",
+		n, 1+rng.Intn(5), rng.Intn(5))
+	stmts := []string{
+		"s = (ga = %d) + (gb = %d);",
+		"s += (*p = %d) + (*q = %d);",
+		"t = (A[0] = %d) + (B[1] = %d);",
+		"s += A[(t %% N + N) %% N] * %d + B[(s %% N + N) %% N] - %d;",
+		"ga += s %% (%d + 1); gb -= t %% (%d + 1);",
+		"s ^= t << (%d %% 5); t += s %% (%d + 3);",
+	}
+	k := 3 + rng.Intn(4)
+	for i := 0; i < k; i++ {
+		tmpl := stmts[rng.Intn(len(stmts))]
+		tmpl = strings.ReplaceAll(tmpl, "N", fmt.Sprint(n))
+		line := fmt.Sprintf(tmpl, rng.Intn(40), rng.Intn(40))
+		b.WriteString("  " + line + "\n")
+	}
+	fmt.Fprintf(&b, "  for (int i = 0; i < %d; i++) s += A[i] ^ B[i];\n", n)
+	b.WriteString("  return (s + t * 3 + ga - gb) % 100000;\n}\n")
+	return b.String()
+}
+
+// TestQuickExpressionAgreement: for random small expressions over two
+// ints, csem (both orders) and the compiled pipeline agree whenever the
+// expression is defined.
+func TestQuickExpressionAgreement(t *testing.T) {
+	ops := []string{"+", "-", "*", "|", "&", "^"}
+	f := func(seed uint32) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		op := ops[rng.Intn(len(ops))]
+		lhs := []string{"x", "y", "(x = 7)", "x++", "--y", "(x += 2)"}[rng.Intn(6)]
+		rhs := []string{"y", "x", "(y = 9)", "y--", "++x", "(y -= 3)"}[rng.Intn(6)]
+		src := fmt.Sprintf(
+			"int main() { int x = %d, y = %d; int r = %s %s %s; return r + x * 100 + y; }",
+			rng.Intn(10), rng.Intn(10), lhs, op, rhs)
+
+		tu, perrs := parser.ParseFile("q.c", src, nil)
+		if len(perrs) > 0 {
+			return true
+		}
+		if errs := sema.Check(tu); len(errs) > 0 {
+			return true
+		}
+		var ref int64
+		for _, o := range []csem.Oracle{csem.LeftFirst{}, csem.RightFirst{}} {
+			m, err := csem.NewMachine(tu, o)
+			if err == nil {
+				var v csem.Value
+				v, err = m.Run("main")
+				ref = v.AsInt()
+			}
+			if err != nil {
+				return true // UB or machine error: skip
+			}
+		}
+		c, err := driver.Compile("q.c", src, driver.Config{OOElala: true})
+		if err != nil {
+			t.Logf("compile failed: %v\n%s", err, src)
+			return false
+		}
+		got, _, err := c.Run("")
+		if err != nil {
+			t.Logf("run failed: %v\n%s", err, src)
+			return false
+		}
+		if got != ref {
+			t.Logf("mismatch: compiled %d vs reference %d\n%s", got, ref, src)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,209 @@
+package aa
+
+import (
+	"repro/internal/ir"
+)
+
+// BasicAA is the structural analysis in the spirit of LLVM's basic-aa:
+// distinct identified objects (allocas, globals) cannot alias; pointers
+// derived from the same base via constant offsets are compared exactly;
+// an alloca whose address never escapes cannot alias a pointer arriving
+// from elsewhere.
+type BasicAA struct {
+	escaped map[*ir.Instr]bool
+}
+
+// NewBasicAA returns the structural analysis with escape information for
+// fn's allocas (fn may be nil for a stateless instance).
+func NewBasicAA(fn *ir.Func) *BasicAA {
+	b := &BasicAA{escaped: map[*ir.Instr]bool{}}
+	if fn == nil {
+		return b
+	}
+	// A pointer value "derives" an alloca if it is the alloca or a
+	// GEP/Convert chain rooted at it. The alloca escapes when a deriving
+	// value is stored as data, passed to a call, or returned.
+	derives := func(v ir.Value) *ir.Instr {
+		d := decompose(v)
+		if in, ok := d.base.(*ir.Instr); ok && in.Op == ir.OpAlloca {
+			return in
+		}
+		return nil
+	}
+	for _, blk := range fn.Blocks {
+		for _, in := range blk.Instrs {
+			switch in.Op {
+			case ir.OpStore:
+				if al := derives(in.Args[1]); al != nil {
+					b.escaped[al] = true
+				}
+			case ir.OpCall:
+				for _, a := range in.Args {
+					if al := derives(a); al != nil {
+						b.escaped[al] = true
+					}
+				}
+			case ir.OpRet:
+				for _, a := range in.Args {
+					if al := derives(a); al != nil {
+						b.escaped[al] = true
+					}
+				}
+			}
+		}
+	}
+	return b
+}
+
+// Name implements Analysis.
+func (*BasicAA) Name() string { return "basic-aa" }
+
+// decomp is a pointer decomposed into an underlying base plus offset
+// information.
+type decomp struct {
+	base ir.Value // underlying object or unknown pointer source
+	// constOff is the accumulated constant byte offset.
+	constOff int
+	// hasVarIdx marks a non-constant index somewhere in the chain.
+	hasVarIdx bool
+	// varIdx is the (single) variable index value with its scale, valid
+	// when exactly one variable index appears.
+	varIdx   ir.Value
+	varScale int
+	multiVar bool
+}
+
+// decompose walks GEP chains to an underlying object.
+func decompose(v ir.Value) decomp {
+	d := decomp{base: v}
+	for {
+		in, ok := d.base.(*ir.Instr)
+		if !ok {
+			return d
+		}
+		switch in.Op {
+		case ir.OpGEP:
+			d.constOff += in.Off
+			if idx, isConst := in.Args[1].(*ir.Const); isConst {
+				d.constOff += int(idx.I) * in.Scale
+			} else {
+				if d.hasVarIdx {
+					d.multiVar = true
+				}
+				d.hasVarIdx = true
+				d.varIdx = in.Args[1]
+				d.varScale = in.Scale
+			}
+			d.base = in.Args[0]
+		case ir.OpConvert:
+			d.base = in.Args[0]
+		default:
+			return d
+		}
+	}
+}
+
+// identified reports whether v is an identified object (alloca or
+// global), which cannot alias any other distinct identified object.
+func identified(v ir.Value) bool {
+	if _, ok := v.(*ir.Global); ok {
+		return true
+	}
+	if in, ok := v.(*ir.Instr); ok && in.Op == ir.OpAlloca {
+		return true
+	}
+	return false
+}
+
+// nonNegative reports whether the index value is provably >= 0: a
+// non-negative constant, a mask with a non-negative constant, or an
+// unsigned load/convert of 4 bytes or fewer (whose value fits in the
+// non-negative range of i64).
+func nonNegative(v ir.Value) bool {
+	switch x := v.(type) {
+	case *ir.Const:
+		return !x.Cls.IsFloat() && x.I >= 0
+	case *ir.Instr:
+		switch x.Op {
+		case ir.OpAnd:
+			if c, ok := x.Args[1].(*ir.Const); ok && !c.Cls.IsFloat() && c.I >= 0 {
+				return true
+			}
+			if c, ok := x.Args[0].(*ir.Const); ok && !c.Cls.IsFloat() && c.I >= 0 {
+				return true
+			}
+		case ir.OpConvert:
+			if x.Unsigned && x.Args[0].Class().Size() <= 4 {
+				return true
+			}
+			return nonNegative(x.Args[0])
+		case ir.OpLoad:
+			return x.Unsigned && x.Cls.Size() <= 4
+		}
+	}
+	return false
+}
+
+// Alias implements Analysis.
+func (ba *BasicAA) Alias(a, b Location) Result {
+	da, db := decompose(a.Ptr), decompose(b.Ptr)
+
+	if da.base != db.base {
+		// Distinct identified objects never alias.
+		if identified(da.base) && identified(db.base) {
+			return NoAlias
+		}
+		// A non-escaping alloca cannot alias a pointer from elsewhere.
+		if al, ok := da.base.(*ir.Instr); ok && al.Op == ir.OpAlloca && !ba.escaped[al] {
+			return NoAlias
+		}
+		if al, ok := db.base.(*ir.Instr); ok && al.Op == ir.OpAlloca && !ba.escaped[al] {
+			return NoAlias
+		}
+		return MayAlias
+	}
+
+	// Same base: a const-offset access below a field whose variable index
+	// is provably non-negative cannot overlap it (LLVM basic-aa's
+	// non-negative GEP reasoning; resolves coder->pos vs
+	// coder->history[x & 0xFF]).
+	if !da.hasVarIdx && db.hasVarIdx && !db.multiVar &&
+		db.varScale > 0 && nonNegative(db.varIdx) &&
+		da.constOff+a.Size <= db.constOff {
+		return NoAlias
+	}
+	if !db.hasVarIdx && da.hasVarIdx && !da.multiVar &&
+		da.varScale > 0 && nonNegative(da.varIdx) &&
+		db.constOff+b.Size <= da.constOff {
+		return NoAlias
+	}
+
+	// Same base: compare offsets.
+	if !da.hasVarIdx && !db.hasVarIdx {
+		aStart, aEnd := da.constOff, da.constOff+a.Size
+		bStart, bEnd := db.constOff, db.constOff+b.Size
+		if aEnd <= bStart || bEnd <= aStart {
+			return NoAlias
+		}
+		if aStart == bStart && a.Size == b.Size {
+			return MustAlias
+		}
+		return PartialAlias
+	}
+	// Same variable index with equal scales and different constant
+	// offsets beyond the access size: no alias (classic a[i].f1 vs
+	// a[i].f2 case).
+	if da.hasVarIdx && db.hasVarIdx && !da.multiVar && !db.multiVar &&
+		da.varIdx == db.varIdx && da.varScale == db.varScale {
+		aStart, aEnd := da.constOff, da.constOff+a.Size
+		bStart, bEnd := db.constOff, db.constOff+b.Size
+		if aEnd <= bStart || bEnd <= aStart {
+			return NoAlias
+		}
+		if aStart == bStart && a.Size == b.Size {
+			return MustAlias
+		}
+		return PartialAlias
+	}
+	return MayAlias
+}

@@ -1,0 +1,41 @@
+package aa
+
+import (
+	"repro/internal/ir"
+)
+
+// TBAA is a simplified type-based alias analysis in the spirit of C's
+// effective-type rules: accesses whose scalar classes are incompatible
+// (e.g. a 4-byte int against an 8-byte double) cannot alias. Character
+// (i8) accesses may alias anything, as in C; unknown classes stay
+// MayAlias.
+type TBAA struct{}
+
+// NewTBAA returns the type-based analysis.
+func NewTBAA() *TBAA { return &TBAA{} }
+
+// Name implements Analysis.
+func (*TBAA) Name() string { return "tbaa" }
+
+// Alias implements Analysis.
+func (*TBAA) Alias(a, b Location) Result {
+	ca, cb := a.Cls, b.Cls
+	if ca == ir.Void || cb == ir.Void {
+		return MayAlias
+	}
+	if ca == ir.I8 || cb == ir.I8 {
+		return MayAlias // char may alias anything
+	}
+	if ca == cb {
+		return MayAlias
+	}
+	// Pointer-class accesses overlap with i64 in representation; treat
+	// them as compatible.
+	if (ca == ir.Ptr && cb == ir.I64) || (ca == ir.I64 && cb == ir.Ptr) {
+		return MayAlias
+	}
+	if ca.IsFloat() != cb.IsFloat() || ca.Size() != cb.Size() {
+		return NoAlias
+	}
+	return MayAlias
+}

@@ -1,0 +1,104 @@
+package aa
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// UnseqAA is the paper's contribution plugged into the AA chain: it
+// answers NoAlias for pointer pairs registered through mustnotalias
+// intrinsic instructions (the lowered π predicates of the AST analysis).
+//
+// Facts are per-value, like LLVM metadata nodes: two query pointers match
+// a fact when they resolve (through Convert copies) to the registered
+// values, or decompose to GEPs whose bases form a registered pair with
+// offsets that keep the accesses disjoint-or-equal-indexed.
+type UnseqAA struct {
+	pairs map[[2]ir.Value]bool
+}
+
+// NewUnseqAA scans fn for mustnotalias intrinsics.
+func NewUnseqAA(fn *ir.Func) *UnseqAA {
+	u := &UnseqAA{}
+	u.Rebuild(fn)
+	return u
+}
+
+// Rebuild rescans the function (after transforms clone or delete
+// intrinsics).
+func (u *UnseqAA) Rebuild(fn *ir.Func) {
+	u.pairs = make(map[[2]ir.Value]bool)
+	if fn == nil {
+		return
+	}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpMustNotAlias || len(in.Args) != 2 {
+				continue
+			}
+			a := resolveCopies(in.Args[0])
+			c := resolveCopies(in.Args[1])
+			u.pairs[normPair(a, c)] = true
+		}
+	}
+}
+
+// NumFacts returns the number of registered (deduplicated) pairs.
+func (u *UnseqAA) NumFacts() int { return len(u.pairs) }
+
+func normPair(a, b ir.Value) [2]ir.Value {
+	if stableKey(a) > stableKey(b) {
+		return [2]ir.Value{b, a}
+	}
+	return [2]ir.Value{a, b}
+}
+
+// stableKey gives every value a total order so pair normalization is
+// symmetric regardless of query direction.
+func stableKey(v ir.Value) string {
+	switch x := v.(type) {
+	case *ir.Instr:
+		return fmt.Sprintf("i%09d", x.ID)
+	case *ir.Param:
+		return fmt.Sprintf("p%04d", x.Idx)
+	case *ir.Global:
+		return "g" + x.Name
+	case *ir.FuncRef:
+		return "f" + x.Name
+	case *ir.Const:
+		return fmt.Sprintf("c%d|%g", x.I, x.F)
+	}
+	return "?"
+}
+
+func resolveCopies(v ir.Value) ir.Value {
+	for {
+		in, ok := v.(*ir.Instr)
+		if !ok || in.Op != ir.OpConvert {
+			return v
+		}
+		v = in.Args[0]
+	}
+}
+
+// Name implements Analysis.
+func (*UnseqAA) Name() string { return "unseq-aa" }
+
+// Alias implements Analysis.
+func (u *UnseqAA) Alias(a, b Location) Result {
+	pa := resolveCopies(a.Ptr)
+	pb := resolveCopies(b.Ptr)
+	if pa == pb {
+		return MayAlias // same value: leave Must to basic-aa
+	}
+	if u.pairs[normPair(pa, pb)] {
+		return NoAlias
+	}
+	// NOTE: no structural extrapolation to derived pointers — a
+	// must-not-alias fact about two element pointers says nothing about
+	// other offsets from the same bases. Facts apply to the registered
+	// values only (after copy resolution); EarlyCSE is what makes the
+	// annotation's pointers and the real access pointers the same value.
+	return MayAlias
+}

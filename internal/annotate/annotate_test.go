@@ -1,0 +1,217 @@
+package annotate
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/driver"
+	"repro/internal/parser"
+	"repro/internal/sema"
+	"repro/internal/token"
+	"repro/internal/workload"
+)
+
+// unannotatedScale is a pointer-parameter kernel with no annotations: the
+// annotator should discover dst[i]/src[i] and make it vectorizable.
+const unannotatedScale = `double A[256], B[256];
+void scale(double *dst, double *src, int n) {
+  for (int i = 0; i < n; i++)
+    dst[i] = src[i] * 2.0;
+}
+int main() {
+  for (int i = 0; i < 256; i++) B[i] = (double)(i % 17);
+  for (int r = 0; r < 20; r++) scale(A, B, 256);
+  double s = 0.0;
+  for (int i = 0; i < 256; i++) s += A[i];
+  return (int)s;
+}
+`
+
+func TestUnitInsertsAnnotations(t *testing.T) {
+	tu, perrs := parser.ParseFile("t.c", unannotatedScale, nil)
+	if len(perrs) > 0 {
+		t.Fatal(perrs[0])
+	}
+	if errs := sema.Check(tu); len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	n := Unit(tu)
+	if n == 0 {
+		t.Fatal("no annotations inserted")
+	}
+	if errs := sema.Check(tu); len(errs) > 0 {
+		t.Fatalf("annotated AST fails sema: %v", errs[0])
+	}
+	// IDs must stay unique across the unit.
+	seen := map[int]bool{}
+	for _, f := range tu.Funcs {
+		if f.Body == nil {
+			continue
+		}
+		for _, e := range ast.FullExprs(f.Body) {
+			ast.Walk(e, func(x ast.Expr) {
+				if seen[x.ID()] {
+					t.Fatalf("duplicate expression ID %d after annotation", x.ID())
+				}
+				seen[x.ID()] = true
+			})
+		}
+	}
+}
+
+func TestAnnotationEnablesOptimization(t *testing.T) {
+	transform := func(tu *ast.TranslationUnit) { Unit(tu) }
+
+	plain, err := driver.Compile("plain", unannotatedScale, driver.Config{OOElala: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	annotated, err := driver.Compile("annotated", unannotatedScale, driver.Config{
+		OOElala: true, Transform: transform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if annotated.Frontend.InitialPreds <= plain.Frontend.InitialPreds {
+		t.Errorf("annotations should add predicates: %d -> %d",
+			plain.Frontend.InitialPreds, annotated.Frontend.InitialPreds)
+	}
+
+	rP, cP, err := plain.Run("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rA, cA, err := annotated.Run("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rP != rA {
+		t.Fatalf("annotation changed the result: %d vs %d", rP, rA)
+	}
+	if cA >= cP {
+		t.Errorf("auto-annotation should speed up the kernel: %.0f -> %.0f cycles", cP, cA)
+	}
+	t.Logf("auto-annotation speedup: %.2fx", cP/cA)
+}
+
+func TestValidateCleanKernel(t *testing.T) {
+	rep, err := Validate("scale", unannotatedScale, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Inserted == 0 {
+		t.Error("expected insertions")
+	}
+	if !rep.Validated {
+		t.Errorf("disjoint arrays must validate cleanly: %v", rep.Violations)
+	}
+}
+
+func TestValidateRejectsAliasedRun(t *testing.T) {
+	// The heuristic wrongly assumes dst[i] and src[i] are disjoint; on an
+	// aliased call the sanitizer must veto the annotations (the Mock
+	// hazard, §5).
+	src := `double A[64];
+void scale(double *dst, double *src, int n) {
+  for (int i = 0; i < n; i++)
+    dst[i] = src[i] * 2.0;
+}
+int main() {
+  scale(A, A, 64); /* same array: the auto-annotation is false */
+  return (int)A[3];
+}
+`
+	rep, err := Validate("aliased", src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Inserted == 0 {
+		t.Fatal("expected insertions")
+	}
+	if rep.Validated {
+		t.Error("sanitizer must veto annotations violated at runtime")
+	}
+}
+
+func TestAnnotatorOnPolybench(t *testing.T) {
+	// The already-annotated kernels must survive a second (automatic)
+	// annotation pass: results unchanged, validation clean.
+	for _, p := range workload.PolybenchKernels()[:3] {
+		rep, err := Validate(p.Name, p.Source, workload.Files())
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if !rep.Validated {
+			t.Errorf("%s: auto-annotations violated: %v", p.Name, rep.Violations)
+		}
+	}
+}
+
+func TestCandidateFilter(t *testing.T) {
+	src := `int g(int);
+struct S { int x; int bits : 3; };
+void f(int *p, struct S *s, int a[4], int i) {
+  for (int k = 0; k < i; k++) {
+    p[k] = s->x + a[g(k)];
+    s->bits = 1;
+  }
+}
+void main_() {}
+int main() { return 0; }
+`
+	tu, perrs := parser.ParseFile("t.c", src, nil)
+	if len(perrs) > 0 {
+		t.Fatal(perrs[0])
+	}
+	if errs := sema.Check(tu); len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	Unit(tu)
+	if errs := sema.Check(tu); len(errs) > 0 {
+		t.Fatalf("sema after annotation: %v", errs[0])
+	}
+	// The annotation (if any) must not mention the call-containing
+	// a[g(k)] or the bitfield s->bits. Annotations are recognized
+	// structurally: chains of self-assignments.
+	for _, f := range tu.Funcs {
+		if f.Body == nil {
+			continue
+		}
+		for _, e := range ast.FullExprs(f.Body) {
+			if !isSelfAssignChain(e) {
+				continue
+			}
+			s := ast.ExprString(e)
+			if contains(s, "g(") {
+				t.Errorf("annotation includes a call: %s", s)
+			}
+			if contains(s, "bits") {
+				t.Errorf("annotation includes a bitfield: %s", s)
+			}
+		}
+	}
+}
+
+// isSelfAssignChain matches the annotator's output shape:
+// ((a = a) + (b = b) + ...).
+func isSelfAssignChain(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Paren:
+		return isSelfAssignChain(x.X)
+	case *ast.Binary:
+		return x.Op == token.Plus && isSelfAssignChain(x.L) && isSelfAssignChain(x.R)
+	case *ast.Assign:
+		return x.Op == token.Assign && ast.ExprString(x.L) == ast.ExprString(x.R)
+	}
+	return false
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}

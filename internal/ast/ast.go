@@ -1,0 +1,629 @@
+// Package ast defines the abstract syntax tree for the C subset.
+//
+// Every expression node carries a unique ID assigned by the parser,
+// matching the paper's representation "id : op(id1, ..., idn)" (section 3)
+// — the OOE analysis keys its ω/θ/γ/π sets on these IDs.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ctypes"
+	"repro/internal/token"
+)
+
+// Node is any AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// Expr is an expression node. Type() is populated by sema.
+type Expr interface {
+	Node
+	// ID is the unique per-translation-unit expression identifier.
+	ID() int
+	// Type returns the expression's C type (nil before sema).
+	Type() *ctypes.Type
+	// SetType records the expression's type (used by sema).
+	SetType(*ctypes.Type)
+	isExpr()
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	isStmt()
+}
+
+// ExprBase provides the common Expr plumbing.
+type ExprBase struct {
+	id  int
+	pos token.Pos
+	typ *ctypes.Type
+}
+
+func (e *ExprBase) ID() int                { return e.id }
+func (e *ExprBase) Pos() token.Pos         { return e.pos }
+func (e *ExprBase) Type() *ctypes.Type     { return e.typ }
+func (e *ExprBase) SetType(t *ctypes.Type) { e.typ = t }
+func (e *ExprBase) isExpr()                {}
+
+// NewExprBase is used by the parser to initialize embedded expression
+// state. Exposed so other packages (tests, workload builders) can
+// construct expressions directly.
+func NewExprBase(id int, pos token.Pos) ExprBase { return ExprBase{id: id, pos: pos} }
+
+// ---------- Expressions ----------
+
+// Ident is a variable (or function designator) reference.
+type Ident struct {
+	ExprBase
+	Name string
+	// Sym is filled in by sema: the declaration this name resolves to.
+	Sym *Symbol
+}
+
+// IntLit is an integer constant.
+type IntLit struct {
+	ExprBase
+	Value int64
+	Text  string
+}
+
+// FloatLit is a floating constant.
+type FloatLit struct {
+	ExprBase
+	Value float64
+	Text  string
+}
+
+// StringLit is a string literal (contents unescaped).
+type StringLit struct {
+	ExprBase
+	Value string
+}
+
+// CharLit is a character constant.
+type CharLit struct {
+	ExprBase
+	Value int64
+}
+
+// Unary is a prefix unary operator: - ! ~ & * ++ --.
+type Unary struct {
+	ExprBase
+	Op token.Kind // Minus, Not, Tilde, Amp, Star, Inc, Dec
+	X  Expr
+}
+
+// Postfix is a postfix ++ or --.
+type Postfix struct {
+	ExprBase
+	Op token.Kind // Inc or Dec
+	X  Expr
+}
+
+// Binary is a standard (unsequenced) binary operator, or && / ||.
+type Binary struct {
+	ExprBase
+	Op   token.Kind
+	L, R Expr
+}
+
+// Assign is simple (=) or compound (+= etc.) assignment.
+type Assign struct {
+	ExprBase
+	Op   token.Kind // Assign or compound
+	L, R Expr
+}
+
+// Comma is the comma operator (a sequence point between L and R).
+type Comma struct {
+	ExprBase
+	L, R Expr
+}
+
+// Cond is the ternary conditional operator.
+type Cond struct {
+	ExprBase
+	C, T, F Expr
+}
+
+// Index is array subscripting a[i] (treated as *(a+i) by the analysis).
+type Index struct {
+	ExprBase
+	X, I Expr
+}
+
+// Member is a field access: X.Name (Arrow false) or X->Name (Arrow true).
+type Member struct {
+	ExprBase
+	X     Expr
+	Name  string
+	Arrow bool
+	// Field is resolved by sema.
+	Field ctypes.Field
+}
+
+// Call is a function call.
+type Call struct {
+	ExprBase
+	Fun  Expr
+	Args []Expr
+}
+
+// Cast is an explicit type conversion.
+type Cast struct {
+	ExprBase
+	To *ctypes.Type
+	X  Expr
+}
+
+// SizeofExpr is sizeof applied to an expression or a type.
+type SizeofExpr struct {
+	ExprBase
+	X  Expr         // nil if OfType is set
+	Of *ctypes.Type // nil if X is set
+}
+
+// Paren preserves source parentheses (transparent to the analysis).
+type Paren struct {
+	ExprBase
+	X Expr
+}
+
+// ---------- Statements ----------
+
+// ExprStmt is a full expression followed by ';'.
+type ExprStmt struct {
+	pos token.Pos
+	X   Expr
+}
+
+func (s *ExprStmt) Pos() token.Pos { return s.pos }
+func (s *ExprStmt) isStmt()        {}
+
+// NewExprStmt builds an expression statement.
+func NewExprStmt(pos token.Pos, x Expr) *ExprStmt { return &ExprStmt{pos: pos, X: x} }
+
+// DeclStmt is a local declaration (possibly with initializers).
+type DeclStmt struct {
+	pos   token.Pos
+	Decls []*VarDecl
+}
+
+func (s *DeclStmt) Pos() token.Pos { return s.pos }
+func (s *DeclStmt) isStmt()        {}
+
+// NewDeclStmt builds a declaration statement.
+func NewDeclStmt(pos token.Pos, ds []*VarDecl) *DeclStmt { return &DeclStmt{pos: pos, Decls: ds} }
+
+// Block is a compound statement.
+type Block struct {
+	pos   token.Pos
+	Stmts []Stmt
+}
+
+func (s *Block) Pos() token.Pos { return s.pos }
+func (s *Block) isStmt()        {}
+
+// NewBlock builds a compound statement.
+func NewBlock(pos token.Pos, stmts []Stmt) *Block { return &Block{pos: pos, Stmts: stmts} }
+
+// If statement.
+type If struct {
+	pos        token.Pos
+	Cond       Expr
+	Then, Else Stmt // Else may be nil
+}
+
+func (s *If) Pos() token.Pos { return s.pos }
+func (s *If) isStmt()        {}
+
+// NewIf builds an if statement.
+func NewIf(pos token.Pos, c Expr, t, e Stmt) *If { return &If{pos: pos, Cond: c, Then: t, Else: e} }
+
+// For statement. Init may be a *DeclStmt or *ExprStmt or nil; Cond/Post
+// may be nil.
+type For struct {
+	pos  token.Pos
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+func (s *For) Pos() token.Pos { return s.pos }
+func (s *For) isStmt()        {}
+
+// NewFor builds a for statement.
+func NewFor(pos token.Pos, init Stmt, cond, post Expr, body Stmt) *For {
+	return &For{pos: pos, Init: init, Cond: cond, Post: post, Body: body}
+}
+
+// While statement.
+type While struct {
+	pos  token.Pos
+	Cond Expr
+	Body Stmt
+}
+
+func (s *While) Pos() token.Pos { return s.pos }
+func (s *While) isStmt()        {}
+
+// NewWhile builds a while statement.
+func NewWhile(pos token.Pos, c Expr, b Stmt) *While { return &While{pos: pos, Cond: c, Body: b} }
+
+// DoWhile statement.
+type DoWhile struct {
+	pos  token.Pos
+	Body Stmt
+	Cond Expr
+}
+
+func (s *DoWhile) Pos() token.Pos { return s.pos }
+func (s *DoWhile) isStmt()        {}
+
+// NewDoWhile builds a do-while statement.
+func NewDoWhile(pos token.Pos, b Stmt, c Expr) *DoWhile { return &DoWhile{pos: pos, Body: b, Cond: c} }
+
+// Return statement; X may be nil.
+type Return struct {
+	pos token.Pos
+	X   Expr
+}
+
+func (s *Return) Pos() token.Pos { return s.pos }
+func (s *Return) isStmt()        {}
+
+// NewReturn builds a return statement.
+func NewReturn(pos token.Pos, x Expr) *Return { return &Return{pos: pos, X: x} }
+
+// Break statement.
+type Break struct{ pos token.Pos }
+
+func (s *Break) Pos() token.Pos { return s.pos }
+func (s *Break) isStmt()        {}
+
+// NewBreak builds a break statement.
+func NewBreak(pos token.Pos) *Break { return &Break{pos: pos} }
+
+// Continue statement.
+type Continue struct{ pos token.Pos }
+
+func (s *Continue) Pos() token.Pos { return s.pos }
+func (s *Continue) isStmt()        {}
+
+// NewContinue builds a continue statement.
+func NewContinue(pos token.Pos) *Continue { return &Continue{pos: pos} }
+
+// Switch statement (cases are flattened into the body in source order).
+type Switch struct {
+	pos  token.Pos
+	Tag  Expr
+	Body Stmt
+}
+
+func (s *Switch) Pos() token.Pos { return s.pos }
+func (s *Switch) isStmt()        {}
+
+// NewSwitch builds a switch statement.
+func NewSwitch(pos token.Pos, tag Expr, body Stmt) *Switch {
+	return &Switch{pos: pos, Tag: tag, Body: body}
+}
+
+// Case label; Value nil means `default:`.
+type Case struct {
+	pos   token.Pos
+	Value Expr
+}
+
+func (s *Case) Pos() token.Pos { return s.pos }
+func (s *Case) isStmt()        {}
+
+// NewCase builds a case label.
+func NewCase(pos token.Pos, v Expr) *Case { return &Case{pos: pos, Value: v} }
+
+// ---------- Declarations ----------
+
+// StorageClass captures the subset of C storage classes we track.
+type StorageClass int
+
+// Storage classes.
+const (
+	SCNone StorageClass = iota
+	SCStatic
+	SCExtern
+	SCTypedef
+)
+
+// Symbol is a declared entity: variable, parameter, or function.
+type Symbol struct {
+	Name    string
+	Type    *ctypes.Type
+	Storage StorageClass
+	Global  bool
+	Param   bool
+	// Func links the function definition for function symbols.
+	Func *FuncDecl
+	// Index is a stable per-scope-kind allocation index assigned by sema
+	// (used by irgen and the evaluators for storage assignment).
+	Index int
+}
+
+// VarDecl is one declared variable (with optional initializer).
+type VarDecl struct {
+	NamePos token.Pos
+	Name    string
+	Type    *ctypes.Type
+	Init    Expr // may be nil; for arrays/structs InitList
+	Sym     *Symbol
+	Storage StorageClass
+}
+
+// InitList is a braced initializer list.
+type InitList struct {
+	ExprBase
+	Elems []Expr
+}
+
+// FuncDecl is a function definition or prototype.
+type FuncDecl struct {
+	NamePos token.Pos
+	Name    string
+	Type    *ctypes.Type // Func kind
+	Params  []*VarDecl
+	Body    *Block // nil for prototypes
+	Sym     *Symbol
+	Storage StorageClass
+	// Pure is computed by sema: the function (and everything it calls)
+	// neither reads nor writes global memory — LLVM's readnone.
+	Pure bool
+	// PureKnown marks that purity analysis reached a verdict.
+	PureKnown bool
+}
+
+func (d *FuncDecl) Pos() token.Pos { return d.NamePos }
+
+// TranslationUnit is one parsed source file.
+type TranslationUnit struct {
+	File    string
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+	// Types holds named struct/union/enum definitions (tag -> type).
+	Types map[string]*ctypes.Type
+	// NumExprs is one greater than the largest expression ID allocated.
+	NumExprs int
+}
+
+// ---------- Printing (for diagnostics and golden tests) ----------
+
+// ExprString renders e in C-like syntax.
+func ExprString(e Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case *Ident:
+		b.WriteString(x.Name)
+	case *IntLit:
+		fmt.Fprintf(b, "%d", x.Value)
+	case *FloatLit:
+		fmt.Fprintf(b, "%g", x.Value)
+	case *StringLit:
+		fmt.Fprintf(b, "%q", x.Value)
+	case *CharLit:
+		fmt.Fprintf(b, "'%c'", rune(x.Value))
+	case *Unary:
+		switch x.Op {
+		case token.Inc:
+			b.WriteString("++")
+		case token.Dec:
+			b.WriteString("--")
+		default:
+			b.WriteString(x.Op.String())
+		}
+		writeExpr(b, x.X)
+	case *Postfix:
+		writeExpr(b, x.X)
+		if x.Op == token.Inc {
+			b.WriteString("++")
+		} else {
+			b.WriteString("--")
+		}
+	case *Binary:
+		b.WriteString("(")
+		writeExpr(b, x.L)
+		b.WriteString(" " + x.Op.String() + " ")
+		writeExpr(b, x.R)
+		b.WriteString(")")
+	case *Assign:
+		b.WriteString("(")
+		writeExpr(b, x.L)
+		b.WriteString(" " + x.Op.String() + " ")
+		writeExpr(b, x.R)
+		b.WriteString(")")
+	case *Comma:
+		b.WriteString("(")
+		writeExpr(b, x.L)
+		b.WriteString(", ")
+		writeExpr(b, x.R)
+		b.WriteString(")")
+	case *Cond:
+		b.WriteString("(")
+		writeExpr(b, x.C)
+		b.WriteString(" ? ")
+		writeExpr(b, x.T)
+		b.WriteString(" : ")
+		writeExpr(b, x.F)
+		b.WriteString(")")
+	case *Index:
+		writeExpr(b, x.X)
+		b.WriteString("[")
+		writeExpr(b, x.I)
+		b.WriteString("]")
+	case *Member:
+		writeExpr(b, x.X)
+		if x.Arrow {
+			b.WriteString("->")
+		} else {
+			b.WriteString(".")
+		}
+		b.WriteString(x.Name)
+	case *Call:
+		writeExpr(b, x.Fun)
+		b.WriteString("(")
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, a)
+		}
+		b.WriteString(")")
+	case *Cast:
+		fmt.Fprintf(b, "(%s)", x.To)
+		writeExpr(b, x.X)
+	case *SizeofExpr:
+		if x.X != nil {
+			b.WriteString("sizeof ")
+			writeExpr(b, x.X)
+		} else {
+			fmt.Fprintf(b, "sizeof(%s)", x.Of)
+		}
+	case *Paren:
+		b.WriteString("(")
+		writeExpr(b, x.X)
+		b.WriteString(")")
+	case *InitList:
+		b.WriteString("{")
+		for i, el := range x.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, el)
+		}
+		b.WriteString("}")
+	default:
+		fmt.Fprintf(b, "<?expr %T>", e)
+	}
+}
+
+// Walk calls fn for e and every sub-expression, pre-order. It does not
+// descend into statements (expressions only).
+func Walk(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *Unary:
+		Walk(x.X, fn)
+	case *Postfix:
+		Walk(x.X, fn)
+	case *Binary:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	case *Assign:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	case *Comma:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	case *Cond:
+		Walk(x.C, fn)
+		Walk(x.T, fn)
+		Walk(x.F, fn)
+	case *Index:
+		Walk(x.X, fn)
+		Walk(x.I, fn)
+	case *Member:
+		Walk(x.X, fn)
+	case *Call:
+		Walk(x.Fun, fn)
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *Cast:
+		Walk(x.X, fn)
+	case *SizeofExpr:
+		Walk(x.X, fn)
+	case *Paren:
+		Walk(x.X, fn)
+	case *InitList:
+		for _, el := range x.Elems {
+			Walk(el, fn)
+		}
+	}
+}
+
+// WalkStmts calls fn for s and every nested statement, pre-order.
+func WalkStmts(s Stmt, fn func(Stmt)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	switch x := s.(type) {
+	case *Block:
+		if x == nil {
+			return
+		}
+		for _, sub := range x.Stmts {
+			WalkStmts(sub, fn)
+		}
+	case *If:
+		WalkStmts(x.Then, fn)
+		WalkStmts(x.Else, fn)
+	case *For:
+		WalkStmts(x.Init, fn)
+		WalkStmts(x.Body, fn)
+	case *While:
+		WalkStmts(x.Body, fn)
+	case *DoWhile:
+		WalkStmts(x.Body, fn)
+	case *Switch:
+		WalkStmts(x.Body, fn)
+	}
+}
+
+// FullExprs returns every full expression in s: expression-statement
+// expressions, if/while/do/for/switch controlling expressions, for
+// init/post expressions, declaration initializers, and return values.
+func FullExprs(s Stmt) []Expr {
+	var out []Expr
+	WalkStmts(s, func(st Stmt) {
+		switch x := st.(type) {
+		case *ExprStmt:
+			out = append(out, x.X)
+		case *DeclStmt:
+			for _, d := range x.Decls {
+				if d.Init != nil {
+					out = append(out, d.Init)
+				}
+			}
+		case *If:
+			out = append(out, x.Cond)
+		case *While:
+			out = append(out, x.Cond)
+		case *DoWhile:
+			out = append(out, x.Cond)
+		case *For:
+			if x.Cond != nil {
+				out = append(out, x.Cond)
+			}
+			if x.Post != nil {
+				out = append(out, x.Post)
+			}
+		case *Switch:
+			out = append(out, x.Tag)
+		case *Return:
+			if x.X != nil {
+				out = append(out, x.X)
+			}
+		}
+	})
+	return out
+}

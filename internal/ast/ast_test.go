@@ -1,0 +1,244 @@
+package ast
+
+import (
+	"testing"
+
+	"repro/internal/ctypes"
+	"repro/internal/token"
+)
+
+func pos() token.Pos { return token.Pos{File: "t.c", Line: 1, Col: 1} }
+
+// build a tiny expression tree by hand: (x + 1)
+func addExpr() (*Binary, *Ident, *IntLit) {
+	x := &Ident{ExprBase: NewExprBase(0, pos()), Name: "x"}
+	one := &IntLit{ExprBase: NewExprBase(1, pos()), Value: 1, Text: "1"}
+	b := &Binary{ExprBase: NewExprBase(2, pos()), Op: token.Plus, L: x, R: one}
+	return b, x, one
+}
+
+func TestExprBaseAccessors(t *testing.T) {
+	b, _, _ := addExpr()
+	if b.ID() != 2 {
+		t.Errorf("ID: %d", b.ID())
+	}
+	if b.Pos() != pos() {
+		t.Errorf("Pos: %v", b.Pos())
+	}
+	if b.Type() != nil {
+		t.Error("type should start nil")
+	}
+	b.SetType(ctypes.IntType)
+	if b.Type() != ctypes.IntType {
+		t.Error("SetType")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	b, _, _ := addExpr()
+	if got := ExprString(b); got != "(x + 1)" {
+		t.Errorf("got %q", got)
+	}
+	asn := &Assign{ExprBase: NewExprBase(3, pos()), Op: token.PlusEq, L: b.L, R: b.R}
+	if got := ExprString(asn); got != "(x += 1)" {
+		t.Errorf("got %q", got)
+	}
+	pre := &Unary{ExprBase: NewExprBase(4, pos()), Op: token.Inc, X: b.L}
+	if got := ExprString(pre); got != "++x" {
+		t.Errorf("got %q", got)
+	}
+	post := &Postfix{ExprBase: NewExprBase(5, pos()), Op: token.Dec, X: b.L}
+	if got := ExprString(post); got != "x--" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestWalkPreOrder(t *testing.T) {
+	b, x, one := addExpr()
+	var seen []Expr
+	Walk(b, func(e Expr) { seen = append(seen, e) })
+	if len(seen) != 3 || seen[0] != Expr(b) || seen[1] != Expr(x) || seen[2] != Expr(one) {
+		t.Errorf("walk order: %v", seen)
+	}
+}
+
+func TestWalkNil(t *testing.T) {
+	called := false
+	Walk(nil, func(Expr) { called = true })
+	if called {
+		t.Error("walking nil must be a no-op")
+	}
+}
+
+func TestWalkStmtsAndFullExprs(t *testing.T) {
+	b, _, _ := addExpr()
+	cond := &Ident{ExprBase: NewExprBase(10, pos()), Name: "c"}
+	retv := &IntLit{ExprBase: NewExprBase(11, pos()), Value: 0}
+	inner := NewBlock(pos(), []Stmt{
+		NewExprStmt(pos(), b),
+		NewReturn(pos(), retv),
+	})
+	ifs := NewIf(pos(), cond, inner, nil)
+	top := NewBlock(pos(), []Stmt{ifs, NewBreak(pos()), NewContinue(pos())})
+
+	var kinds []string
+	WalkStmts(top, func(s Stmt) {
+		switch s.(type) {
+		case *Block:
+			kinds = append(kinds, "block")
+		case *If:
+			kinds = append(kinds, "if")
+		case *ExprStmt:
+			kinds = append(kinds, "expr")
+		case *Return:
+			kinds = append(kinds, "return")
+		case *Break:
+			kinds = append(kinds, "break")
+		case *Continue:
+			kinds = append(kinds, "continue")
+		}
+	})
+	want := []string{"block", "if", "block", "expr", "return", "break", "continue"}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds: %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("stmt %d: %s want %s", i, kinds[i], want[i])
+		}
+	}
+
+	fulls := FullExprs(top)
+	// if-cond, the expr statement, and the return value.
+	if len(fulls) != 3 {
+		t.Errorf("full exprs: %d (%v)", len(fulls), fulls)
+	}
+}
+
+func TestFullExprsForLoop(t *testing.T) {
+	c := &Ident{ExprBase: NewExprBase(20, pos()), Name: "c"}
+	p := &Ident{ExprBase: NewExprBase(21, pos()), Name: "p"}
+	body := NewBlock(pos(), nil)
+	f := NewFor(pos(), nil, c, p, body)
+	fulls := FullExprs(f)
+	if len(fulls) != 2 {
+		t.Errorf("for loop full exprs: %d", len(fulls))
+	}
+	w := NewWhile(pos(), c, body)
+	if len(FullExprs(w)) != 1 {
+		t.Error("while cond is a full expression")
+	}
+	d := NewDoWhile(pos(), body, c)
+	if len(FullExprs(d)) != 1 {
+		t.Error("do-while cond is a full expression")
+	}
+}
+
+func TestFullExprsDeclInit(t *testing.T) {
+	init := &IntLit{ExprBase: NewExprBase(30, pos()), Value: 3}
+	vd := &VarDecl{Name: "v", Type: ctypes.IntType, Init: init}
+	ds := NewDeclStmt(pos(), []*VarDecl{vd})
+	fulls := FullExprs(ds)
+	if len(fulls) != 1 || fulls[0] != Expr(init) {
+		t.Errorf("decl init: %v", fulls)
+	}
+}
+
+func TestWalkStmtsNilBlockSafe(t *testing.T) {
+	var b *Block
+	// A typed-nil block must not panic (prototype bodies).
+	WalkStmts(b, func(Stmt) {})
+}
+
+// TestExprStringAllNodeKinds sweeps the printer over every expression
+// node kind.
+func TestExprStringAllNodeKinds(t *testing.T) {
+	id := 100
+	fresh := func() ExprBase { id++; return NewExprBase(id, pos()) }
+	x := &Ident{ExprBase: fresh(), Name: "x"}
+	p := &Ident{ExprBase: fresh(), Name: "p"}
+	s := &Ident{ExprBase: fresh(), Name: "s"}
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&FloatLit{ExprBase: fresh(), Value: 2.5}, "2.5"},
+		{&StringLit{ExprBase: fresh(), Value: "hi"}, `"hi"`},
+		{&CharLit{ExprBase: fresh(), Value: 'A'}, "'A'"},
+		{&Unary{ExprBase: fresh(), Op: token.Minus, X: x}, "-x"},
+		{&Unary{ExprBase: fresh(), Op: token.Star, X: p}, "*p"},
+		{&Unary{ExprBase: fresh(), Op: token.Amp, X: x}, "&x"},
+		{&Comma{ExprBase: fresh(), L: x, R: p}, "(x, p)"},
+		{&Cond{ExprBase: fresh(), C: x, T: p, F: s}, "(x ? p : s)"},
+		{&Index{ExprBase: fresh(), X: p, I: x}, "p[x]"},
+		{&Member{ExprBase: fresh(), X: s, Name: "fld"}, "s.fld"},
+		{&Member{ExprBase: fresh(), X: s, Name: "fld", Arrow: true}, "s->fld"},
+		{&Call{ExprBase: fresh(), Fun: s, Args: []Expr{x, p}}, "s(x, p)"},
+		{&Cast{ExprBase: fresh(), To: ctypes.DoubleType, X: x}, "(double)x"},
+		{&SizeofExpr{ExprBase: fresh(), X: x}, "sizeof x"},
+		{&SizeofExpr{ExprBase: fresh(), Of: ctypes.IntType}, "sizeof(int)"},
+		{&Paren{ExprBase: fresh(), X: x}, "(x)"},
+		{&InitList{ExprBase: fresh(), Elems: []Expr{x, p}}, "{x, p}"},
+	}
+	for _, c := range cases {
+		if got := ExprString(c.e); got != c.want {
+			t.Errorf("got %q want %q", got, c.want)
+		}
+	}
+}
+
+// TestCloneExprFreshIDs: clones are structurally identical with all-new
+// IDs.
+func TestCloneExprFreshIDs(t *testing.T) {
+	b, _, _ := addExpr()
+	next := 50
+	c := CloneExpr(b, &next)
+	if ExprString(c) != ExprString(b) {
+		t.Errorf("clone differs: %s vs %s", ExprString(c), ExprString(b))
+	}
+	orig := map[int]bool{}
+	Walk(b, func(e Expr) { orig[e.ID()] = true })
+	Walk(c, func(e Expr) {
+		if orig[e.ID()] {
+			t.Errorf("clone reused ID %d", e.ID())
+		}
+	})
+	if next != 53 {
+		t.Errorf("nextID advanced to %d, want 53", next)
+	}
+}
+
+// TestCloneExprAllKinds round-trips the printer for every clonable kind.
+func TestCloneExprAllKinds(t *testing.T) {
+	id := 0
+	fresh := func() ExprBase { id++; return NewExprBase(id, pos()) }
+	x := &Ident{ExprBase: fresh(), Name: "x"}
+	exprs := []Expr{
+		&IntLit{ExprBase: fresh(), Value: 7},
+		&FloatLit{ExprBase: fresh(), Value: 1.5},
+		&CharLit{ExprBase: fresh(), Value: 'q'},
+		&StringLit{ExprBase: fresh(), Value: "z"},
+		&Unary{ExprBase: fresh(), Op: token.Tilde, X: x},
+		&Postfix{ExprBase: fresh(), Op: token.Inc, X: x},
+		&Assign{ExprBase: fresh(), Op: token.PlusEq, L: x, R: x},
+		&Comma{ExprBase: fresh(), L: x, R: x},
+		&Cond{ExprBase: fresh(), C: x, T: x, F: x},
+		&Index{ExprBase: fresh(), X: x, I: x},
+		&Member{ExprBase: fresh(), X: x, Name: "m", Arrow: true},
+		&Call{ExprBase: fresh(), Fun: x, Args: []Expr{x}},
+		&Cast{ExprBase: fresh(), To: ctypes.LongType, X: x},
+		&SizeofExpr{ExprBase: fresh(), Of: ctypes.CharType},
+		&Paren{ExprBase: fresh(), X: x},
+		&InitList{ExprBase: fresh(), Elems: []Expr{x}},
+	}
+	for _, e := range exprs {
+		next := 1000
+		c := CloneExpr(e, &next)
+		if c == nil {
+			t.Fatalf("clone of %T returned nil", e)
+		}
+		if ExprString(c) != ExprString(e) {
+			t.Errorf("%T: clone prints %q want %q", e, ExprString(c), ExprString(e))
+		}
+	}
+}

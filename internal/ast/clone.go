@@ -1,0 +1,70 @@
+package ast
+
+// CloneExpr deep-copies an expression tree, assigning fresh IDs from
+// nextID (which is advanced past every new node). Symbol and field
+// resolutions are copied as-is; callers that splice clones into a
+// translation unit should re-run sema afterwards so name resolution and
+// types stay consistent.
+func CloneExpr(e Expr, nextID *int) Expr {
+	if e == nil {
+		return nil
+	}
+	fresh := func() ExprBase {
+		b := NewExprBase(*nextID, e.Pos())
+		*nextID++
+		return b
+	}
+	switch x := e.(type) {
+	case *Ident:
+		return &Ident{ExprBase: fresh(), Name: x.Name, Sym: x.Sym}
+	case *IntLit:
+		return &IntLit{ExprBase: fresh(), Value: x.Value, Text: x.Text}
+	case *FloatLit:
+		return &FloatLit{ExprBase: fresh(), Value: x.Value, Text: x.Text}
+	case *CharLit:
+		return &CharLit{ExprBase: fresh(), Value: x.Value}
+	case *StringLit:
+		return &StringLit{ExprBase: fresh(), Value: x.Value}
+	case *Unary:
+		return &Unary{ExprBase: fresh(), Op: x.Op, X: CloneExpr(x.X, nextID)}
+	case *Postfix:
+		return &Postfix{ExprBase: fresh(), Op: x.Op, X: CloneExpr(x.X, nextID)}
+	case *Binary:
+		return &Binary{ExprBase: fresh(), Op: x.Op,
+			L: CloneExpr(x.L, nextID), R: CloneExpr(x.R, nextID)}
+	case *Assign:
+		return &Assign{ExprBase: fresh(), Op: x.Op,
+			L: CloneExpr(x.L, nextID), R: CloneExpr(x.R, nextID)}
+	case *Comma:
+		return &Comma{ExprBase: fresh(),
+			L: CloneExpr(x.L, nextID), R: CloneExpr(x.R, nextID)}
+	case *Cond:
+		return &Cond{ExprBase: fresh(), C: CloneExpr(x.C, nextID),
+			T: CloneExpr(x.T, nextID), F: CloneExpr(x.F, nextID)}
+	case *Index:
+		return &Index{ExprBase: fresh(),
+			X: CloneExpr(x.X, nextID), I: CloneExpr(x.I, nextID)}
+	case *Member:
+		return &Member{ExprBase: fresh(), X: CloneExpr(x.X, nextID),
+			Name: x.Name, Arrow: x.Arrow, Field: x.Field}
+	case *Call:
+		c := &Call{ExprBase: fresh(), Fun: CloneExpr(x.Fun, nextID)}
+		for _, a := range x.Args {
+			c.Args = append(c.Args, CloneExpr(a, nextID))
+		}
+		return c
+	case *Cast:
+		return &Cast{ExprBase: fresh(), To: x.To, X: CloneExpr(x.X, nextID)}
+	case *SizeofExpr:
+		return &SizeofExpr{ExprBase: fresh(), X: CloneExpr(x.X, nextID), Of: x.Of}
+	case *Paren:
+		return &Paren{ExprBase: fresh(), X: CloneExpr(x.X, nextID)}
+	case *InitList:
+		il := &InitList{ExprBase: fresh()}
+		for _, el := range x.Elems {
+			il.Elems = append(il.Elems, CloneExpr(el, nextID))
+		}
+		return il
+	}
+	return nil
+}

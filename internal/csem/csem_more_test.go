@@ -1,0 +1,201 @@
+package csem
+
+import (
+	"testing"
+)
+
+// Additional reference-semantics coverage: aggregates, nested control
+// flow, and sequencing corner cases.
+
+func TestNestedStructAccess(t *testing.T) {
+	expectDefined(t, `struct In { int a; int b; };
+struct Out { struct In in; int c; };
+int main() {
+  struct Out o;
+  o.in.a = 2;
+  o.in.b = 3;
+  o.c = 4;
+  struct Out *p = &o;
+  return p->in.a * p->in.b + p->c;
+}`, 10)
+}
+
+func TestArrayOfStructs(t *testing.T) {
+	expectDefined(t, `struct P { int x; int y; };
+struct P pts[4];
+int main() {
+  for (int i = 0; i < 4; i++) {
+    pts[i].x = i;
+    pts[i].y = i * 2;
+  }
+  int s = 0;
+  for (int i = 0; i < 4; i++)
+    s += pts[i].x + pts[i].y;
+  return s;
+}`, 18)
+}
+
+func TestFieldsOfSameStructDoNotRace(t *testing.T) {
+	// Distinct fields are distinct memory locations: unsequenced writes
+	// to them are fine.
+	expectDefined(t, `struct P { int x; int y; };
+int main() {
+  struct P p;
+  return (p.x = 3) + (p.y = 4);
+}`, 7)
+}
+
+func TestSameFieldRaces(t *testing.T) {
+	expectUB(t, `struct P { int x; int y; };
+int main() {
+  struct P p;
+  return (p.x = 3) + (p.x = 4);
+}`)
+}
+
+func TestDistinctArrayElementsNoRace(t *testing.T) {
+	expectDefined(t, `int a[8];
+int main() { return (a[2] = 5) + (a[3] = 6); }`, 11)
+}
+
+func TestDynamicIndexRace(t *testing.T) {
+	// a[i] and a[j] with i == j at runtime: the race depends on values.
+	expectUB(t, `int a[8];
+int main() { int i = 3, j = 3; return (a[i] = 1) + (a[j] = 2); }`)
+	expectDefined(t, `int a[8];
+int main() { int i = 3, j = 4; return (a[i] = 1) + (a[j] = 2); }`, 3)
+}
+
+func TestChainedAssignmentSequencing(t *testing.T) {
+	// x = y = z: y's store and x's store target different objects; the
+	// read of the inner result feeds the outer store. Well-defined.
+	expectDefined(t, `int main() { int x, y, z = 9; x = y = z; return x * 10 + y; }`, 99)
+}
+
+func TestTernaryArmsNotBothEvaluated(t *testing.T) {
+	// Only one arm runs: the "other" side's side effect must not happen.
+	expectDefined(t, `int main() {
+  int x = 0, y = 0;
+  int c = 1;
+  int r = c ? (x = 5) : (y = 7);
+  return r + x * 10 + y * 100;
+}`, 55)
+}
+
+func TestCommaInForHeader(t *testing.T) {
+	expectDefined(t, `int main() {
+  int i, j, s = 0;
+  for (i = 0, j = 10; i < j; i++, j--)
+    s += 1;
+  return s;
+}`, 5)
+}
+
+func TestWhileWithSideEffectCond(t *testing.T) {
+	expectDefined(t, `int main() {
+  int n = 5, s = 0;
+  while (n--)
+    s += n;
+  return s;
+}`, 10)
+}
+
+func TestBreakContinueInteraction(t *testing.T) {
+	expectDefined(t, `int main() {
+  int s = 0;
+  for (int i = 0; i < 20; i++) {
+    if (i % 3 == 0)
+      continue;
+    if (i > 10)
+      break;
+    s += i;
+  }
+  return s;
+}`, 37)
+}
+
+func TestNestedLoopsWithShadowing(t *testing.T) {
+	expectDefined(t, `int main() {
+  int s = 0;
+  for (int i = 0; i < 3; i++) {
+    for (int i = 0; i < 4; i++)
+      s += i;
+    s += 100;
+  }
+  return s;
+}`, 318)
+}
+
+func TestPointerToPointer(t *testing.T) {
+	expectDefined(t, `int main() {
+  int x = 7;
+  int *p = &x;
+  int **pp = &p;
+  **pp = 9;
+  return x;
+}`, 9)
+}
+
+func TestPointerComparisons(t *testing.T) {
+	expectDefined(t, `int a[4];
+int main() {
+  int *p = a;
+  int *q = a + 4;
+  int n = 0;
+  while (p < q) { p++; n++; }
+  return n;
+}`, 4)
+}
+
+func TestCastTruncation(t *testing.T) {
+	expectDefined(t, `int main() {
+  int big = 300;
+  unsigned char c = (unsigned char)big;
+  return c;
+}`, 44)
+}
+
+func TestUnsignedCharWraparound(t *testing.T) {
+	expectDefined(t, `int main() {
+  unsigned char c = 200;
+  c = (unsigned char)(c + 100);
+  return c;
+}`, 44)
+}
+
+func TestDivisionSemantics(t *testing.T) {
+	expectDefined(t, `int main() { int a = -7; return a / 2 * 100 + a % 2 + 5; }`, -296)
+}
+
+func TestLogicalAndChained(t *testing.T) {
+	// Each && introduces a sequence point: the chain of increments is
+	// fully ordered.
+	expectDefined(t, `int main() {
+  int i = 0;
+  int r = (i++ < 5) && (i++ < 5) && (i++ < 5);
+  return r * 100 + i;
+}`, 103)
+}
+
+func TestFunctionArgsSequencedBeforeBody(t *testing.T) {
+	expectDefined(t, `int g;
+int use(int a, int b) { return a * 10 + b + g; }
+int main() {
+  g = 0;
+  return use(g = 3, 4); /* single SE; the call sequences it before the body */
+}`, 37)
+}
+
+func TestRecursiveStructViaPointer(t *testing.T) {
+	expectDefined(t, `struct node { int val; struct node *next; };
+struct node n1, n2, n3;
+int main() {
+  n1.val = 1; n1.next = &n2;
+  n2.val = 2; n2.next = &n3;
+  n3.val = 3; n3.next = 0;
+  int s = 0;
+  struct node *p = &n1;
+  while (p) { s += p->val; p = p->next; }
+  return s;
+}`, 6)
+}

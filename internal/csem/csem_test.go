@@ -1,0 +1,460 @@
+package csem
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/sema"
+)
+
+func mustTU(t *testing.T, src string) *ast.TranslationUnit {
+	t.Helper()
+	tu, perrs := parser.ParseFile("t.c", src, nil)
+	for _, e := range perrs {
+		t.Fatalf("parse: %v", e)
+	}
+	for _, e := range sema.Check(tu) {
+		t.Fatalf("sema: %v", e)
+	}
+	return tu
+}
+
+// run executes main under the given oracle, returning (value, err).
+func run(t *testing.T, src string, o Oracle) (Value, error) {
+	t.Helper()
+	tu := mustTU(t, src)
+	m, err := NewMachine(tu, o)
+	if err != nil {
+		return Value{}, err
+	}
+	return m.Run("main")
+}
+
+// runOrders runs main under a sample of evaluation orders, partitioning
+// into defined results and UB reports.
+func runOrders(t *testing.T, src string, samples int) (results []int64, ubs []error) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	oracles := []Oracle{LeftFirst{}, RightFirst{}}
+	for i := 0; i < samples; i++ {
+		bits := make([]uint64, 64)
+		for j := range bits {
+			bits[j] = rng.Uint64()
+		}
+		oracles = append(oracles, &BitOracle{Bits: bits})
+	}
+	for _, o := range oracles {
+		v, err := run(t, src, o)
+		if err != nil {
+			var u *Undefined
+			if errors.As(err, &u) {
+				ubs = append(ubs, err)
+				continue
+			}
+			t.Fatalf("machine error: %v", err)
+		}
+		results = append(results, v.AsInt())
+	}
+	return results, ubs
+}
+
+func expectUB(t *testing.T, src string) {
+	t.Helper()
+	_, ubs := runOrders(t, src, 6)
+	if len(ubs) == 0 {
+		t.Errorf("expected undefined behaviour in some evaluation of:\n%s", src)
+	}
+}
+
+func expectDefined(t *testing.T, src string, want int64) {
+	t.Helper()
+	results, ubs := runOrders(t, src, 6)
+	if len(ubs) > 0 {
+		t.Fatalf("unexpected UB: %v in\n%s", ubs[0], src)
+	}
+	for _, r := range results {
+		if r != want {
+			t.Errorf("got %d want %d in\n%s", r, want, src)
+		}
+	}
+}
+
+// --- Section 2.5: the six classification examples ---
+
+func TestExample1Undefined(t *testing.T) {
+	expectUB(t, "int main() { int i = 1; i = ++i + 1; return i; }")
+}
+
+func TestExample2Undefined(t *testing.T) {
+	expectUB(t, "int main() { int a[4]; int i = 1; a[i++] = i; return a[1]; }")
+}
+
+func TestExample3Defined(t *testing.T) {
+	expectDefined(t, "int main() { int i = 1; i = i + 1; return i; }", 2)
+}
+
+func TestExample4Defined(t *testing.T) {
+	expectDefined(t, "int main() { int a[4]; int i = 1; a[i] = i; return a[1]; }", 1)
+}
+
+func TestExample5DependsOnAliasing(t *testing.T) {
+	// *p and i distinct: defined.
+	expectDefined(t, `int main() { int x; int i = 1; int *p = &x; *p = ++i + 1; return x; }`, 3)
+	// *p aliases i: undefined.
+	expectUB(t, `int main() { int i = 1; int *p = &i; *p = ++i + 1; return i; }`)
+}
+
+func TestExample6DependsOnAliasing(t *testing.T) {
+	expectDefined(t, `int main() { int a[4]; int x = 9; int i = 1; int *p = &x; a[i++] = *p; return a[1]; }`, 9)
+	expectUB(t, `int main() { int a[4]; int i = 1; int *p = &i; a[i++] = *p; return a[1]; }`)
+}
+
+// --- Section 2.6: function-call example — well-defined but
+// nondeterministic (result 21 or 11 depending on evaluation order). ---
+
+func TestFunctionCallNondeterminism(t *testing.T) {
+	src := `int global = 0;
+int foo() { return ++global; }
+int main() { global = 10; global = 0; return foo() + (global = 10); }`
+	// Simplify: match the paper exactly.
+	src = `int global = 0;
+int foo() { return ++global; }
+int main() { return foo() + (global = 10); }`
+	results, ubs := runOrders(t, src, 10)
+	if len(ubs) > 0 {
+		t.Fatalf("the paper says this is well-defined; got UB: %v", ubs[0])
+	}
+	seen := map[int64]bool{}
+	for _, r := range results {
+		seen[r] = true
+		if r != 21 && r != 11 {
+			t.Errorf("result must be 21 or 11, got %d", r)
+		}
+	}
+	if !seen[21] || !seen[11] {
+		t.Errorf("both results should be observable across orders, saw %v", seen)
+	}
+}
+
+// --- Section 2.5 footnote example: (i--, j) + i is undefined because in
+// one allowable ordering the right i is read while i-- is pending. ---
+
+func TestCommaPlusRace(t *testing.T) {
+	expectUB(t, "int main() { int i = 1, j = 2; return (i--, j) + i; }")
+}
+
+func TestCommaSequencedIsDefined(t *testing.T) {
+	expectDefined(t, "int main() { int i = 5; return (i--, i); }", 4)
+}
+
+// --- remove_refs subtleties ---
+
+func TestSelfAssignDefined(t *testing.T) {
+	expectDefined(t, "int main() { int x = 3; x = x + x; return x; }", 6)
+}
+
+func TestCompoundSelfDefined(t *testing.T) {
+	expectDefined(t, "int main() { int x = 3; x += x; return x; }", 6)
+}
+
+func TestDoubleWriteUndefined(t *testing.T) {
+	expectUB(t, "int main() { int x = 0; return (x = 1) + (x = 2); }")
+}
+
+func TestReadWriteRaceUndefined(t *testing.T) {
+	expectUB(t, "int main() { int x = 1; return x + (x = 2); }")
+}
+
+// --- Sequencing operators ---
+
+func TestLogicalSequencing(t *testing.T) {
+	// i++ && i: sequence point after the left operand.
+	expectDefined(t, "int main() { int i = 1; return i++ && i; }", 1)
+	expectDefined(t, "int main() { int i = 0; return i++ && i; }", 0)
+}
+
+func TestTernarySequencing(t *testing.T) {
+	expectDefined(t, "int main() { int i = 1; return i-- ? i : 99; }", 0)
+}
+
+func TestShortCircuitSkipsRHS(t *testing.T) {
+	// The RHS write never executes: no race, x unchanged.
+	expectDefined(t, "int main() { int x = 7; (0 && (x = 1)); return x; }", 7)
+	expectDefined(t, "int main() { int x = 7; (1 || (x = 1)); return x; }", 7)
+}
+
+// --- Calls isolate callee accesses from caller bags ---
+
+func TestCalleeAccessesDoNotRace(t *testing.T) {
+	src := `int g = 5;
+int getg() { return g; }
+int main() { return getg() + getg(); }`
+	expectDefined(t, src, 10)
+}
+
+func TestArgumentWritesRace(t *testing.T) {
+	src := `int two(int a, int b) { return a + b; }
+int main() { int x = 0; return two(x = 1, x = 2); }`
+	expectUB(t, src)
+}
+
+// --- Pointer and array machinery ---
+
+func TestPointerArithmetic(t *testing.T) {
+	expectDefined(t, `int main() {
+  int a[4];
+  int *p = a;
+  a[0] = 10; a[1] = 20; a[2] = 30; a[3] = 40;
+  p = p + 2;
+  return *p + p[-1];
+}`, 50)
+}
+
+func TestStructAndArrow(t *testing.T) {
+	expectDefined(t, `struct P { int x; int y; };
+int main() {
+  struct P pt;
+  struct P *pp = &pt;
+  pp->x = 3; pp->y = 4;
+  return pt.x * pt.y;
+}`, 12)
+}
+
+func TestUnionSharesStorageRace(t *testing.T) {
+	// Writes to two members of a union hit the same address: race.
+	expectUB(t, `union U { int a; int b; };
+int main() { union U u; return (u.a = 1) + (u.b = 2); }`)
+}
+
+func TestDoWhileGetU32Pattern(t *testing.T) {
+	src := `int main() {
+  int d[4]; int s[4];
+  int *dp = d; int *sp = s;
+  s[0] = 1; s[1] = 2; s[2] = 3; s[3] = 0;
+  do { *dp++ = *sp++; } while (*sp);
+  return d[0] + d[1] + d[2];
+}`
+	expectDefined(t, src, 6)
+}
+
+// --- Statement machinery ---
+
+func TestForLoopSum(t *testing.T) {
+	expectDefined(t, `int main() {
+  int s = 0;
+  for (int i = 1; i <= 10; i++) s += i;
+  return s;
+}`, 55)
+}
+
+func TestRecursion(t *testing.T) {
+	expectDefined(t, `int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }
+int main() { return fact(6); }`, 720)
+}
+
+func TestSwitch(t *testing.T) {
+	expectDefined(t, `int classify(int x) {
+  switch (x) {
+  case 0: return 100;
+  case 1: return 200;
+  default: return 300;
+  }
+}
+int main() { return classify(0) + classify(1) + classify(7); }`, 600)
+}
+
+func TestIndirectCall(t *testing.T) {
+	expectDefined(t, `int inc(int x) { return x + 1; }
+int dec(int x) { return x - 1; }
+int main() {
+  int (*f)(int);
+  f = inc;
+  int a = f(10);
+  f = &dec;
+  return a + f(10);
+}`, 20)
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	expectDefined(t, `int a = 3;
+int b = 4;
+int tab[3] = {10, 20, 30};
+int main() { return a * b + tab[1]; }`, 32)
+}
+
+func TestBuiltins(t *testing.T) {
+	expectDefined(t, `double fabs(double);
+double fmax(double, double);
+int main() { return (int)(fabs(-3.0) + fmax(1.0, 2.0)); }`, 5)
+}
+
+// --- Theorem 2.1 (property): call-free expressions that are defined
+// yield the same value and final state under every evaluation order. ---
+
+func TestTheorem21Property(t *testing.T) {
+	// Generate random small expressions over {x, y, z, *p} with random
+	// operators including side-effecting ones; for each, evaluate under
+	// many orders; if no order reports UB, all defined results and final
+	// memories must agree. (Call-free by construction.)
+	type seedT uint32
+	f := func(seed seedT) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		expr := genExpr(rng, 3)
+		src := "int main() { int x = 1, y = 2, z = 3; int w = 0; int *p = &w; return " + expr + "; }"
+		tu, perrs := parser.ParseFile("t.c", src, nil)
+		if len(perrs) > 0 {
+			return true // generator produced something our subset rejects; skip
+		}
+		if errs := sema.Check(tu); len(errs) > 0 {
+			return true
+		}
+		var values []int64
+		oracles := []Oracle{LeftFirst{}, RightFirst{}}
+		for i := 0; i < 6; i++ {
+			bits := make([]uint64, 64)
+			for j := range bits {
+				bits[j] = rng.Uint64()
+			}
+			oracles = append(oracles, &BitOracle{Bits: bits})
+		}
+		anyUB := false
+		for _, o := range oracles {
+			m, err := NewMachine(tu, o)
+			if err != nil {
+				anyUB = true
+				break
+			}
+			v, err := m.Run("main")
+			if err != nil {
+				var u *Undefined
+				if errors.As(err, &u) {
+					anyUB = true
+					break
+				}
+				return true // non-UB machine error (e.g. div-by-zero modelled as UB too)
+			}
+			values = append(values, v.AsInt())
+		}
+		if anyUB {
+			// Theorem 2.1 says nothing about undefined expressions; but
+			// per eq. (1), the whole expression is undefined — nothing to
+			// check.
+			return true
+		}
+		for _, v := range values[1:] {
+			if v != values[0] {
+				t.Logf("nondeterministic defined result for %s: %v", expr, values)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// genExpr produces a random call-free C expression string.
+func genExpr(rng *rand.Rand, depth int) string {
+	vars := []string{"x", "y", "z", "(*p)"}
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return vars[rng.Intn(len(vars))]
+		case 1:
+			return vars[rng.Intn(len(vars))] + "++"
+		case 2:
+			return "++" + vars[rng.Intn(len(vars))]
+		default:
+			return "1"
+		}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return "(" + genExpr(rng, depth-1) + " + " + genExpr(rng, depth-1) + ")"
+	case 1:
+		return "(" + genExpr(rng, depth-1) + " * " + genExpr(rng, depth-1) + ")"
+	case 2:
+		return "(" + genExpr(rng, depth-1) + ", " + genExpr(rng, depth-1) + ")"
+	case 3:
+		return "(" + genExpr(rng, depth-1) + " ? " + genExpr(rng, depth-1) + " : " + genExpr(rng, depth-1) + ")"
+	case 4:
+		return "(" + vars[rng.Intn(3)] + " = " + genExpr(rng, depth-1) + ")"
+	case 5:
+		return "(" + genExpr(rng, depth-1) + " && " + genExpr(rng, depth-1) + ")"
+	case 6:
+		return "(" + vars[rng.Intn(3)] + " += " + genExpr(rng, depth-1) + ")"
+	default:
+		return "(" + genExpr(rng, depth-1) + " - " + genExpr(rng, depth-1) + ")"
+	}
+}
+
+// --- Theorem 3.2 cross-check: for random expressions, every π pair the
+// static analysis produces must be "real": forcing the two lvalues to
+// alias must make some evaluation undefined. We check the variable-pair
+// case by rebinding. ---
+
+func TestTheorem32CrossCheck(t *testing.T) {
+	cases := []struct {
+		expr string // over int x, int y
+	}{
+		{"x = y++"},
+		{"(x = 1) + (y = 2)"},
+		{"x + (y = 2)"},
+		{"x++ + y"},
+		{"x = ++y + 1"},
+		{"(x += 1) * (y -= 2)"},
+	}
+	for _, c := range cases {
+		// Distinct x, y: must be defined.
+		srcDistinct := "int main() { int x = 1, y = 2; " + c.expr + "; return x; }"
+		expectDefined0(t, srcDistinct)
+		// Aliased via pointers: the same accesses race.
+		aliased := "int main() { int v = 1; int *px = &v; int *py = &v; " +
+			replaceVars(c.expr) + "; return v; }"
+		expectUB(t, aliased)
+	}
+}
+
+func expectDefined0(t *testing.T, src string) {
+	t.Helper()
+	_, ubs := runOrders(t, src, 6)
+	if len(ubs) > 0 {
+		t.Errorf("unexpected UB: %v in\n%s", ubs[0], src)
+	}
+}
+
+// replaceVars rewrites x -> (*px), y -> (*py).
+func replaceVars(expr string) string {
+	out := make([]byte, 0, len(expr)*4)
+	for i := 0; i < len(expr); i++ {
+		switch expr[i] {
+		case 'x':
+			out = append(out, "(*px)"...)
+		case 'y':
+			out = append(out, "(*py)"...)
+		default:
+			out = append(out, expr[i])
+		}
+	}
+	return string(out)
+}
+
+// --- Bitfield memory-location semantics ---
+
+func TestBitfieldsShareMemoryLocation(t *testing.T) {
+	// Two bitfields in one storage unit are one C "memory location":
+	// unsequenced writes race.
+	expectUB(t, `struct B { unsigned a : 3; unsigned b : 5; };
+int main() { struct B s; return (s.a = 1) + (s.b = 2); }`)
+}
+
+func TestBitfieldsDistinctValues(t *testing.T) {
+	// Sequenced writes to the two bitfields keep distinct values.
+	expectDefined(t, `struct B { unsigned a : 3; unsigned b : 5; };
+int main() { struct B s; s.a = 1; s.b = 2; return s.a * 10 + s.b; }`, 12)
+}

@@ -1,0 +1,293 @@
+package csem
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// control is the statement-level control flow outcome.
+type control int
+
+const (
+	ctlNext control = iota
+	ctlBreak
+	ctlContinue
+	ctlReturn
+)
+
+// CallFunction executes f with the given argument values and returns its
+// return value. Each statement's expressions are full expressions with
+// their own unsequenced-race region.
+func (m *Machine) CallFunction(f *ast.FuncDecl, args []Value) (Value, error) {
+	if len(m.frames) > 200 {
+		return Value{}, fmt.Errorf("csem: call depth exceeded in %s", f.Name)
+	}
+	fr := &frame{locals: make(map[*ast.Symbol]int64)}
+	for i, p := range f.Params {
+		addr := m.alloc(p.Type)
+		if p.Sym != nil {
+			fr.locals[p.Sym] = addr
+		}
+		var v Value
+		if i < len(args) {
+			v = args[i]
+		}
+		m.mem[addr] = convert(v, p.Type)
+	}
+	m.frames = append(m.frames, fr)
+	defer func() { m.frames = m.frames[:len(m.frames)-1] }()
+
+	_, err := m.execStmt(f.Body)
+	if err != nil {
+		return Value{}, err
+	}
+	return fr.ret, nil
+}
+
+// Run executes the function named main (or entry if given) with no
+// arguments and returns its result.
+func (m *Machine) Run(entry string) (Value, error) {
+	if entry == "" {
+		entry = "main"
+	}
+	f := m.funcs[entry]
+	if f == nil || f.Body == nil {
+		return Value{}, fmt.Errorf("csem: no function %q", entry)
+	}
+	return m.CallFunction(f, nil)
+}
+
+func (m *Machine) execStmt(s ast.Stmt) (control, error) {
+	if err := m.step(); err != nil {
+		return ctlNext, err
+	}
+	switch x := s.(type) {
+	case *ast.Block:
+		if x == nil {
+			return ctlNext, nil
+		}
+		for _, sub := range x.Stmts {
+			c, err := m.execStmt(sub)
+			if err != nil || c != ctlNext {
+				return c, err
+			}
+		}
+		return ctlNext, nil
+
+	case *ast.ExprStmt:
+		_, _, err := m.evalRvalue(x.X)
+		return ctlNext, err
+
+	case *ast.DeclStmt:
+		fr := m.frameTop()
+		for _, d := range x.Decls {
+			addr := m.alloc(d.Type)
+			if d.Sym != nil {
+				fr.locals[d.Sym] = addr
+			}
+			m.zeroInit(addr, d.Type)
+			if d.Init != nil {
+				if err := m.initialize(addr, d.Type, d.Init); err != nil {
+					return ctlNext, err
+				}
+			}
+		}
+		return ctlNext, nil
+
+	case *ast.If:
+		v, _, err := m.evalRvalue(x.Cond)
+		if err != nil {
+			return ctlNext, err
+		}
+		if v.Truthy() {
+			return m.execStmt(x.Then)
+		}
+		if x.Else != nil {
+			return m.execStmt(x.Else)
+		}
+		return ctlNext, nil
+
+	case *ast.While:
+		for {
+			v, _, err := m.evalRvalue(x.Cond)
+			if err != nil {
+				return ctlNext, err
+			}
+			if !v.Truthy() {
+				return ctlNext, nil
+			}
+			c, err := m.execStmt(x.Body)
+			if err != nil {
+				return ctlNext, err
+			}
+			if c == ctlBreak {
+				return ctlNext, nil
+			}
+			if c == ctlReturn {
+				return ctlReturn, nil
+			}
+		}
+
+	case *ast.DoWhile:
+		for {
+			c, err := m.execStmt(x.Body)
+			if err != nil {
+				return ctlNext, err
+			}
+			if c == ctlBreak {
+				return ctlNext, nil
+			}
+			if c == ctlReturn {
+				return ctlReturn, nil
+			}
+			v, _, err := m.evalRvalue(x.Cond)
+			if err != nil {
+				return ctlNext, err
+			}
+			if !v.Truthy() {
+				return ctlNext, nil
+			}
+		}
+
+	case *ast.For:
+		if x.Init != nil {
+			if _, err := m.execStmt(x.Init); err != nil {
+				return ctlNext, err
+			}
+		}
+		for {
+			if x.Cond != nil {
+				v, _, err := m.evalRvalue(x.Cond)
+				if err != nil {
+					return ctlNext, err
+				}
+				if !v.Truthy() {
+					return ctlNext, nil
+				}
+			}
+			c, err := m.execStmt(x.Body)
+			if err != nil {
+				return ctlNext, err
+			}
+			if c == ctlBreak {
+				return ctlNext, nil
+			}
+			if c == ctlReturn {
+				return ctlReturn, nil
+			}
+			if x.Post != nil {
+				if _, _, err := m.evalRvalue(x.Post); err != nil {
+					return ctlNext, err
+				}
+			}
+		}
+
+	case *ast.Return:
+		fr := m.frameTop()
+		if x.X != nil {
+			v, _, err := m.evalRvalue(x.X)
+			if err != nil {
+				return ctlNext, err
+			}
+			fr.ret = v
+		}
+		fr.retSet = true
+		return ctlReturn, nil
+
+	case *ast.Break:
+		return ctlBreak, nil
+	case *ast.Continue:
+		return ctlContinue, nil
+
+	case *ast.Switch:
+		v, _, err := m.evalRvalue(x.Tag)
+		if err != nil {
+			return ctlNext, err
+		}
+		body, ok := x.Body.(*ast.Block)
+		if !ok {
+			return ctlNext, nil
+		}
+		// Find the matching case (or default), then execute with
+		// fallthrough until break/return.
+		match := -1
+		deflt := -1
+		for i, sub := range body.Stmts {
+			cs, ok := sub.(*ast.Case)
+			if !ok {
+				continue
+			}
+			if cs.Value == nil {
+				deflt = i
+				continue
+			}
+			cv, _, err := m.evalRvalue(cs.Value)
+			if err != nil {
+				return ctlNext, err
+			}
+			if cv.AsInt() == v.AsInt() {
+				match = i
+				break
+			}
+		}
+		if match < 0 {
+			match = deflt
+		}
+		if match < 0 {
+			return ctlNext, nil
+		}
+		for _, sub := range body.Stmts[match:] {
+			if _, ok := sub.(*ast.Case); ok {
+				continue
+			}
+			c, err := m.execStmt(sub)
+			if err != nil {
+				return ctlNext, err
+			}
+			if c == ctlBreak {
+				return ctlNext, nil
+			}
+			if c != ctlNext {
+				return c, nil
+			}
+		}
+		return ctlNext, nil
+
+	case *ast.Case:
+		return ctlNext, nil
+	}
+	return ctlNext, fmt.Errorf("csem: cannot execute %T", s)
+}
+
+// EvalFullExpr evaluates one full expression in the context of a fresh
+// frame whose locals are the given symbol bindings; used by expression-
+// level tests and the Theorem property harness.
+func (m *Machine) EvalFullExpr(e ast.Expr) (Value, error) {
+	if len(m.frames) == 0 {
+		m.frames = append(m.frames, &frame{locals: make(map[*ast.Symbol]int64)})
+	}
+	v, _, err := m.evalRvalue(e)
+	return v, err
+}
+
+// BindLocal allocates storage for sym in the top frame and sets it to v,
+// returning the address (test harness).
+func (m *Machine) BindLocal(sym *ast.Symbol, v Value) int64 {
+	if len(m.frames) == 0 {
+		m.frames = append(m.frames, &frame{locals: make(map[*ast.Symbol]int64)})
+	}
+	addr := m.alloc(sym.Type)
+	m.frameTop().locals[sym] = addr
+	m.mem[addr] = v
+	return addr
+}
+
+// BindLocalAt binds sym to an existing address (to force aliasing in
+// soundness tests).
+func (m *Machine) BindLocalAt(sym *ast.Symbol, addr int64) {
+	if len(m.frames) == 0 {
+		m.frames = append(m.frames, &frame{locals: make(map[*ast.Symbol]int64)})
+	}
+	m.frameTop().locals[sym] = addr
+}

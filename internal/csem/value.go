@@ -1,0 +1,99 @@
+// Package csem is an executable reference semantics for the C subset,
+// modelled on Norrish's abstract dynamic semantics as summarized in the
+// paper's section 2: expression evaluation carries a bag of memory
+// references and a bag of pending side effects; conflicting unsequenced
+// accesses evaluate to the undefined value U; sequence points apply
+// pending side effects and clear the bags.
+//
+// The evaluator is parameterized by an Oracle choosing the evaluation
+// order of unsequenced operands, so a caller can explore many evaluation
+// orders of the same expression and observe (non-)determinism — this is
+// how the Theorem 2.1/3.2 property tests work.
+package csem
+
+import (
+	"fmt"
+
+	"repro/internal/ctypes"
+)
+
+// Value is a scalar machine value: an integer (also used for pointers,
+// holding an address) or a float.
+type Value struct {
+	I       int64
+	F       float64
+	IsFloat bool
+}
+
+// IntValue makes an integer value.
+func IntValue(i int64) Value { return Value{I: i} }
+
+// FloatValue makes a floating value.
+func FloatValue(f float64) Value { return Value{F: f, IsFloat: true} }
+
+// Truthy reports C truthiness.
+func (v Value) Truthy() bool {
+	if v.IsFloat {
+		return v.F != 0
+	}
+	return v.I != 0
+}
+
+// AsFloat converts to float64.
+func (v Value) AsFloat() float64 {
+	if v.IsFloat {
+		return v.F
+	}
+	return float64(v.I)
+}
+
+// AsInt converts to int64 (truncating floats).
+func (v Value) AsInt() int64 {
+	if v.IsFloat {
+		return int64(v.F)
+	}
+	return v.I
+}
+
+func (v Value) String() string {
+	if v.IsFloat {
+		return fmt.Sprintf("%g", v.F)
+	}
+	return fmt.Sprint(v.I)
+}
+
+// convert coerces v to type t's representation.
+func convert(v Value, t *ctypes.Type) Value {
+	if t == nil {
+		return v
+	}
+	switch {
+	case t.IsFloat():
+		return FloatValue(v.AsFloat())
+	case t.IsInteger() || t.Kind == ctypes.Ptr:
+		i := v.AsInt()
+		// Truncate to the type's width, respecting signedness.
+		switch t.Size() {
+		case 1:
+			if t.IsUnsigned() {
+				i = int64(uint8(i))
+			} else {
+				i = int64(int8(i))
+			}
+		case 2:
+			if t.IsUnsigned() {
+				i = int64(uint16(i))
+			} else {
+				i = int64(int16(i))
+			}
+		case 4:
+			if t.IsUnsigned() {
+				i = int64(uint32(i))
+			} else {
+				i = int64(int32(i))
+			}
+		}
+		return IntValue(i)
+	}
+	return v
+}

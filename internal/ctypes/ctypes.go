@@ -1,0 +1,465 @@
+// Package ctypes models the C type system used by the OOElala frontend:
+// scalar types, pointers, arrays, structs/unions (including bitfields),
+// enums, function types, and typedefs, with sizes and alignments matching
+// a conventional LP64 target.
+package ctypes
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates Type variants.
+type Kind int
+
+const (
+	Void Kind = iota
+	Bool
+	Char
+	SChar
+	UChar
+	Short
+	UShort
+	Int
+	UInt
+	Long
+	ULong
+	LongLong
+	ULongLong
+	Float
+	Double
+	Ptr
+	Array
+	Struct
+	Union
+	Enum
+	Func
+)
+
+// Type is a C type. Types are immutable once built; identity comparisons
+// are not meaningful (use Same).
+type Type struct {
+	Kind Kind
+
+	// Ptr / Array
+	Elem *Type
+	Len  int // Array: element count; -1 for incomplete []
+
+	// Struct / Union / Enum
+	Tag    string
+	Fields []Field // Struct/Union, in declaration order
+
+	// Func
+	Ret      *Type
+	Params   []*Type
+	Variadic bool
+
+	// Qualifiers (informational; the analysis does not depend on them).
+	Const    bool
+	Restrict bool
+	Volatile bool
+}
+
+// Field is one struct/union member.
+type Field struct {
+	Name     string
+	Type     *Type
+	Offset   int  // byte offset within the aggregate
+	BitField bool // declared with a :width
+	BitWidth int  // valid when BitField
+	BitOff   int  // bit offset within the byte-aligned storage unit
+}
+
+// Pre-built singletons for the scalar types.
+var (
+	VoidType      = &Type{Kind: Void}
+	BoolType      = &Type{Kind: Bool}
+	CharType      = &Type{Kind: Char}
+	SCharType     = &Type{Kind: SChar}
+	UCharType     = &Type{Kind: UChar}
+	ShortType     = &Type{Kind: Short}
+	UShortType    = &Type{Kind: UShort}
+	IntType       = &Type{Kind: Int}
+	UIntType      = &Type{Kind: UInt}
+	LongType      = &Type{Kind: Long}
+	ULongType     = &Type{Kind: ULong}
+	LongLongType  = &Type{Kind: LongLong}
+	ULongLongType = &Type{Kind: ULongLong}
+	FloatType     = &Type{Kind: Float}
+	DoubleType    = &Type{Kind: Double}
+)
+
+// PointerTo returns the type *elem.
+func PointerTo(elem *Type) *Type { return &Type{Kind: Ptr, Elem: elem} }
+
+// ArrayOf returns the type elem[n]; n == -1 means an incomplete array.
+func ArrayOf(elem *Type, n int) *Type { return &Type{Kind: Array, Elem: elem, Len: n} }
+
+// FuncType returns a function type.
+func FuncType(ret *Type, params []*Type, variadic bool) *Type {
+	return &Type{Kind: Func, Ret: ret, Params: params, Variadic: variadic}
+}
+
+// IsInteger reports whether t is an integer type (including char, enum,
+// and bool).
+func (t *Type) IsInteger() bool {
+	switch t.Kind {
+	case Bool, Char, SChar, UChar, Short, UShort, Int, UInt,
+		Long, ULong, LongLong, ULongLong, Enum:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether t is a floating type.
+func (t *Type) IsFloat() bool { return t.Kind == Float || t.Kind == Double }
+
+// IsArithmetic reports whether t is an arithmetic (integer or floating)
+// type.
+func (t *Type) IsArithmetic() bool { return t.IsInteger() || t.IsFloat() }
+
+// IsScalar reports whether t is a scalar type (arithmetic or pointer).
+func (t *Type) IsScalar() bool { return t.IsArithmetic() || t.Kind == Ptr }
+
+// IsUnsigned reports whether t is an unsigned integer type. Plain char is
+// treated as signed (the common x86 convention).
+func (t *Type) IsUnsigned() bool {
+	switch t.Kind {
+	case Bool, UChar, UShort, UInt, ULong, ULongLong:
+		return true
+	}
+	return false
+}
+
+// IsAggregate reports whether t is a struct or union.
+func (t *Type) IsAggregate() bool { return t.Kind == Struct || t.Kind == Union }
+
+// Size returns t's size in bytes on the LP64 target. Incomplete types
+// report 0.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case Void:
+		return 0
+	case Bool, Char, SChar, UChar:
+		return 1
+	case Short, UShort:
+		return 2
+	case Int, UInt, Float, Enum:
+		return 4
+	case Long, ULong, LongLong, ULongLong, Double, Ptr:
+		return 8
+	case Array:
+		if t.Len < 0 {
+			return 0
+		}
+		return t.Len * t.Elem.Size()
+	case Struct:
+		size := 0
+		align := 1
+		for i := range t.Fields {
+			f := &t.Fields[i]
+			end := f.Offset + f.Type.Size()
+			if f.BitField {
+				end = f.Offset + (f.BitOff+f.BitWidth+7)/8
+			}
+			if end > size {
+				size = end
+			}
+			if a := f.Type.Align(); a > align {
+				align = a
+			}
+		}
+		return roundUp(size, align)
+	case Union:
+		size := 0
+		align := 1
+		for i := range t.Fields {
+			if s := t.Fields[i].Type.Size(); s > size {
+				size = s
+			}
+			if a := t.Fields[i].Type.Align(); a > align {
+				align = a
+			}
+		}
+		return roundUp(size, align)
+	case Func:
+		return 0
+	}
+	return 0
+}
+
+// Align returns t's alignment in bytes.
+func (t *Type) Align() int {
+	switch t.Kind {
+	case Array:
+		return t.Elem.Align()
+	case Struct, Union:
+		align := 1
+		for i := range t.Fields {
+			if a := t.Fields[i].Type.Align(); a > align {
+				align = a
+			}
+		}
+		return align
+	case Void, Func:
+		return 1
+	default:
+		return t.Size()
+	}
+}
+
+func roundUp(n, a int) int {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}
+
+// LayoutFields assigns offsets (and bit offsets) to fields of a struct or
+// union. Call after all fields are appended.
+func (t *Type) LayoutFields() {
+	if t.Kind == Union {
+		for i := range t.Fields {
+			t.Fields[i].Offset = 0
+			t.Fields[i].BitOff = 0
+		}
+		return
+	}
+	off := 0    // current byte offset
+	bitOff := 0 // bits used in the current storage unit (for bitfields)
+	for i := range t.Fields {
+		f := &t.Fields[i]
+		if f.BitField {
+			unit := f.Type.Size() * 8
+			if f.BitWidth == 0 || bitOff+f.BitWidth > unit {
+				// Start a new storage unit.
+				if bitOff > 0 {
+					off += (bitOff + 7) / 8
+					bitOff = 0
+				}
+				off = roundUp(off, f.Type.Align())
+			}
+			if bitOff == 0 {
+				off = roundUp(off, f.Type.Align())
+			}
+			f.Offset = off
+			f.BitOff = bitOff
+			bitOff += f.BitWidth
+			continue
+		}
+		if bitOff > 0 {
+			off += (bitOff + 7) / 8
+			bitOff = 0
+		}
+		off = roundUp(off, f.Type.Align())
+		f.Offset = off
+		off += f.Type.Size()
+	}
+}
+
+// FieldByName returns the field named name and true, or a zero Field and
+// false.
+func (t *Type) FieldByName(name string) (Field, bool) {
+	for _, f := range t.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// Decay converts array types to pointer-to-element and function types to
+// pointer-to-function, per the usual C conversions; other types are
+// returned unchanged.
+func (t *Type) Decay() *Type {
+	switch t.Kind {
+	case Array:
+		return PointerTo(t.Elem)
+	case Func:
+		return PointerTo(t)
+	}
+	return t
+}
+
+// Same reports structural type equality, ignoring qualifiers.
+func Same(a, b *Type) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case Ptr:
+		return Same(a.Elem, b.Elem)
+	case Array:
+		return a.Len == b.Len && Same(a.Elem, b.Elem)
+	case Struct, Union, Enum:
+		if a.Tag != "" || b.Tag != "" {
+			return a.Tag == b.Tag
+		}
+		if len(a.Fields) != len(b.Fields) {
+			return false
+		}
+		for i := range a.Fields {
+			if a.Fields[i].Name != b.Fields[i].Name || !Same(a.Fields[i].Type, b.Fields[i].Type) {
+				return false
+			}
+		}
+		return true
+	case Func:
+		if !Same(a.Ret, b.Ret) || len(a.Params) != len(b.Params) || a.Variadic != b.Variadic {
+			return false
+		}
+		for i := range a.Params {
+			if !Same(a.Params[i], b.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return true // same scalar kind
+}
+
+// intRank orders integer types for usual arithmetic conversions.
+func intRank(k Kind) int {
+	switch k {
+	case Bool:
+		return 0
+	case Char, SChar, UChar:
+		return 1
+	case Short, UShort:
+		return 2
+	case Int, UInt, Enum:
+		return 3
+	case Long, ULong:
+		return 4
+	case LongLong, ULongLong:
+		return 5
+	}
+	return -1
+}
+
+// Promote applies integer promotion: types of rank below int become int.
+func Promote(t *Type) *Type {
+	if t.IsInteger() && intRank(t.Kind) < intRank(Int) {
+		return IntType
+	}
+	if t.Kind == Enum {
+		return IntType
+	}
+	return t
+}
+
+// UsualArithmetic computes the common type of a binary arithmetic
+// operation per C's usual arithmetic conversions.
+func UsualArithmetic(a, b *Type) *Type {
+	if a.Kind == Double || b.Kind == Double {
+		return DoubleType
+	}
+	if a.Kind == Float || b.Kind == Float {
+		return FloatType
+	}
+	a, b = Promote(a), Promote(b)
+	if a.Kind == b.Kind {
+		return a
+	}
+	ra, rb := intRank(a.Kind), intRank(b.Kind)
+	if a.IsUnsigned() == b.IsUnsigned() {
+		if ra >= rb {
+			return a
+		}
+		return b
+	}
+	// Mixed signedness: higher rank wins; on tie the unsigned type wins.
+	switch {
+	case ra > rb:
+		return a
+	case rb > ra:
+		return b
+	case a.IsUnsigned():
+		return a
+	default:
+		return b
+	}
+}
+
+// String renders the type in C-ish syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case Void:
+		return "void"
+	case Bool:
+		return "_Bool"
+	case Char:
+		return "char"
+	case SChar:
+		return "signed char"
+	case UChar:
+		return "unsigned char"
+	case Short:
+		return "short"
+	case UShort:
+		return "unsigned short"
+	case Int:
+		return "int"
+	case UInt:
+		return "unsigned int"
+	case Long:
+		return "long"
+	case ULong:
+		return "unsigned long"
+	case LongLong:
+		return "long long"
+	case ULongLong:
+		return "unsigned long long"
+	case Float:
+		return "float"
+	case Double:
+		return "double"
+	case Ptr:
+		return t.Elem.String() + "*"
+	case Array:
+		if t.Len < 0 {
+			return t.Elem.String() + "[]"
+		}
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case Struct:
+		if t.Tag != "" {
+			return "struct " + t.Tag
+		}
+		return "struct {...}"
+	case Union:
+		if t.Tag != "" {
+			return "union " + t.Tag
+		}
+		return "union {...}"
+	case Enum:
+		if t.Tag != "" {
+			return "enum " + t.Tag
+		}
+		return "enum {...}"
+	case Func:
+		var b strings.Builder
+		b.WriteString(t.Ret.String())
+		b.WriteString(" (")
+		for i, p := range t.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(p.String())
+		}
+		if t.Variadic {
+			if len(t.Params) > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString("...")
+		}
+		b.WriteString(")")
+		return b.String()
+	}
+	return fmt.Sprintf("Kind(%d)", int(t.Kind))
+}

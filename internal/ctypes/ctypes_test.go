@@ -1,0 +1,223 @@
+package ctypes
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarSizes(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		size int
+	}{
+		{CharType, 1}, {SCharType, 1}, {UCharType, 1}, {BoolType, 1},
+		{ShortType, 2}, {UShortType, 2},
+		{IntType, 4}, {UIntType, 4}, {FloatType, 4},
+		{LongType, 8}, {ULongType, 8}, {LongLongType, 8},
+		{ULongLongType, 8}, {DoubleType, 8},
+		{PointerTo(IntType), 8},
+	}
+	for _, c := range cases {
+		if got := c.t.Size(); got != c.size {
+			t.Errorf("%s: size %d want %d", c.t, got, c.size)
+		}
+	}
+}
+
+func TestArraySizeAndAlign(t *testing.T) {
+	a := ArrayOf(DoubleType, 10)
+	if a.Size() != 80 || a.Align() != 8 {
+		t.Errorf("double[10]: size=%d align=%d", a.Size(), a.Align())
+	}
+	m := ArrayOf(ArrayOf(IntType, 3), 4)
+	if m.Size() != 48 {
+		t.Errorf("int[4][3]: size=%d", m.Size())
+	}
+	if ArrayOf(IntType, -1).Size() != 0 {
+		t.Error("incomplete array should have size 0")
+	}
+}
+
+func TestStructLayoutPadding(t *testing.T) {
+	s := &Type{Kind: Struct, Tag: "S", Fields: []Field{
+		{Name: "c", Type: CharType},
+		{Name: "i", Type: IntType},
+		{Name: "c2", Type: CharType},
+		{Name: "d", Type: DoubleType},
+	}}
+	s.LayoutFields()
+	want := []int{0, 4, 8, 16}
+	for i, f := range s.Fields {
+		if f.Offset != want[i] {
+			t.Errorf("field %s offset %d want %d", f.Name, f.Offset, want[i])
+		}
+	}
+	if s.Size() != 24 {
+		t.Errorf("size %d want 24", s.Size())
+	}
+	if s.Align() != 8 {
+		t.Errorf("align %d want 8", s.Align())
+	}
+}
+
+func TestUnionLayout(t *testing.T) {
+	u := &Type{Kind: Union, Tag: "U", Fields: []Field{
+		{Name: "bytes", Type: ArrayOf(UCharType, 4)},
+		{Name: "word", Type: UIntType},
+		{Name: "wide", Type: DoubleType},
+	}}
+	u.LayoutFields()
+	for _, f := range u.Fields {
+		if f.Offset != 0 {
+			t.Errorf("union field %s offset %d", f.Name, f.Offset)
+		}
+	}
+	if u.Size() != 8 {
+		t.Errorf("union size %d want 8", u.Size())
+	}
+}
+
+func TestBitfieldPacking(t *testing.T) {
+	s := &Type{Kind: Struct, Tag: "B", Fields: []Field{
+		{Name: "a", Type: UIntType, BitField: true, BitWidth: 3},
+		{Name: "b", Type: UIntType, BitField: true, BitWidth: 5},
+		{Name: "c", Type: UIntType, BitField: true, BitWidth: 30},
+		{Name: "tail", Type: CharType},
+	}}
+	s.LayoutFields()
+	if s.Fields[0].Offset != 0 || s.Fields[0].BitOff != 0 {
+		t.Errorf("a: %+v", s.Fields[0])
+	}
+	if s.Fields[1].Offset != 0 || s.Fields[1].BitOff != 3 {
+		t.Errorf("b should pack after a: %+v", s.Fields[1])
+	}
+	// c (30 bits) does not fit the remaining 24 bits: new unit.
+	if s.Fields[2].Offset != 4 || s.Fields[2].BitOff != 0 {
+		t.Errorf("c should start a new unit: %+v", s.Fields[2])
+	}
+	if s.Fields[3].Offset != 8 {
+		t.Errorf("tail after the bitfield units: %+v", s.Fields[3])
+	}
+}
+
+func TestDecay(t *testing.T) {
+	if d := ArrayOf(IntType, 5).Decay(); d.Kind != Ptr || d.Elem.Kind != Int {
+		t.Errorf("array decay: %v", d)
+	}
+	f := FuncType(IntType, nil, false)
+	if d := f.Decay(); d.Kind != Ptr || d.Elem.Kind != Func {
+		t.Errorf("func decay: %v", d)
+	}
+	if d := IntType.Decay(); d != IntType {
+		t.Errorf("scalar decay must be identity")
+	}
+}
+
+func TestSame(t *testing.T) {
+	if !Same(PointerTo(IntType), PointerTo(IntType)) {
+		t.Error("equal pointer types")
+	}
+	if Same(PointerTo(IntType), PointerTo(LongType)) {
+		t.Error("distinct pointee")
+	}
+	s1 := &Type{Kind: Struct, Tag: "T"}
+	s2 := &Type{Kind: Struct, Tag: "T"}
+	if !Same(s1, s2) {
+		t.Error("same tag structs")
+	}
+	if Same(s1, &Type{Kind: Struct, Tag: "X"}) {
+		t.Error("different tags")
+	}
+}
+
+func TestPromote(t *testing.T) {
+	for _, small := range []*Type{CharType, SCharType, UCharType, ShortType, UShortType, BoolType} {
+		if Promote(small) != IntType {
+			t.Errorf("%s should promote to int", small)
+		}
+	}
+	for _, big := range []*Type{IntType, UIntType, LongType, DoubleType} {
+		if Promote(big) != big {
+			t.Errorf("%s should not promote", big)
+		}
+	}
+}
+
+func TestUsualArithmetic(t *testing.T) {
+	cases := []struct{ a, b, want *Type }{
+		{IntType, DoubleType, DoubleType},
+		{FloatType, IntType, FloatType},
+		{IntType, UIntType, UIntType},
+		{UIntType, LongType, LongType},
+		{CharType, CharType, IntType},
+		{ULongType, LongType, ULongType},
+		{IntType, IntType, IntType},
+	}
+	for _, c := range cases {
+		if got := UsualArithmetic(c.a, c.b); got.Kind != c.want.Kind {
+			t.Errorf("usual(%s, %s) = %s want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestUsualArithmeticCommutative(t *testing.T) {
+	scalars := []*Type{CharType, UCharType, ShortType, IntType, UIntType,
+		LongType, ULongType, FloatType, DoubleType}
+	f := func(i, j uint8) bool {
+		a := scalars[int(i)%len(scalars)]
+		b := scalars[int(j)%len(scalars)]
+		return UsualArithmetic(a, b).Kind == UsualArithmetic(b, a).Kind
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutMonotonic(t *testing.T) {
+	// Property: field offsets are non-decreasing and within the struct.
+	f := func(widths []uint8) bool {
+		if len(widths) == 0 || len(widths) > 12 {
+			return true
+		}
+		s := &Type{Kind: Struct, Tag: "Q"}
+		pool := []*Type{CharType, ShortType, IntType, LongType, DoubleType}
+		for i, w := range widths {
+			s.Fields = append(s.Fields, Field{
+				Name: string(rune('a' + i)),
+				Type: pool[int(w)%len(pool)],
+			})
+		}
+		s.LayoutFields()
+		prev := -1
+		for _, fl := range s.Fields {
+			if fl.Offset < prev {
+				return false
+			}
+			if fl.Offset%fl.Type.Align() != 0 {
+				return false // misaligned
+			}
+			prev = fl.Offset
+		}
+		return s.Size() >= prev
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		want string
+	}{
+		{PointerTo(DoubleType), "double*"},
+		{ArrayOf(IntType, 4), "int[4]"},
+		{FuncType(VoidType, []*Type{IntType, PointerTo(CharType)}, false), "void (int, char*)"},
+		{&Type{Kind: Struct, Tag: "kern"}, "struct kern"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("got %q want %q", got, c.want)
+		}
+	}
+}

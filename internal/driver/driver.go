@@ -1,0 +1,231 @@
+// Package driver is the end-to-end OOElala compiler: preprocess → lex →
+// parse → sema → OOE alias analysis → IR lowering (with mustnotalias
+// intrinsics) → O3 pass pipeline (with unseq-aa in the AA chain) →
+// cost-model execution. It also collects every statistic the paper's
+// evaluation reports (Table 5 columns, §4.2.2 compile-time stats).
+package driver
+
+import (
+	"fmt"
+
+	"repro/internal/aa"
+	"repro/internal/ast"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/ooe"
+	"repro/internal/parser"
+	"repro/internal/passes"
+	"repro/internal/sema"
+)
+
+// Config selects the compiler configuration.
+type Config struct {
+	// OOElala enables the paper's pipeline: predicates emitted, unseq-aa
+	// chained. False = baseline Clang-like compiler.
+	OOElala bool
+	// Sanitize adds UBSan runtime checks on unoptimized IR (§4.1); it
+	// forces O0 like the paper's sanitizer runs.
+	Sanitize bool
+	// NoOpt disables the pass pipeline (-O0). Default is -O3.
+	NoOpt bool
+	// Files provides #include-able sources.
+	Files map[string]string
+	// Defines are predefined object-like macros (-D equivalents).
+	Defines map[string]string
+	// Costs overrides the interpreter cost model (zero value = defaults).
+	Costs *interp.CostModel
+	// PassOptions overrides pass tuning (nil = DefaultOptions with
+	// UseUnseqAA set from OOElala).
+	PassOptions *passes.Options
+	// Transform, if set, runs after semantic analysis and may rewrite the
+	// AST (e.g. the automatic annotator); sema is re-run afterwards.
+	Transform func(*ast.TranslationUnit)
+}
+
+// FrontendStats are the AST-level analysis counts (Table 5, cols 3-4).
+type FrontendStats struct {
+	// FullExprs is the number of full expressions analyzed.
+	FullExprs int
+	// FullExprsUnseqSE counts full expressions with at least one
+	// unsequenced side effect generating a predicate (col 3).
+	FullExprsUnseqSE int
+	// InitialPreds is the number of predicates generated at the AST level
+	// including impure-tagged ones (col 4).
+	InitialPreds int
+	// PredsWithCalls counts predicates whose expressions contain function
+	// calls (the sanitizer excludes them; §4.1 reports >98.5% without).
+	PredsWithCalls int
+	// BitfieldDropped counts predicates dropped by the §4.2.3 filter.
+	BitfieldDropped int
+}
+
+// Compilation is the result of compiling one translation unit.
+type Compilation struct {
+	Name    string
+	TU      *ast.TranslationUnit
+	Module  *ir.Module
+	Reports []ooe.FullExprReport
+
+	Frontend  FrontendStats
+	PassStats passes.Stats
+	AAStats   aa.Stats
+
+	// FinalPreds counts mustnotalias intrinsics surviving optimization
+	// (col 5); UniqueFinalPreds dedupes clones by provenance (col 6).
+	FinalPreds       int
+	UniqueFinalPreds int
+	// UBChecks counts sanitizer checks emitted.
+	UBChecks int
+
+	cfg Config
+}
+
+// Compile builds src under the configuration.
+func Compile(name, src string, cfg Config) (*Compilation, error) {
+	files := cfg.Files
+	pre := ""
+	for k, v := range cfg.Defines {
+		pre += "#define " + k + " " + v + "\n"
+	}
+	tu, perrs := parser.ParseFile(name, pre+src, files)
+	if len(perrs) > 0 {
+		return nil, fmt.Errorf("%s: parse: %v", name, perrs[0])
+	}
+	if serrs := sema.Check(tu); len(serrs) > 0 {
+		return nil, fmt.Errorf("%s: sema: %v", name, serrs[0])
+	}
+	if cfg.Transform != nil {
+		cfg.Transform(tu)
+		if serrs := sema.Check(tu); len(serrs) > 0 {
+			return nil, fmt.Errorf("%s: sema after transform: %v", name, serrs[0])
+		}
+	}
+
+	ooeCfg := ooe.Config{}
+	an := ooe.New(ooeCfg, ooe.FuncMap(tu))
+	reports := an.AnalyzeUnit(tu)
+
+	c := &Compilation{Name: name, TU: tu, Reports: reports, cfg: cfg}
+	for _, rep := range reports {
+		c.Frontend.FullExprs++
+		if rep.Result.HasUnseqSideEffect {
+			c.Frontend.FullExprsUnseqSE++
+		}
+		c.Frontend.InitialPreds += len(rep.Predicates)
+		for _, p := range rep.Predicates {
+			if len(p.Calls) > 0 {
+				c.Frontend.PredsWithCalls++
+			}
+			if p.BothBitfields {
+				c.Frontend.BitfieldDropped++
+			}
+		}
+	}
+
+	genOpts := irgen.Options{
+		EmitPredicates: cfg.OOElala,
+		Sanitize:       cfg.Sanitize,
+	}
+	mod, gerrs := irgen.Generate(tu, reports, genOpts)
+	if len(gerrs) > 0 {
+		return nil, fmt.Errorf("%s: irgen: %v", name, gerrs[0])
+	}
+	c.Module = mod
+
+	popts := passes.DefaultOptions()
+	if cfg.PassOptions != nil {
+		popts = *cfg.PassOptions
+	}
+	popts.UseUnseqAA = cfg.OOElala
+	if cfg.NoOpt || cfg.Sanitize {
+		// The paper limits the sanitizer to unoptimized IR.
+		popts.OptLevel = 0
+	}
+	c.PassStats = passes.RunModule(mod, popts, &c.AAStats)
+
+	if problems := mod.Verify(); len(problems) > 0 {
+		return nil, fmt.Errorf("%s: IR verification failed: %s", name, problems[0])
+	}
+
+	seen := map[int]bool{}
+	for _, f := range mod.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpMustNotAlias:
+					c.FinalPreds++
+					seen[in.Meta] = true
+				case ir.OpUBCheck:
+					c.UBChecks++
+				}
+			}
+		}
+	}
+	c.UniqueFinalPreds = len(seen)
+	return c, nil
+}
+
+// NewMachine builds a fresh execution machine for the compiled module.
+func (c *Compilation) NewMachine() *interp.Machine {
+	costs := interp.DefaultCosts()
+	if c.cfg.Costs != nil {
+		costs = *c.cfg.Costs
+	}
+	return interp.New(c.Module, costs)
+}
+
+// Run executes the entry function (default main) and returns (result,
+// simulated cycles).
+func (c *Compilation) Run(entry string, args ...int64) (int64, float64, error) {
+	m := c.NewMachine()
+	if entry == "" {
+		entry = "main"
+	}
+	v, err := m.RunArgs(entry, args...)
+	if err != nil {
+		return 0, 0, err
+	}
+	return v, m.Cycles, nil
+}
+
+// RunSanitized executes main and returns the sanitizer failures.
+func (c *Compilation) RunSanitized(entry string) ([]*interp.SanitizerFailure, error) {
+	m := c.NewMachine()
+	if entry == "" {
+		entry = "main"
+	}
+	if _, err := m.RunArgs(entry); err != nil {
+		return nil, err
+	}
+	return m.SanFailures, nil
+}
+
+// Speedup compiles src under baseline and OOElala configurations, runs
+// both, and returns baselineCycles/ooelalaCycles. Both runs must produce
+// the same result (returned for verification).
+func Speedup(name, src string, files map[string]string, popts *passes.Options) (ratio float64, result int64, err error) {
+	base, err := Compile(name, src, Config{OOElala: false, Files: files, PassOptions: popts})
+	if err != nil {
+		return 0, 0, err
+	}
+	opt, err := Compile(name, src, Config{OOElala: true, Files: files, PassOptions: popts})
+	if err != nil {
+		return 0, 0, err
+	}
+	rBase, cBase, err := base.Run("")
+	if err != nil {
+		return 0, 0, fmt.Errorf("baseline run: %w", err)
+	}
+	rOpt, cOpt, err := opt.Run("")
+	if err != nil {
+		return 0, 0, fmt.Errorf("ooelala run: %w", err)
+	}
+	if rBase != rOpt {
+		return 0, 0, fmt.Errorf("MISCOMPILE: baseline=%d ooelala=%d", rBase, rOpt)
+	}
+	if cOpt == 0 {
+		return 0, 0, fmt.Errorf("zero cycle count")
+	}
+	return cBase / cOpt, rBase, nil
+}

@@ -1,0 +1,672 @@
+// Package interp executes the backend IR under a calibrated cycle-cost
+// model. It is this repository's substitute for the paper's Intel Xeon
+// testbed (DESIGN.md §2): optimizations that eliminate memory traffic,
+// promote scalars to registers, vectorize loops, or shrink call overhead
+// show up as reduced simulated cycles, so speedup *shapes* are
+// reproducible even though absolute times are not.
+//
+// The cost model's central distinction mirrors real register allocation:
+// scalar locals held in allocas are register-class (cheap) while accesses
+// through computed pointers are memory-class (expensive).
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// CostModel assigns cycle costs to IR operations. The defaults are
+// loosely calibrated to a modern x86 core (L1-hit latencies, 4-wide SIMD)
+// and are swappable; TestCostModelRobust perturbs them to show the
+// paper's speedup ordering is stable.
+type CostModel struct {
+	ALU      float64 // scalar integer/float arithmetic
+	RegMove  float64 // access to a register-class alloca slot
+	MemLoad  float64 // load through a computed pointer
+	MemStore float64 // store through a computed pointer
+	Branch   float64 // conditional or unconditional branch
+	CallBase float64 // call/return overhead
+	// ICachePenalty is added per executed call-free instruction in
+	// functions whose size exceeds ICacheThreshold (the perlbench
+	// inlining effect, §4.2.2).
+	ICachePenalty   float64
+	ICacheThreshold int
+	// VecOp is the cost of one vector ALU op (4 lanes).
+	VecOp float64
+	// VecMem is the cost of one vector load/store (4 lanes).
+	VecMem float64
+	// MemsetPerByte with a MemsetBase covers the libc call.
+	MemsetBase    float64
+	MemsetPerByte float64
+	Div           float64
+	BuiltinCall   float64
+}
+
+// DefaultCosts is the calibrated default model.
+func DefaultCosts() CostModel {
+	return CostModel{
+		ALU:             1,
+		RegMove:         0.25,
+		MemLoad:         4,
+		MemStore:        4,
+		Branch:          1,
+		CallBase:        12,
+		ICachePenalty:   1.1,
+		ICacheThreshold: 220,
+		VecOp:           1.3,
+		VecMem:          5,
+		MemsetBase:      6,
+		MemsetPerByte:   0.25,
+		Div:             12,
+		BuiltinCall:     18,
+	}
+}
+
+// SanitizerFailure reports a UBCheck assertion that fired: two pointers
+// that must not alias were equal at runtime.
+type SanitizerFailure struct {
+	Fn   string
+	Addr int64
+}
+
+func (s *SanitizerFailure) Error() string {
+	return fmt.Sprintf("ubsan: must-not-alias violated in %s at address %#x", s.Fn, s.Addr)
+}
+
+// val is a runtime value: scalar or small vector.
+type val struct {
+	i   int64
+	f   float64
+	fl  bool
+	vec []val
+}
+
+func iv(x int64) val   { return val{i: x} }
+func fv(x float64) val { return val{f: x, fl: true} }
+
+func (v val) asInt() int64 {
+	if v.fl {
+		return int64(v.f)
+	}
+	return v.i
+}
+
+func (v val) asFloat() float64 {
+	if v.fl {
+		return v.f
+	}
+	return float64(v.i)
+}
+
+// cell is one scalar memory cell.
+type cell struct {
+	i  int64
+	f  float64
+	fl bool
+}
+
+// Machine executes a module.
+type Machine struct {
+	mod   *ir.Module
+	costs CostModel
+
+	mem      map[int64]cell
+	globals  map[string]int64
+	nextAddr int64
+
+	// Cycles is the accumulated simulated cycle count.
+	Cycles float64
+	// Executed counts retired instructions.
+	Executed int64
+	// SanFailures collects ubcheck violations (execution continues, like
+	// a logging sanitizer).
+	SanFailures []*SanitizerFailure
+
+	// ptrClass caches the static register/memory classification of
+	// pointer operands.
+	ptrClass map[ir.Value]int
+
+	// fnICache caches whether a function pays the icache penalty.
+	fnICache map[*ir.Func]bool
+
+	MaxSteps int64
+	steps    int64
+}
+
+const (
+	classUnknown = 0
+	classReg     = 1
+	classMem     = 2
+)
+
+// New prepares a machine for the module: allocates and initializes
+// globals.
+func New(mod *ir.Module, costs CostModel) *Machine {
+	m := &Machine{
+		mod:      mod,
+		costs:    costs,
+		mem:      make(map[int64]cell),
+		globals:  make(map[string]int64),
+		nextAddr: 0x10000,
+		ptrClass: make(map[ir.Value]int),
+		fnICache: make(map[*ir.Func]bool),
+		MaxSteps: 2_000_000_000,
+	}
+	for _, g := range mod.Globals {
+		addr := m.alloc(int64(g.Size))
+		m.globals[g.Name] = addr
+		m.zeroFill(addr, g.Size, g.ElemClass)
+		for off, init := range g.Init {
+			if init.Cls.IsFloat() {
+				m.mem[addr+int64(off)] = cell{f: init.F, fl: true}
+			} else {
+				m.mem[addr+int64(off)] = cell{i: init.I}
+			}
+		}
+	}
+	return m
+}
+
+func (m *Machine) alloc(size int64) int64 {
+	if size <= 0 {
+		size = 8
+	}
+	a := m.nextAddr
+	m.nextAddr += size + 32
+	return a
+}
+
+// zeroFill creates zero cells at elemClass-stride offsets.
+func (m *Machine) zeroFill(addr int64, size int, cls ir.Class) {
+	stride := int64(cls.Size())
+	if stride <= 0 {
+		stride = 8
+	}
+	for off := int64(0); off < int64(size); off += stride {
+		m.mem[addr+off] = cell{fl: cls.IsFloat()}
+	}
+}
+
+// GlobalAddr returns a global's runtime address.
+func (m *Machine) GlobalAddr(name string) (int64, bool) {
+	a, ok := m.globals[name]
+	return a, ok
+}
+
+// ReadF64 reads a float cell (test/bench harness).
+func (m *Machine) ReadF64(addr int64) float64 { return m.mem[addr].f }
+
+// ReadI64 reads an integer cell.
+func (m *Machine) ReadI64(addr int64) int64 { return m.mem[addr].i }
+
+// WriteF64 writes a float cell.
+func (m *Machine) WriteF64(addr int64, v float64) { m.mem[addr] = cell{f: v, fl: true} }
+
+// WriteI64 writes an integer cell.
+func (m *Machine) WriteI64(addr int64, v int64) { m.mem[addr] = cell{i: v} }
+
+// Run calls the named function with integer/float arguments.
+func (m *Machine) Run(name string, args ...val) (val, error) {
+	f := m.mod.FindFunc(name)
+	if f == nil {
+		return val{}, fmt.Errorf("interp: no function %q", name)
+	}
+	return m.call(f, args)
+}
+
+// RunMain executes main().
+func (m *Machine) RunMain() (int64, error) {
+	v, err := m.Run("main")
+	return v.asInt(), err
+}
+
+// RunArgs executes name with the given int64 arguments (convenience).
+func (m *Machine) RunArgs(name string, args ...int64) (int64, error) {
+	vs := make([]val, len(args))
+	for i, a := range args {
+		vs[i] = iv(a)
+	}
+	v, err := m.Run(name, vs...)
+	return v.asInt(), err
+}
+
+// classifyPtr statically classifies a pointer operand: direct scalar
+// alloca slots are register-class after register allocation; anything
+// else is memory.
+func (m *Machine) classifyPtr(v ir.Value) int {
+	if c, ok := m.ptrClass[v]; ok && c != classUnknown {
+		return c
+	}
+	cls := classMem
+	if in, ok := v.(*ir.Instr); ok && in.Op == ir.OpAlloca && in.AllocSz <= 8 {
+		cls = classReg
+	}
+	m.ptrClass[v] = cls
+	return cls
+}
+
+func (m *Machine) icachePenalized(f *ir.Func) bool {
+	if v, ok := m.fnICache[f]; ok {
+		return v
+	}
+	// Metadata intrinsics occupy no code bytes.
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpMustNotAlias {
+				n++
+			}
+		}
+	}
+	v := n > m.costs.ICacheThreshold && m.costs.ICachePenalty > 0
+	m.fnICache[f] = v
+	return v
+}
+
+// call executes one function activation.
+func (m *Machine) call(f *ir.Func, args []val) (val, error) {
+	m.Cycles += m.costs.CallBase
+	regs := make(map[ir.Value]val, 32)
+	for i, p := range f.Params {
+		if i < len(args) {
+			regs[p] = args[i]
+		}
+	}
+	// Allocas are function-entry allocations (like LLVM's entry-block
+	// allocas); allocate on first execution of the instruction.
+	frameAllocs := make(map[*ir.Instr]int64)
+
+	icache := m.icachePenalized(f)
+	blk := f.Entry()
+	if blk == nil {
+		return val{}, fmt.Errorf("interp: empty function %s", f.Name)
+	}
+	for {
+		brTo, ret, retV, err := m.execBlock(f, blk, regs, frameAllocs, icache)
+		if err != nil {
+			return val{}, err
+		}
+		if ret {
+			return retV, nil
+		}
+		if brTo == nil {
+			return val{}, fmt.Errorf("interp: block %s fell through in %s", blk.Name, f.Name)
+		}
+		blk = brTo
+	}
+}
+
+func (m *Machine) execBlock(f *ir.Func, b *ir.Block, regs map[ir.Value]val,
+	frameAllocs map[*ir.Instr]int64, icache bool) (*ir.Block, bool, val, error) {
+
+	get := func(v ir.Value) val {
+		switch x := v.(type) {
+		case *ir.Const:
+			if x.Cls.IsFloat() {
+				return fv(x.F)
+			}
+			return iv(x.I)
+		case *ir.Global:
+			return iv(m.globals[x.Name])
+		case *ir.FuncRef:
+			return iv(funcPseudoAddr(x.Name))
+		default:
+			return regs[v]
+		}
+	}
+
+	for _, in := range b.Instrs {
+		if in.Op == ir.OpMustNotAlias {
+			continue // metadata: emits no machine code
+		}
+		m.steps++
+		if m.steps > m.MaxSteps {
+			return nil, false, val{}, fmt.Errorf("interp: step budget exceeded")
+		}
+		m.Executed++
+		if icache {
+			m.Cycles += m.costs.ICachePenalty
+		}
+		switch in.Op {
+		case ir.OpAlloca:
+			a, ok := frameAllocs[in]
+			if !ok {
+				a = m.alloc(int64(in.AllocSz))
+				frameAllocs[in] = a
+				// Zero-fill scalar slots; array allocas get cells lazily.
+				if in.AllocSz <= 8 {
+					m.mem[a] = cell{}
+				}
+			}
+			regs[in] = iv(a)
+
+		case ir.OpLoad:
+			addr := get(in.Args[0]).asInt()
+			c, ok := m.mem[addr]
+			if !ok {
+				c = cell{fl: in.Cls.IsFloat()}
+				m.mem[addr] = c
+			}
+			if m.classifyPtr(in.Args[0]) == classReg {
+				m.Cycles += m.costs.RegMove
+			} else {
+				m.Cycles += m.costs.MemLoad
+			}
+			if in.Cls.IsFloat() {
+				if c.fl {
+					regs[in] = fv(c.f)
+				} else {
+					regs[in] = fv(float64(c.i))
+				}
+			} else {
+				if c.fl {
+					regs[in] = iv(int64(c.f))
+				} else {
+					regs[in] = iv(truncFor(in.Cls, c.i, in.Unsigned))
+				}
+			}
+
+		case ir.OpStore:
+			addr := get(in.Args[0]).asInt()
+			v := get(in.Args[1])
+			if m.classifyPtr(in.Args[0]) == classReg {
+				m.Cycles += m.costs.RegMove
+			} else {
+				m.Cycles += m.costs.MemStore
+			}
+			if v.fl {
+				m.mem[addr] = cell{f: v.f, fl: true}
+			} else {
+				m.mem[addr] = cell{i: v.i}
+			}
+
+		case ir.OpGEP:
+			base := get(in.Args[0]).asInt()
+			idx := get(in.Args[1]).asInt()
+			regs[in] = iv(base + idx*int64(in.Scale) + int64(in.Off))
+			m.Cycles += m.costs.ALU * 0.5 // folded into addressing modes
+
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr:
+			a, c := get(in.Args[0]), get(in.Args[1])
+			m.Cycles += m.costs.ALU
+			regs[in] = scalarBin(in.Op, in.Cls, a, c, in.Unsigned)
+
+		case ir.OpDiv, ir.OpRem:
+			a, c := get(in.Args[0]), get(in.Args[1])
+			m.Cycles += m.costs.Div
+			if !a.fl && !c.fl && c.i == 0 {
+				return nil, false, val{}, fmt.Errorf("interp: division by zero in %s", f.Name)
+			}
+			regs[in] = scalarBin(in.Op, in.Cls, a, c, in.Unsigned)
+
+		case ir.OpNeg:
+			a := get(in.Args[0])
+			m.Cycles += m.costs.ALU
+			if a.fl {
+				regs[in] = fv(-a.f)
+			} else {
+				regs[in] = iv(-a.i)
+			}
+
+		case ir.OpNot:
+			a := get(in.Args[0])
+			m.Cycles += m.costs.ALU
+			regs[in] = iv(^a.asInt())
+
+		case ir.OpCmp:
+			a, c := get(in.Args[0]), get(in.Args[1])
+			m.Cycles += m.costs.ALU
+			regs[in] = iv(boolToInt(compare(in.Pred, a, c, in.Unsigned)))
+
+		case ir.OpSelect:
+			m.Cycles += m.costs.ALU
+			if get(in.Args[0]).asInt() != 0 {
+				regs[in] = get(in.Args[1])
+			} else {
+				regs[in] = get(in.Args[2])
+			}
+
+		case ir.OpConvert:
+			a := get(in.Args[0])
+			m.Cycles += m.costs.ALU * 0.5
+			regs[in] = convertVal(a, in.Cls, in.Unsigned)
+
+		case ir.OpCall:
+			v, err := m.execCall(f, in, get)
+			if err != nil {
+				return nil, false, val{}, err
+			}
+			if in.Cls != ir.Void {
+				regs[in] = v
+			}
+
+		case ir.OpBr:
+			m.Cycles += m.costs.Branch
+			return in.Target, false, val{}, nil
+
+		case ir.OpCondBr:
+			m.Cycles += m.costs.Branch
+			if get(in.Args[0]).asInt() != 0 {
+				return in.Then, false, val{}, nil
+			}
+			return in.Else, false, val{}, nil
+
+		case ir.OpRet:
+			if len(in.Args) > 0 {
+				return nil, true, get(in.Args[0]), nil
+			}
+			return nil, true, val{}, nil
+
+		case ir.OpMustNotAlias:
+			// Metadata only: free at runtime.
+
+		case ir.OpUBCheck:
+			p1 := get(in.Args[0]).asInt()
+			p2 := get(in.Args[1]).asInt()
+			m.Cycles += m.costs.ALU // one comparison
+			if p1 == p2 {
+				m.SanFailures = append(m.SanFailures, &SanitizerFailure{Fn: f.Name, Addr: p1})
+			}
+
+		case ir.OpMemset:
+			ptr := get(in.Args[0]).asInt()
+			v := get(in.Args[1])
+			length := get(in.Args[2]).asInt()
+			stride := int64(in.Scale)
+			if stride <= 0 {
+				stride = 8
+			}
+			for off := int64(0); off < length; off += stride {
+				if v.fl {
+					m.mem[ptr+off] = cell{f: v.f, fl: true}
+				} else {
+					m.mem[ptr+off] = cell{i: v.i}
+				}
+			}
+			m.Cycles += m.costs.MemsetBase + m.costs.MemsetPerByte*float64(length)
+
+		case ir.OpMemcpy:
+			dst := get(in.Args[0]).asInt()
+			src := get(in.Args[1]).asInt()
+			length := get(in.Args[2]).asInt()
+			stride := int64(in.Scale)
+			if stride <= 0 {
+				stride = 8
+			}
+			for off := int64(0); off < length; off += stride {
+				m.mem[dst+off] = m.mem[src+off]
+			}
+			m.Cycles += m.costs.MemsetBase + m.costs.MemsetPerByte*float64(length)
+
+		case ir.OpVecLoad:
+			base := get(in.Args[0]).asInt()
+			lanes := make([]val, in.Width)
+			stride := int64(in.Cls.Size())
+			for l := 0; l < in.Width; l++ {
+				c := m.mem[base+int64(l)*stride]
+				if in.Cls.IsFloat() {
+					if c.fl {
+						lanes[l] = fv(c.f)
+					} else {
+						lanes[l] = fv(float64(c.i))
+					}
+				} else {
+					lanes[l] = iv(c.i)
+				}
+			}
+			m.Cycles += m.costs.VecMem
+			regs[in] = val{vec: lanes}
+
+		case ir.OpVecStore:
+			base := get(in.Args[0]).asInt()
+			v := get(in.Args[1])
+			stride := int64(in.Cls.Size())
+			for l := 0; l < in.Width && l < len(v.vec); l++ {
+				lane := v.vec[l]
+				if lane.fl {
+					m.mem[base+int64(l)*stride] = cell{f: lane.f, fl: true}
+				} else {
+					m.mem[base+int64(l)*stride] = cell{i: lane.i}
+				}
+			}
+			m.Cycles += m.costs.VecMem
+
+		case ir.OpVecSplat:
+			s := get(in.Args[0])
+			lanes := make([]val, in.Width)
+			for l := range lanes {
+				lanes[l] = s
+			}
+			m.Cycles += m.costs.ALU
+			regs[in] = val{vec: lanes}
+
+		case ir.OpVecBin:
+			a, c := get(in.Args[0]), get(in.Args[1])
+			lanes := make([]val, in.Width)
+			for l := 0; l < in.Width; l++ {
+				la, lc := lane(a, l), lane(c, l)
+				if in.VecOp == ir.OpCmp {
+					lanes[l] = iv(boolToInt(compare(in.Pred, la, lc, in.Unsigned)))
+				} else {
+					lanes[l] = scalarBin(in.VecOp, in.Cls, la, lc, in.Unsigned)
+				}
+			}
+			m.Cycles += m.costs.VecOp
+			regs[in] = val{vec: lanes}
+
+		case ir.OpVecReduce:
+			a := get(in.Args[0])
+			acc := lane(a, 0)
+			for l := 1; l < in.Width; l++ {
+				acc = scalarBin(in.VecOp, in.Cls, acc, lane(a, l), in.Unsigned)
+			}
+			m.Cycles += m.costs.VecOp * 2
+			regs[in] = acc
+
+		case ir.OpVecIota:
+			lanes := make([]val, in.Width)
+			for l := range lanes {
+				if in.Cls.IsFloat() {
+					lanes[l] = fv(float64(l))
+				} else {
+					lanes[l] = iv(int64(l))
+				}
+			}
+			m.Cycles += m.costs.ALU
+			regs[in] = val{vec: lanes}
+
+		case ir.OpVecSelect:
+			mask, x, y := get(in.Args[0]), get(in.Args[1]), get(in.Args[2])
+			lanes := make([]val, in.Width)
+			for l := 0; l < in.Width; l++ {
+				if lane(mask, l).asInt() != 0 {
+					lanes[l] = lane(x, l)
+				} else {
+					lanes[l] = lane(y, l)
+				}
+			}
+			m.Cycles += m.costs.VecOp
+			regs[in] = val{vec: lanes}
+
+		case ir.OpVecCall:
+			lanes := make([]val, in.Width)
+			argv := make([]val, len(in.Args))
+			for ai, a := range in.Args {
+				argv[ai] = get(a)
+			}
+			for l := 0; l < in.Width; l++ {
+				laneArgs := make([]val, len(argv))
+				for ai := range argv {
+					laneArgs[ai] = lane(argv[ai], l)
+				}
+				v, ok, err := builtin(in.Callee, laneArgs)
+				if !ok || err != nil {
+					return nil, false, val{}, fmt.Errorf("interp: bad vcall %s", in.Callee)
+				}
+				lanes[l] = v
+			}
+			// Vector math libraries amortize the call across lanes.
+			m.Cycles += m.costs.BuiltinCall * 0.4 * float64(in.Width) / 2
+			regs[in] = val{vec: lanes}
+
+		default:
+			return nil, false, val{}, fmt.Errorf("interp: unhandled op %s", in.Op)
+		}
+	}
+	return nil, false, val{}, nil
+}
+
+func lane(v val, l int) val {
+	if v.vec == nil {
+		return v
+	}
+	if l < len(v.vec) {
+		return v.vec[l]
+	}
+	return val{}
+}
+
+func (m *Machine) execCall(f *ir.Func, in *ir.Instr, get func(ir.Value) val) (val, error) {
+	callee := in.Callee
+	args := in.Args
+	if callee == "" {
+		// Indirect: first arg is the function pseudo-address.
+		addr := get(in.Args[0]).asInt()
+		name, ok := funcPseudoNames[addr]
+		if !ok {
+			return val{}, fmt.Errorf("interp: bad indirect call in %s", f.Name)
+		}
+		callee = name
+		args = in.Args[1:]
+	}
+	vals := make([]val, len(args))
+	for i, a := range args {
+		vals[i] = get(a)
+	}
+	if v, ok, err := builtin(callee, vals); ok {
+		m.Cycles += m.costs.BuiltinCall
+		return v, err
+	}
+	cf := m.mod.FindFunc(callee)
+	if cf == nil {
+		return val{}, fmt.Errorf("interp: call to undefined %q from %s", callee, f.Name)
+	}
+	return m.call(cf, vals)
+}
+
+// funcPseudoAddr models function pointers.
+var (
+	funcPseudoAddrs = map[string]int64{}
+	funcPseudoNames = map[int64]string{}
+)
+
+func funcPseudoAddr(name string) int64 {
+	if a, ok := funcPseudoAddrs[name]; ok {
+		return a
+	}
+	a := int64(-4096 - len(funcPseudoAddrs))
+	funcPseudoAddrs[name] = a
+	funcPseudoNames[a] = name
+	return a
+}

@@ -1,0 +1,224 @@
+package interp
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// scalarBin applies a binary opcode to scalar values in the given class.
+func scalarBin(op ir.Op, cls ir.Class, a, b val, unsigned bool) val {
+	if cls.IsFloat() || a.fl || b.fl {
+		x, y := a.asFloat(), b.asFloat()
+		switch op {
+		case ir.OpAdd:
+			return fv(x + y)
+		case ir.OpSub:
+			return fv(x - y)
+		case ir.OpMul:
+			return fv(x * y)
+		case ir.OpDiv:
+			return fv(x / y)
+		case ir.OpRem:
+			return fv(math.Mod(x, y))
+		}
+		// Bitwise on floats should not happen; fall through to ints.
+	}
+	x, y := a.asInt(), b.asInt()
+	var r int64
+	switch op {
+	case ir.OpAdd:
+		r = x + y
+	case ir.OpSub:
+		r = x - y
+	case ir.OpMul:
+		r = x * y
+	case ir.OpDiv:
+		if y == 0 {
+			return iv(0)
+		}
+		if unsigned {
+			r = int64(uint64(x) / uint64(y))
+		} else {
+			r = x / y
+		}
+	case ir.OpRem:
+		if y == 0 {
+			return iv(0)
+		}
+		if unsigned {
+			r = int64(uint64(x) % uint64(y))
+		} else {
+			r = x % y
+		}
+	case ir.OpAnd:
+		r = x & y
+	case ir.OpOr:
+		r = x | y
+	case ir.OpXor:
+		r = x ^ y
+	case ir.OpShl:
+		r = x << (uint64(y) & 63)
+	case ir.OpShr:
+		if unsigned {
+			r = int64(maskFor(cls, x) >> (uint64(y) & 63))
+		} else {
+			r = x >> (uint64(y) & 63)
+		}
+	}
+	return iv(truncFor(cls, r, unsigned))
+}
+
+func maskFor(cls ir.Class, x int64) uint64 {
+	switch cls {
+	case ir.I8:
+		return uint64(uint8(x))
+	case ir.I16:
+		return uint64(uint16(x))
+	case ir.I32:
+		return uint64(uint32(x))
+	}
+	return uint64(x)
+}
+
+func truncFor(cls ir.Class, x int64, unsigned bool) int64 {
+	switch cls {
+	case ir.I8:
+		if unsigned {
+			return int64(uint8(x))
+		}
+		return int64(int8(x))
+	case ir.I16:
+		if unsigned {
+			return int64(uint16(x))
+		}
+		return int64(int16(x))
+	case ir.I32:
+		if unsigned {
+			return int64(uint32(x))
+		}
+		return int64(int32(x))
+	}
+	return x
+}
+
+func compare(p ir.Pred, a, b val, unsigned bool) bool {
+	if a.fl || b.fl {
+		x, y := a.asFloat(), b.asFloat()
+		switch p {
+		case ir.Eq:
+			return x == y
+		case ir.Ne:
+			return x != y
+		case ir.Lt:
+			return x < y
+		case ir.Le:
+			return x <= y
+		case ir.Gt:
+			return x > y
+		case ir.Ge:
+			return x >= y
+		}
+	}
+	if unsigned {
+		x, y := uint64(a.asInt()), uint64(b.asInt())
+		switch p {
+		case ir.Eq:
+			return x == y
+		case ir.Ne:
+			return x != y
+		case ir.Lt, ir.ULt:
+			return x < y
+		case ir.Le, ir.ULe:
+			return x <= y
+		case ir.Gt, ir.UGt:
+			return x > y
+		case ir.Ge, ir.UGe:
+			return x >= y
+		}
+	}
+	x, y := a.asInt(), b.asInt()
+	switch p {
+	case ir.Eq:
+		return x == y
+	case ir.Ne:
+		return x != y
+	case ir.Lt:
+		return x < y
+	case ir.Le:
+		return x <= y
+	case ir.Gt:
+		return x > y
+	case ir.Ge:
+		return x >= y
+	case ir.ULt:
+		return uint64(x) < uint64(y)
+	case ir.ULe:
+		return uint64(x) <= uint64(y)
+	case ir.UGt:
+		return uint64(x) > uint64(y)
+	case ir.UGe:
+		return uint64(x) >= uint64(y)
+	}
+	return false
+}
+
+func convertVal(a val, cls ir.Class, unsigned bool) val {
+	if cls.IsFloat() {
+		return fv(a.asFloat())
+	}
+	return iv(truncFor(cls, a.asInt(), unsigned))
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// builtin dispatches the pure libm-style externs.
+func builtin(name string, args []val) (val, bool, error) {
+	arg := func(i int) float64 {
+		if i < len(args) {
+			return args[i].asFloat()
+		}
+		return 0
+	}
+	switch name {
+	case "fabs":
+		return fv(math.Abs(arg(0))), true, nil
+	case "sqrt":
+		return fv(math.Sqrt(arg(0))), true, nil
+	case "sin":
+		return fv(math.Sin(arg(0))), true, nil
+	case "cos":
+		return fv(math.Cos(arg(0))), true, nil
+	case "exp":
+		return fv(math.Exp(arg(0))), true, nil
+	case "log":
+		return fv(math.Log(arg(0))), true, nil
+	case "pow":
+		return fv(math.Pow(arg(0), arg(1))), true, nil
+	case "floor":
+		return fv(math.Floor(arg(0))), true, nil
+	case "ceil":
+		return fv(math.Ceil(arg(0))), true, nil
+	case "fmod":
+		return fv(math.Mod(arg(0), arg(1))), true, nil
+	case "fmax":
+		return fv(math.Max(arg(0), arg(1))), true, nil
+	case "fmin":
+		return fv(math.Min(arg(0), arg(1))), true, nil
+	case "abs", "labs":
+		v := int64(0)
+		if len(args) > 0 {
+			v = args[0].asInt()
+		}
+		if v < 0 {
+			v = -v
+		}
+		return iv(v), true, nil
+	}
+	return val{}, false, nil
+}

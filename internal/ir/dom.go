@@ -1,0 +1,214 @@
+package ir
+
+// Dominance and natural-loop analysis, used by LICM, unrolling, and the
+// vectorizer.
+
+// DomTree holds immediate dominators for a function's blocks.
+type DomTree struct {
+	fn   *Func
+	idom map[*Block]*Block
+	// order is a reverse-postorder numbering.
+	order map[*Block]int
+}
+
+// ComputeDom builds the dominator tree with the iterative algorithm
+// (Cooper-Harvey-Kennedy).
+func ComputeDom(f *Func) *DomTree {
+	entry := f.Entry()
+	dt := &DomTree{fn: f, idom: make(map[*Block]*Block), order: make(map[*Block]int)}
+	if entry == nil {
+		return dt
+	}
+	// Reverse postorder.
+	var rpo []*Block
+	seen := map[*Block]bool{}
+	var dfs func(b *Block)
+	var post []*Block
+	dfs = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(entry)
+	for i := len(post) - 1; i >= 0; i-- {
+		rpo = append(rpo, post[i])
+	}
+	for i, b := range rpo {
+		dt.order[b] = i
+	}
+
+	preds := f.Preds()
+	dt.idom[entry] = entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpo {
+			if b == entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range preds[b] {
+				if dt.idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = dt.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && dt.idom[b] != newIdom {
+				dt.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return dt
+}
+
+func (dt *DomTree) intersect(a, b *Block) *Block {
+	for a != b {
+		for dt.order[a] > dt.order[b] {
+			a = dt.idom[a]
+		}
+		for dt.order[b] > dt.order[a] {
+			b = dt.idom[b]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether a dominates b (reflexive).
+func (dt *DomTree) Dominates(a, b *Block) bool {
+	if a == b {
+		return true
+	}
+	for b != nil {
+		id := dt.idom[b]
+		if id == b || id == nil {
+			return false
+		}
+		if id == a {
+			return true
+		}
+		b = id
+	}
+	return false
+}
+
+// Reachable reports whether the block was reached from entry.
+func (dt *DomTree) Reachable(b *Block) bool {
+	_, ok := dt.idom[b]
+	return ok
+}
+
+// Loop is a natural loop.
+type Loop struct {
+	Header *Block
+	// Latches are the blocks with back edges to the header.
+	Latches []*Block
+	// Blocks is the loop body (including header), as a set.
+	Blocks map[*Block]bool
+	// Preheader is the unique out-of-loop predecessor of the header, if
+	// one exists.
+	Preheader *Block
+	// Exits are (inLoopBlock -> outOfLoopSuccessor) edges.
+	Exits [][2]*Block
+	// Parent is the innermost enclosing loop, nil for top level.
+	Parent *Loop
+}
+
+// Depth returns the loop nesting depth (1 = outermost).
+func (l *Loop) Depth() int {
+	d := 1
+	for p := l.Parent; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// IsInnermost reports whether no other loop in loops nests inside l.
+func (l *Loop) IsInnermost(loops []*Loop) bool {
+	for _, other := range loops {
+		if other != l && other.Parent == l {
+			return false
+		}
+	}
+	return true
+}
+
+// FindLoops identifies the natural loops of f.
+func FindLoops(f *Func, dt *DomTree) []*Loop {
+	preds := f.Preds()
+	loopsByHeader := map[*Block]*Loop{}
+	var loops []*Loop
+	for _, b := range f.Blocks {
+		if !dt.Reachable(b) {
+			continue
+		}
+		for _, s := range b.Succs() {
+			if dt.Dominates(s, b) {
+				// Back edge b -> s.
+				l := loopsByHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, Blocks: map[*Block]bool{s: true}}
+					loopsByHeader[s] = l
+					loops = append(loops, l)
+				}
+				l.Latches = append(l.Latches, b)
+				// Collect body: reverse reachability from latch to header.
+				var stack []*Block
+				if !l.Blocks[b] {
+					l.Blocks[b] = true
+					stack = append(stack, b)
+				}
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, p := range preds[x] {
+						if !l.Blocks[p] {
+							l.Blocks[p] = true
+							stack = append(stack, p)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Preheaders, exits, nesting.
+	for _, l := range loops {
+		var outsidePreds []*Block
+		for _, p := range preds[l.Header] {
+			if !l.Blocks[p] {
+				outsidePreds = append(outsidePreds, p)
+			}
+		}
+		if len(outsidePreds) == 1 {
+			l.Preheader = outsidePreds[0]
+		}
+		for b := range l.Blocks {
+			for _, s := range b.Succs() {
+				if !l.Blocks[s] {
+					l.Exits = append(l.Exits, [2]*Block{b, s})
+				}
+			}
+		}
+	}
+	for _, l := range loops {
+		var best *Loop
+		for _, outer := range loops {
+			if outer == l || !outer.Blocks[l.Header] {
+				continue
+			}
+			if best == nil || len(outer.Blocks) < len(best.Blocks) {
+				best = outer
+			}
+		}
+		l.Parent = best
+	}
+	return loops
+}

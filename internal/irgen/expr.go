@@ -1,0 +1,510 @@
+package irgen
+
+import (
+	"repro/internal/ast"
+	"repro/internal/ctypes"
+	"repro/internal/ir"
+	"repro/internal/sema"
+	"repro/internal/token"
+)
+
+// genExpr lowers e to an rvalue (decaying lvalues through loads).
+func (g *Generator) genExpr(e ast.Expr) ir.Value {
+	e = sema.Strip(e)
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return ir.ConstInt(classOf(x.Type()), x.Value)
+	case *ast.CharLit:
+		return ir.ConstInt(ir.I32, x.Value)
+	case *ast.FloatLit:
+		return ir.ConstFloat(classOf(x.Type()), x.Value)
+	case *ast.StringLit:
+		gl := g.internString(x.Value)
+		return gl
+	case *ast.SizeofExpr:
+		t := x.Of
+		if t == nil && x.X != nil {
+			t = x.X.Type()
+		}
+		sz := int64(8)
+		if t != nil {
+			sz = int64(t.Size())
+		}
+		return ir.ConstInt(ir.I64, sz)
+	case *ast.Cast:
+		v := g.genExpr(x.X)
+		return g.convertToType(v, x.To)
+	case *ast.Comma:
+		g.genExpr(x.L)
+		return g.genExpr(x.R)
+	case *ast.Assign:
+		return g.genAssign(x)
+	case *ast.Unary:
+		return g.genUnary(x)
+	case *ast.Postfix:
+		return g.genIncDec(x.X, x.Op, true)
+	case *ast.Binary:
+		return g.genBinary(x)
+	case *ast.Cond:
+		return g.genCond(x)
+	case *ast.Call:
+		return g.genCall(x)
+	case *ast.Ident:
+		if x.Sym != nil && x.Sym.Func != nil {
+			return &ir.FuncRef{Name: x.Name}
+		}
+		if isArrayType(x.Type()) {
+			// Array lvalue decays to its address without a load.
+			return g.genAddr(x)
+		}
+		ptr := g.genAddr(x)
+		ld := g.emit(&ir.Instr{Op: ir.OpLoad, Cls: classOf(x.Type()),
+			Unsigned: isUnsignedType(x.Type()), Args: []ir.Value{ptr}})
+		return ld
+	case *ast.Index, *ast.Member:
+		if isArrayType(e.Type()) {
+			return g.genAddr(e)
+		}
+		ptr := g.genAddr(e)
+		return g.emit(&ir.Instr{Op: ir.OpLoad, Cls: classOf(e.Type()),
+			Unsigned: isUnsignedType(e.Type()), Args: []ir.Value{ptr}})
+	}
+	g.errorf("irgen: cannot lower expression %s", ast.ExprString(e))
+	return ir.ConstInt(ir.I64, 0)
+}
+
+func isArrayType(t *ctypes.Type) bool { return t != nil && t.Kind == ctypes.Array }
+
+// genAddr lowers e to a pointer to its object and records the mapping for
+// predicate emission.
+func (g *Generator) genAddr(e ast.Expr) ir.Value {
+	e = sema.Strip(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		var ptr ir.Value
+		if x.Sym != nil && !x.Sym.Global {
+			if al, ok := g.allocas[x.Sym]; ok {
+				ptr = al
+			}
+		}
+		if ptr == nil {
+			if gl := g.mod.FindGlobal(x.Name); gl != nil {
+				ptr = gl
+			} else {
+				// Implicitly-declared or external: synthesize a global.
+				gl := &ir.Global{Name: x.Name, Size: sizeOf(x.Type()), Init: map[int]ir.InitVal{}, ElemClass: classOf(x.Type())}
+				g.mod.Globals = append(g.mod.Globals, gl)
+				ptr = gl
+			}
+		}
+		g.recordLV(x, ptr)
+		return ptr
+
+	case *ast.Unary:
+		if x.Op == token.Star {
+			ptr := g.genExpr(x.X)
+			g.recordLV(x, ptr)
+			return ptr
+		}
+
+	case *ast.Index:
+		base := g.genExpr(x.X) // decayed pointer
+		elem := e.Type()
+		scale := 8
+		if elem != nil {
+			scale = sizeOf(elem)
+		}
+		// Fold constant index offsets (a[i-1], a[i+1]) into the GEP's
+		// byte offset — addressing-mode selection, and what lets the
+		// vectorizer see stencil accesses as unit-stride streams.
+		idxExpr := sema.Strip(x.I)
+		off := 0
+		if bin, ok := idxExpr.(*ast.Binary); ok &&
+			(bin.Op == token.Plus || bin.Op == token.Minus) {
+			if lit, ok := sema.Strip(bin.R).(*ast.IntLit); ok {
+				if bin.Op == token.Plus {
+					off = int(lit.Value) * scale
+				} else {
+					off = -int(lit.Value) * scale
+				}
+				idxExpr = bin.L
+			} else if lit, ok := sema.Strip(bin.L).(*ast.IntLit); ok && bin.Op == token.Plus {
+				off = int(lit.Value) * scale
+				idxExpr = bin.R
+			}
+		}
+		idx := g.genExpr(idxExpr)
+		gep := g.emit(&ir.Instr{Op: ir.OpGEP, Cls: ir.Ptr,
+			Args: []ir.Value{base, g.convertTo(idx, ir.I64)}, Scale: scale, Off: off})
+		g.recordLV(x, gep)
+		return gep
+
+	case *ast.Member:
+		var base ir.Value
+		if x.Arrow {
+			base = g.genExpr(x.X)
+		} else {
+			base = g.genAddr(x.X)
+		}
+		gep := g.emit(&ir.Instr{Op: ir.OpGEP, Cls: ir.Ptr,
+			Args: []ir.Value{base, ir.ConstInt(ir.I64, 0)}, Scale: 1, Off: x.Field.Offset})
+		g.recordLV(x, gep)
+		return gep
+	}
+	g.errorf("irgen: not an lvalue: %s", ast.ExprString(e))
+	return ir.ConstInt(ir.Ptr, 0)
+}
+
+func (g *Generator) genAssign(x *ast.Assign) ir.Value {
+	// Deterministic OOE: lower the RHS first, then the LHS address (this
+	// mirrors Clang's order for simple assignments).
+	if x.Op == token.Assign {
+		rv := g.genExpr(x.R)
+		ptr := g.genAddr(x.L)
+		rv = g.convertTo(rv, classOf(x.L.Type()))
+		g.emit(&ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{ptr, rv}})
+		return rv
+	}
+	// Compound: address once, load-modify-store.
+	ptr := g.genAddr(x.L)
+	rv := g.genExpr(x.R)
+	lcls := classOf(x.L.Type())
+	old := g.emit(&ir.Instr{Op: ir.OpLoad, Cls: lcls,
+		Unsigned: isUnsignedType(x.L.Type()), Args: []ir.Value{ptr}})
+	nv := g.arith(x.Op.CompoundBase(), old, rv, x.L.Type(), x.R.Type(), x.L.Type())
+	nv = g.convertTo(nv, lcls)
+	g.emit(&ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{ptr, nv}})
+	return nv
+}
+
+func (g *Generator) genIncDec(operand ast.Expr, op token.Kind, post bool) ir.Value {
+	ptr := g.genAddr(operand)
+	cls := classOf(operand.Type())
+	old := g.emit(&ir.Instr{Op: ir.OpLoad, Cls: cls,
+		Unsigned: isUnsignedType(operand.Type()), Args: []ir.Value{ptr}})
+	var delta ir.Value
+	t := operand.Type()
+	step := int64(1)
+	if t != nil && t.Decay().Kind == ctypes.Ptr && t.Kind == ctypes.Ptr {
+		step = int64(t.Elem.Size())
+		if step == 0 {
+			step = 1
+		}
+	}
+	if cls.IsFloat() {
+		delta = ir.ConstFloat(cls, float64(step))
+	} else {
+		delta = ir.ConstInt(cls, step)
+	}
+	aop := ir.OpAdd
+	if op == token.Dec {
+		aop = ir.OpSub
+	}
+	nv := g.emit(&ir.Instr{Op: aop, Cls: cls, Args: []ir.Value{old, delta}})
+	g.emit(&ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{ptr, nv}})
+	if post {
+		return old
+	}
+	return nv
+}
+
+func (g *Generator) genUnary(x *ast.Unary) ir.Value {
+	switch x.Op {
+	case token.Amp:
+		if id, ok := sema.Strip(x.X).(*ast.Ident); ok && id.Sym != nil && id.Sym.Func != nil {
+			return &ir.FuncRef{Name: id.Name}
+		}
+		return g.genAddr(x.X)
+	case token.Star:
+		if isArrayType(x.Type()) {
+			return g.genAddr(x)
+		}
+		ptr := g.genAddr(x)
+		return g.emit(&ir.Instr{Op: ir.OpLoad, Cls: classOf(x.Type()),
+			Unsigned: isUnsignedType(x.Type()), Args: []ir.Value{ptr}})
+	case token.Inc, token.Dec:
+		return g.genIncDec(x.X, x.Op, false)
+	case token.Minus:
+		v := g.genExpr(x.X)
+		return g.emit(&ir.Instr{Op: ir.OpNeg, Cls: valClass(v), Args: []ir.Value{v}})
+	case token.Tilde:
+		v := g.genExpr(x.X)
+		return g.emit(&ir.Instr{Op: ir.OpNot, Cls: valClass(v), Args: []ir.Value{v}})
+	case token.Not:
+		v := g.genExpr(x.X)
+		var zero ir.Value
+		if valClass(v).IsFloat() {
+			zero = ir.ConstFloat(valClass(v), 0)
+		} else {
+			zero = ir.ConstInt(valClass(v), 0)
+		}
+		return g.emit(&ir.Instr{Op: ir.OpCmp, Cls: ir.I32, Pred: ir.Eq, Args: []ir.Value{v, zero}})
+	}
+	g.errorf("irgen: unary %s", x.Op)
+	return ir.ConstInt(ir.I64, 0)
+}
+
+func (g *Generator) genBinary(x *ast.Binary) ir.Value {
+	switch x.Op {
+	case token.AndAnd, token.OrOr:
+		// Short-circuit via a result alloca (pre-mem2reg style).
+		res := g.emit(&ir.Instr{Op: ir.OpAlloca, Cls: ir.Ptr, Name: "sc", AllocSz: 4})
+		rhsB := g.fn.NewBlock("sc.rhs")
+		shortB := g.fn.NewBlock("sc.short")
+		doneB := g.fn.NewBlock("sc.end")
+		l := g.truthy(g.genExpr(x.L), x.L.Type())
+		if x.Op == token.AndAnd {
+			g.emit(&ir.Instr{Op: ir.OpCondBr, Cls: ir.Void, Args: []ir.Value{l}, Then: rhsB, Else: shortB})
+		} else {
+			g.emit(&ir.Instr{Op: ir.OpCondBr, Cls: ir.Void, Args: []ir.Value{l}, Then: shortB, Else: rhsB})
+		}
+		g.blk = shortB
+		shortVal := int64(0)
+		if x.Op == token.OrOr {
+			shortVal = 1
+		}
+		g.emit(&ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{res, ir.ConstInt(ir.I32, shortVal)}})
+		g.branchTo(doneB)
+		g.blk = rhsB
+		r := g.truthy(g.genExpr(x.R), x.R.Type())
+		g.emit(&ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{res, r}})
+		g.branchTo(doneB)
+		g.blk = doneB
+		return g.emit(&ir.Instr{Op: ir.OpLoad, Cls: ir.I32, Args: []ir.Value{res}})
+	}
+	l := g.genExpr(x.L)
+	r := g.genExpr(x.R)
+	return g.arith(x.Op, l, r, x.L.Type(), x.R.Type(), x.Type())
+}
+
+// arith lowers a standard binary operator on already-lowered operands.
+func (g *Generator) arith(op token.Kind, l, r ir.Value, lt, rt, res *ctypes.Type) ir.Value {
+	// Pointer arithmetic becomes GEP.
+	ld, rd := decay(lt), decay(rt)
+	if op == token.Plus || op == token.Minus {
+		if ld != nil && ld.Kind == ctypes.Ptr && rd != nil && rd.IsInteger() {
+			idx := g.convertTo(r, ir.I64)
+			if op == token.Minus {
+				idx = g.emit(&ir.Instr{Op: ir.OpNeg, Cls: ir.I64, Args: []ir.Value{idx}})
+			}
+			return g.emit(&ir.Instr{Op: ir.OpGEP, Cls: ir.Ptr, Args: []ir.Value{l, idx}, Scale: strideOf(ld)})
+		}
+		if op == token.Plus && rd != nil && rd.Kind == ctypes.Ptr && ld != nil && ld.IsInteger() {
+			idx := g.convertTo(l, ir.I64)
+			return g.emit(&ir.Instr{Op: ir.OpGEP, Cls: ir.Ptr, Args: []ir.Value{r, idx}, Scale: strideOf(rd)})
+		}
+		if op == token.Minus && ld != nil && ld.Kind == ctypes.Ptr && rd != nil && rd.Kind == ctypes.Ptr {
+			diff := g.emit(&ir.Instr{Op: ir.OpSub, Cls: ir.I64, Args: []ir.Value{l, r}})
+			return g.emit(&ir.Instr{Op: ir.OpDiv, Cls: ir.I64,
+				Args: []ir.Value{diff, ir.ConstInt(ir.I64, int64(strideOf(ld)))}})
+		}
+	}
+
+	cls := classOf(res)
+	switch op {
+	case token.Lt, token.Gt, token.Le, token.Ge, token.EqEq, token.NotEq:
+		// Compare in the common operand class.
+		common := classOf(ctypes.UsualArithmetic(orInt(ld), orInt(rd)))
+		if ld != nil && ld.Kind == ctypes.Ptr || rd != nil && rd.Kind == ctypes.Ptr {
+			common = ir.Ptr
+		}
+		l2, r2 := g.convertTo(l, common), g.convertTo(r, common)
+		pred := map[token.Kind]ir.Pred{
+			token.Lt: ir.Lt, token.Gt: ir.Gt, token.Le: ir.Le,
+			token.Ge: ir.Ge, token.EqEq: ir.Eq, token.NotEq: ir.Ne,
+		}[op]
+		unsigned := ld != nil && ld.IsUnsigned() || rd != nil && rd.IsUnsigned()
+		return g.emit(&ir.Instr{Op: ir.OpCmp, Cls: ir.I32, Pred: pred, Unsigned: unsigned,
+			Args: []ir.Value{l2, r2}})
+	}
+
+	l2, r2 := g.convertTo(l, cls), g.convertTo(r, cls)
+	iop := map[token.Kind]ir.Op{
+		token.Plus: ir.OpAdd, token.Minus: ir.OpSub, token.Star: ir.OpMul,
+		token.Slash: ir.OpDiv, token.Percent: ir.OpRem, token.Amp: ir.OpAnd,
+		token.Pipe: ir.OpOr, token.Caret: ir.OpXor, token.Shl: ir.OpShl,
+		token.Shr: ir.OpShr,
+	}[op]
+	unsigned := res != nil && res.IsUnsigned()
+	if op == token.Shr {
+		unsigned = lt != nil && lt.IsUnsigned()
+	}
+	return g.emit(&ir.Instr{Op: iop, Cls: cls, Unsigned: unsigned, Args: []ir.Value{l2, r2}})
+}
+
+func orInt(t *ctypes.Type) *ctypes.Type {
+	if t == nil || !t.IsArithmetic() {
+		return ctypes.LongType
+	}
+	return t
+}
+
+func decay(t *ctypes.Type) *ctypes.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Decay()
+}
+
+func strideOf(pt *ctypes.Type) int {
+	if pt.Elem != nil && pt.Elem.Size() > 0 {
+		return pt.Elem.Size()
+	}
+	return 1
+}
+
+func (g *Generator) genCond(x *ast.Cond) ir.Value {
+	cls := classOf(x.Type())
+	res := g.emit(&ir.Instr{Op: ir.OpAlloca, Cls: ir.Ptr, Name: "cond", AllocSz: cls.Size()})
+	thenB := g.fn.NewBlock("cond.then")
+	elseB := g.fn.NewBlock("cond.else")
+	doneB := g.fn.NewBlock("cond.end")
+	c := g.truthy(g.genExpr(x.C), x.C.Type())
+	g.emit(&ir.Instr{Op: ir.OpCondBr, Cls: ir.Void, Args: []ir.Value{c}, Then: thenB, Else: elseB})
+	g.blk = thenB
+	tv := g.convertTo(g.genExpr(x.T), cls)
+	g.emit(&ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{res, tv}})
+	g.branchTo(doneB)
+	g.blk = elseB
+	fv := g.convertTo(g.genExpr(x.F), cls)
+	g.emit(&ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{res, fv}})
+	g.branchTo(doneB)
+	g.blk = doneB
+	return g.emit(&ir.Instr{Op: ir.OpLoad, Cls: cls, Args: []ir.Value{res}})
+}
+
+func (g *Generator) genCall(x *ast.Call) ir.Value {
+	name := sema.CalleeName(x)
+	var args []ir.Value
+	if name == "" {
+		args = append(args, g.genExpr(x.Fun))
+	}
+	// Determine parameter classes for conversions.
+	var ft *ctypes.Type
+	if t := x.Fun.Type(); t != nil {
+		ft = t
+		if ft.Kind == ctypes.Ptr {
+			ft = ft.Elem
+		}
+	}
+	for i, a := range x.Args {
+		v := g.genExpr(a)
+		if ft != nil && ft.Kind == ctypes.Func && i < len(ft.Params) {
+			v = g.convertTo(v, classOf(ft.Params[i]))
+		}
+		args = append(args, v)
+	}
+	cls := classOf(x.Type())
+	return g.emit(&ir.Instr{Op: ir.OpCall, Cls: cls, Callee: name, Args: args})
+}
+
+// truthy converts v to an i32 0/1 condition.
+func (g *Generator) truthy(v ir.Value, t *ctypes.Type) ir.Value {
+	cls := valClass(v)
+	if in, ok := v.(*ir.Instr); ok && in.Op == ir.OpCmp {
+		return v
+	}
+	var zero ir.Value
+	if cls.IsFloat() {
+		zero = ir.ConstFloat(cls, 0)
+	} else {
+		zero = ir.ConstInt(cls, 0)
+	}
+	return g.emit(&ir.Instr{Op: ir.OpCmp, Cls: ir.I32, Pred: ir.Ne, Args: []ir.Value{v, zero}})
+}
+
+// isUnsignedType reports whether t is an unsigned integer type.
+func isUnsignedType(t *ctypes.Type) bool { return t != nil && t.IsUnsigned() }
+
+// convertToType coerces v to t's class with t's signedness (truncation to
+// unsigned narrow types must wrap, not sign-extend).
+func (g *Generator) convertToType(v ir.Value, t *ctypes.Type) ir.Value {
+	cls := classOf(t)
+	if cls == ir.Void || v.Class() == cls {
+		return v
+	}
+	if c, ok := v.(*ir.Const); ok && !cls.IsFloat() && !c.Cls.IsFloat() && isUnsignedType(t) {
+		return ir.ConstInt(cls, truncUnsigned(c.I, cls))
+	}
+	if _, ok := v.(*ir.Const); ok {
+		return g.convertTo(v, cls)
+	}
+	return g.emit(&ir.Instr{Op: ir.OpConvert, Cls: cls, Unsigned: isUnsignedType(t), Args: []ir.Value{v}})
+}
+
+func truncUnsigned(v int64, cls ir.Class) int64 {
+	switch cls {
+	case ir.I8:
+		return int64(uint8(v))
+	case ir.I16:
+		return int64(uint16(v))
+	case ir.I32:
+		return int64(uint32(v))
+	}
+	return v
+}
+
+// convertTo coerces v to cls, emitting a Convert when needed.
+func (g *Generator) convertTo(v ir.Value, cls ir.Class) ir.Value {
+	if cls == ir.Void || valClass(v) == cls {
+		return v
+	}
+	if c, ok := v.(*ir.Const); ok {
+		// Fold constant conversions.
+		if cls.IsFloat() {
+			if c.Cls.IsFloat() {
+				return ir.ConstFloat(cls, c.F)
+			}
+			return ir.ConstFloat(cls, float64(c.I))
+		}
+		if c.Cls.IsFloat() {
+			return ir.ConstInt(cls, int64(c.F))
+		}
+		return ir.ConstInt(cls, truncInt(c.I, cls))
+	}
+	return g.emit(&ir.Instr{Op: ir.OpConvert, Cls: cls, Args: []ir.Value{v}})
+}
+
+func truncInt(v int64, cls ir.Class) int64 {
+	switch cls {
+	case ir.I8:
+		return int64(int8(v))
+	case ir.I16:
+		return int64(int16(v))
+	case ir.I32:
+		return int64(int32(v))
+	}
+	return v
+}
+
+var stringCounter int
+
+func (g *Generator) internString(s string) *ir.Global {
+	stringCounter++
+	gl := &ir.Global{
+		Name:      "__str" + itoa(stringCounter),
+		Size:      len(s) + 1,
+		Init:      make(map[int]ir.InitVal),
+		ElemClass: ir.I8,
+	}
+	for i := 0; i < len(s); i++ {
+		gl.Init[i] = ir.InitVal{Cls: ir.I8, I: int64(s[i])}
+	}
+	gl.Init[len(s)] = ir.InitVal{Cls: ir.I8, I: 0}
+	g.mod.Globals = append(g.mod.Globals, gl)
+	return gl
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,406 @@
+// Package lexer tokenizes C source code for the OOElala frontend.
+//
+// The lexer is hand-written, handles // and /* */ comments, all C operator
+// spellings used by the subset grammar, integer/float/char/string
+// literals (with the usual suffixes), and line continuations. Preprocessor
+// directives are NOT handled here; see package cpp.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/token"
+)
+
+// Error is a lexical error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans a single source buffer.
+type Lexer struct {
+	src  string
+	file string
+	off  int
+	line int
+	col  int
+	errs []*Error
+}
+
+// New returns a Lexer over src, attributing positions to file.
+func New(file, src string) *Lexer {
+	// Fold line continuations so the scanner never sees them.
+	src = strings.ReplaceAll(src, "\\\r\n", "")
+	src = strings.ReplaceAll(src, "\\\n", "")
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []*Error { return l.errs }
+
+func (l *Lexer) errorf(p token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, &Error{Pos: p, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) pos() token.Pos {
+	return token.Pos{File: l.file, Line: l.line, Col: l.col}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peekAt(n int) byte {
+	if l.off+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+n]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v'
+}
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isHex(c byte) bool    { return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') }
+func isLetter(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdent(c byte) bool  { return isLetter(c) || isDigit(c) }
+
+// skipSpaceAndComments consumes whitespace and comments. It reports whether
+// a newline was crossed (needed by the preprocessor for directive bounds).
+func (l *Lexer) skipSpaceAndComments() bool {
+	sawNL := false
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case isSpace(c):
+			if c == '\n' {
+				sawNL = true
+			}
+			l.advance()
+		case c == '/' && l.peekAt(1) == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			p := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				if l.peek() == '\n' {
+					sawNL = true
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(p, "unterminated block comment")
+			}
+		default:
+			return sawNL
+		}
+	}
+	return sawNL
+}
+
+// Next returns the next token. At end of input it returns an EOF token.
+func (l *Lexer) Next() token.Token {
+	tok, _ := l.NextWithNL()
+	return tok
+}
+
+// NextWithNL is like Next but also reports whether a newline separated this
+// token from the previous one. The preprocessor uses this to delimit
+// directives.
+func (l *Lexer) NextWithNL() (token.Token, bool) {
+	sawNL := l.skipSpaceAndComments()
+	p := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: p}, sawNL
+	}
+	c := l.peek()
+	switch {
+	case isLetter(c):
+		return l.scanIdent(p), sawNL
+	case isDigit(c) || (c == '.' && isDigit(l.peekAt(1))):
+		return l.scanNumber(p), sawNL
+	case c == '\'':
+		return l.scanChar(p), sawNL
+	case c == '"':
+		return l.scanString(p), sawNL
+	}
+	return l.scanOperator(p), sawNL
+}
+
+// Hash is an internal pseudo-kind: '#' is not a C token but the
+// preprocessor needs to see it. We surface it as an Ident token "#".
+func (l *Lexer) scanOperator(p token.Pos) token.Token {
+	mk := func(k token.Kind, n int) token.Token {
+		for i := 0; i < n; i++ {
+			l.advance()
+		}
+		return token.Token{Kind: k, Pos: p}
+	}
+	c := l.advance()
+	switch c {
+	case '#':
+		return token.Token{Kind: token.Ident, Text: "#", Pos: p}
+	case '(':
+		return token.Token{Kind: token.LParen, Pos: p}
+	case ')':
+		return token.Token{Kind: token.RParen, Pos: p}
+	case '{':
+		return token.Token{Kind: token.LBrace, Pos: p}
+	case '}':
+		return token.Token{Kind: token.RBrace, Pos: p}
+	case '[':
+		return token.Token{Kind: token.LBracket, Pos: p}
+	case ']':
+		return token.Token{Kind: token.RBracket, Pos: p}
+	case ',':
+		return token.Token{Kind: token.Comma, Pos: p}
+	case ';':
+		return token.Token{Kind: token.Semi, Pos: p}
+	case ':':
+		return token.Token{Kind: token.Colon, Pos: p}
+	case '?':
+		return token.Token{Kind: token.Question, Pos: p}
+	case '~':
+		return token.Token{Kind: token.Tilde, Pos: p}
+	case '.':
+		if l.peek() == '.' && l.peekAt(1) == '.' {
+			return mk(token.Ellipsis, 2)
+		}
+		return token.Token{Kind: token.Dot, Pos: p}
+	case '+':
+		switch l.peek() {
+		case '+':
+			return mk(token.Inc, 1)
+		case '=':
+			return mk(token.PlusEq, 1)
+		}
+		return token.Token{Kind: token.Plus, Pos: p}
+	case '-':
+		switch l.peek() {
+		case '-':
+			return mk(token.Dec, 1)
+		case '=':
+			return mk(token.MinusEq, 1)
+		case '>':
+			return mk(token.Arrow, 1)
+		}
+		return token.Token{Kind: token.Minus, Pos: p}
+	case '*':
+		if l.peek() == '=' {
+			return mk(token.StarEq, 1)
+		}
+		return token.Token{Kind: token.Star, Pos: p}
+	case '/':
+		if l.peek() == '=' {
+			return mk(token.SlashEq, 1)
+		}
+		return token.Token{Kind: token.Slash, Pos: p}
+	case '%':
+		if l.peek() == '=' {
+			return mk(token.PercentEq, 1)
+		}
+		return token.Token{Kind: token.Percent, Pos: p}
+	case '&':
+		switch l.peek() {
+		case '&':
+			return mk(token.AndAnd, 1)
+		case '=':
+			return mk(token.AmpEq, 1)
+		}
+		return token.Token{Kind: token.Amp, Pos: p}
+	case '|':
+		switch l.peek() {
+		case '|':
+			return mk(token.OrOr, 1)
+		case '=':
+			return mk(token.PipeEq, 1)
+		}
+		return token.Token{Kind: token.Pipe, Pos: p}
+	case '^':
+		if l.peek() == '=' {
+			return mk(token.CaretEq, 1)
+		}
+		return token.Token{Kind: token.Caret, Pos: p}
+	case '!':
+		if l.peek() == '=' {
+			return mk(token.NotEq, 1)
+		}
+		return token.Token{Kind: token.Not, Pos: p}
+	case '=':
+		if l.peek() == '=' {
+			return mk(token.EqEq, 1)
+		}
+		return token.Token{Kind: token.Assign, Pos: p}
+	case '<':
+		switch l.peek() {
+		case '<':
+			if l.peekAt(1) == '=' {
+				return mk(token.ShlEq, 2)
+			}
+			return mk(token.Shl, 1)
+		case '=':
+			return mk(token.Le, 1)
+		}
+		return token.Token{Kind: token.Lt, Pos: p}
+	case '>':
+		switch l.peek() {
+		case '>':
+			if l.peekAt(1) == '=' {
+				return mk(token.ShrEq, 2)
+			}
+			return mk(token.Shr, 1)
+		case '=':
+			return mk(token.Ge, 1)
+		}
+		return token.Token{Kind: token.Gt, Pos: p}
+	}
+	l.errorf(p, "unexpected character %q", c)
+	return token.Token{Kind: token.EOF, Pos: p}
+}
+
+func (l *Lexer) scanIdent(p token.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.src) && isIdent(l.peek()) {
+		l.advance()
+	}
+	text := l.src[start:l.off]
+	if k, ok := token.Keywords[text]; ok {
+		return token.Token{Kind: k, Text: text, Pos: p}
+	}
+	return token.Token{Kind: token.Ident, Text: text, Pos: p}
+}
+
+func (l *Lexer) scanNumber(p token.Pos) token.Token {
+	start := l.off
+	isFloat := false
+	if l.peek() == '0' && (l.peekAt(1) == 'x' || l.peekAt(1) == 'X') {
+		l.advance()
+		l.advance()
+		for l.off < len(l.src) && isHex(l.peek()) {
+			l.advance()
+		}
+	} else {
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		if l.peek() == '.' {
+			isFloat = true
+			l.advance()
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		if l.peek() == 'e' || l.peek() == 'E' {
+			next := l.peekAt(1)
+			if isDigit(next) || ((next == '+' || next == '-') && isDigit(l.peekAt(2))) {
+				isFloat = true
+				l.advance() // e
+				if l.peek() == '+' || l.peek() == '-' {
+					l.advance()
+				}
+				for l.off < len(l.src) && isDigit(l.peek()) {
+					l.advance()
+				}
+			}
+		}
+	}
+	// Suffixes: u, U, l, L, ll, LL, f, F (float)
+	for {
+		c := l.peek()
+		if c == 'u' || c == 'U' || c == 'l' || c == 'L' {
+			l.advance()
+			continue
+		}
+		if (c == 'f' || c == 'F') && isFloat {
+			l.advance()
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.off]
+	if isFloat {
+		return token.Token{Kind: token.FloatLit, Text: text, Pos: p}
+	}
+	return token.Token{Kind: token.IntLit, Text: text, Pos: p}
+}
+
+func (l *Lexer) scanChar(p token.Pos) token.Token {
+	start := l.off
+	l.advance() // opening quote
+	for l.off < len(l.src) && l.peek() != '\'' {
+		if l.peek() == '\\' {
+			l.advance()
+		}
+		if l.off < len(l.src) {
+			l.advance()
+		}
+	}
+	if l.off >= len(l.src) {
+		l.errorf(p, "unterminated character literal")
+		return token.Token{Kind: token.CharLit, Text: l.src[start:], Pos: p}
+	}
+	l.advance() // closing quote
+	return token.Token{Kind: token.CharLit, Text: l.src[start:l.off], Pos: p}
+}
+
+func (l *Lexer) scanString(p token.Pos) token.Token {
+	start := l.off
+	l.advance() // opening quote
+	for l.off < len(l.src) && l.peek() != '"' {
+		if l.peek() == '\\' {
+			l.advance()
+		}
+		if l.off < len(l.src) {
+			l.advance()
+		}
+	}
+	if l.off >= len(l.src) {
+		l.errorf(p, "unterminated string literal")
+		return token.Token{Kind: token.StringLit, Text: l.src[start:], Pos: p}
+	}
+	l.advance() // closing quote
+	return token.Token{Kind: token.StringLit, Text: l.src[start:l.off], Pos: p}
+}
+
+// Tokenize scans all tokens in src (excluding the trailing EOF).
+func Tokenize(file, src string) ([]token.Token, []*Error) {
+	l := New(file, src)
+	var toks []token.Token
+	for {
+		t := l.Next()
+		if t.Kind == token.EOF {
+			break
+		}
+		toks = append(toks, t)
+	}
+	return toks, l.Errors()
+}

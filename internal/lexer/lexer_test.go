@@ -1,0 +1,158 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, errs := Tokenize("test.c", src)
+	for _, e := range errs {
+		t.Fatalf("lex error: %v", e)
+	}
+	out := make([]token.Kind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Kind
+	}
+	return out
+}
+
+func TestOperators(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []token.Kind
+	}{
+		{"+ - * / %", []token.Kind{token.Plus, token.Minus, token.Star, token.Slash, token.Percent}},
+		{"++ -- -> .", []token.Kind{token.Inc, token.Dec, token.Arrow, token.Dot}},
+		{"<< >> <<= >>=", []token.Kind{token.Shl, token.Shr, token.ShlEq, token.ShrEq}},
+		{"< > <= >= == !=", []token.Kind{token.Lt, token.Gt, token.Le, token.Ge, token.EqEq, token.NotEq}},
+		{"&& || & | ^ ~ !", []token.Kind{token.AndAnd, token.OrOr, token.Amp, token.Pipe, token.Caret, token.Tilde, token.Not}},
+		{"= += -= *= /= %= &= |= ^=", []token.Kind{token.Assign, token.PlusEq, token.MinusEq, token.StarEq, token.SlashEq, token.PercentEq, token.AmpEq, token.PipeEq, token.CaretEq}},
+		{"? : ; , ...", []token.Kind{token.Question, token.Colon, token.Semi, token.Comma, token.Ellipsis}},
+		{"( ) { } [ ]", []token.Kind{token.LParen, token.RParen, token.LBrace, token.RBrace, token.LBracket, token.RBracket}},
+	}
+	for _, c := range cases {
+		got := kinds(t, c.src)
+		if len(got) != len(c.want) {
+			t.Fatalf("%q: got %v want %v", c.src, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%q token %d: got %v want %v", c.src, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	toks, _ := Tokenize("t.c", "int foo while whilex _bar")
+	want := []token.Kind{token.KwInt, token.Ident, token.KwWhile, token.Ident, token.Ident}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %v want %v", i, toks[i].Kind, k)
+		}
+	}
+	if toks[3].Text != "whilex" || toks[4].Text != "_bar" {
+		t.Errorf("identifier spellings wrong: %v", toks)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind token.Kind
+	}{
+		{"42", token.IntLit},
+		{"0xFF", token.IntLit},
+		{"0xff", token.IntLit},
+		{"10u", token.IntLit},
+		{"10UL", token.IntLit},
+		{"3.14", token.FloatLit},
+		{"1e10", token.FloatLit},
+		{"1.5e-3", token.FloatLit},
+		{"2.0f", token.FloatLit},
+		{".5", token.FloatLit},
+	}
+	for _, c := range cases {
+		toks, errs := Tokenize("t.c", c.src)
+		if len(errs) > 0 {
+			t.Fatalf("%q: %v", c.src, errs[0])
+		}
+		if len(toks) != 1 || toks[0].Kind != c.kind {
+			t.Errorf("%q: got %v, want one %v", c.src, toks, c.kind)
+		}
+	}
+}
+
+func TestCharAndString(t *testing.T) {
+	toks, errs := Tokenize("t.c", `'a' '\n' "hello\n" "with \"quote\""`)
+	if len(errs) > 0 {
+		t.Fatalf("%v", errs[0])
+	}
+	want := []token.Kind{token.CharLit, token.CharLit, token.StringLit, token.StringLit}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens want %d: %v", len(toks), len(want), toks)
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %v want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := kinds(t, "a /* block\ncomment */ b // line\nc")
+	want := []token.Kind{token.Ident, token.Ident, token.Ident}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLineContinuation(t *testing.T) {
+	toks, _ := Tokenize("t.c", "ab\\\ncd")
+	if len(toks) != 1 || toks[0].Text != "abcd" {
+		t.Errorf("line continuation not folded: %v", toks)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, _ := Tokenize("t.c", "a\n  b")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("first token pos: %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("second token pos: %v", toks[1].Pos)
+	}
+}
+
+func TestNewlineFlag(t *testing.T) {
+	l := New("t.c", "a b\nc")
+	_, nl := l.NextWithNL() // a
+	if nl {
+		t.Error("first token should not report preceding newline from nothing... (sawNL only from skipped space)")
+	}
+	_, nl = l.NextWithNL() // b
+	if nl {
+		t.Error("b should not be preceded by newline")
+	}
+	_, nl = l.NextWithNL() // c
+	if !nl {
+		t.Error("c should be preceded by newline")
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	_, errs := Tokenize("t.c", `"abc`)
+	if len(errs) == 0 {
+		t.Error("expected error for unterminated string")
+	}
+}
+
+func TestHashToken(t *testing.T) {
+	toks, _ := Tokenize("t.c", "#define X")
+	if toks[0].Kind != token.Ident || toks[0].Text != "#" {
+		t.Errorf("expected # pseudo-token, got %v", toks[0])
+	}
+}

@@ -1,0 +1,54 @@
+package ooe_test
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/ooe"
+	"repro/internal/parser"
+	"repro/internal/sema"
+)
+
+// ExampleAnalyzer_AnalyzeExpr shows the judgement the analysis derives
+// for the paper's Table 2 expression.
+func ExampleAnalyzer_AnalyzeExpr() {
+	src := `double a[16];
+void f(double *min, double *max) { *min = *max = a[0]; }`
+	tu, _ := parser.ParseFile("example.c", src, nil)
+	sema.Check(tu)
+
+	an := ooe.New(ooe.Config{}, ooe.FuncMap(tu))
+	expr := ast.FullExprs(tu.Funcs[0].Body)[0]
+	result := an.AnalyzeExpr(expr)
+	for _, p := range an.Predicates(result) {
+		fmt.Println(p)
+	}
+	// Output:
+	// must-not-alias(min, *max)
+	// must-not-alias(*min, *max)
+}
+
+// ExampleAnalyzer_Predicates shows the impure-call override: the Table 3
+// counter-example yields no predicates.
+func ExampleAnalyzer_Predicates() {
+	src := `int a = 0, b = 2;
+int *foo() {
+  if (a == 1) return &a;
+  else return &b;
+}
+int main() { return (a = 1) + *foo(); }`
+	tu, _ := parser.ParseFile("example.c", src, nil)
+	sema.Check(tu)
+
+	an := ooe.New(ooe.Config{}, ooe.FuncMap(tu))
+	for _, f := range tu.Funcs {
+		if f.Name != "main" {
+			continue
+		}
+		for _, rep := range an.AnalyzeFunction(f) {
+			fmt.Printf("%d predicates\n", len(rep.Predicates))
+		}
+	}
+	// Output:
+	// 0 predicates
+}

@@ -1,0 +1,134 @@
+package ooe
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIDSetBasics(t *testing.T) {
+	s := NewIDSet(3, 1, 3)
+	if len(s) != 2 || !s.Has(1) || !s.Has(3) || s.Has(2) {
+		t.Errorf("set: %v", s)
+	}
+	s.Add(2)
+	if got := s.Sorted(); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("sorted: %v", got)
+	}
+	if s.String() != "{1,2,3}" {
+		t.Errorf("string: %s", s)
+	}
+}
+
+func TestUnionProperties(t *testing.T) {
+	mk := func(ids []uint8) IDSet {
+		s := make(IDSet)
+		for _, id := range ids {
+			s.Add(int(id % 32))
+		}
+		return s
+	}
+	// Commutativity and idempotence.
+	f := func(a, b []uint8) bool {
+		sa, sb := mk(a), mk(b)
+		u1 := Union(sa, sb)
+		u2 := Union(sb, sa)
+		if !u1.Equal(u2) {
+			return false
+		}
+		if !Union(sa, sa).Equal(sa) {
+			return false
+		}
+		// Union contains both operands.
+		for id := range sa {
+			if !u1.Has(id) {
+				return false
+			}
+		}
+		for id := range sb {
+			if !u1.Has(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairNormalization(t *testing.T) {
+	p1 := MakePair(5, 2)
+	p2 := MakePair(2, 5)
+	if p1 != p2 {
+		t.Errorf("pairs must normalize: %v vs %v", p1, p2)
+	}
+	ps := NewPairSet(Pair{A: 9, B: 1})
+	if !ps.Has(1, 9) || !ps.Has(9, 1) {
+		t.Error("membership must be order-insensitive")
+	}
+}
+
+func TestCrossProperties(t *testing.T) {
+	mk := func(ids []uint8) IDSet {
+		s := make(IDSet)
+		for _, id := range ids {
+			s.Add(int(id % 16))
+		}
+		return s
+	}
+	f := func(a, b []uint8) bool {
+		sa, sb := mk(a), mk(b)
+		c1 := Cross(sa, sb)
+		c2 := Cross(sb, sa)
+		// χ is symmetric as a set of unordered pairs.
+		if !c1.Equal(c2) {
+			return false
+		}
+		// No self-pairs ever.
+		for p := range c1 {
+			if p.A == p.B {
+				return false
+			}
+		}
+		// Every pair crosses the operands.
+		for p := range c1 {
+			ok := (sa.Has(p.A) && sb.Has(p.B)) || (sa.Has(p.B) && sb.Has(p.A))
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossEmpty(t *testing.T) {
+	if got := Cross(NewIDSet(), NewIDSet(1, 2)); len(got) != 0 {
+		t.Errorf("χ(∅, s) must be empty: %v", got)
+	}
+	// χ({x},{x}) = ∅ (an evaluation cannot race with itself).
+	if got := Cross(NewIDSet(7), NewIDSet(7)); len(got) != 0 {
+		t.Errorf("self pair produced: %v", got)
+	}
+}
+
+func TestUnionPairsAndSorted(t *testing.T) {
+	a := NewPairSet(Pair{A: 3, B: 1}, Pair{A: 2, B: 4})
+	b := NewPairSet(Pair{A: 1, B: 3}, Pair{A: 5, B: 0})
+	u := UnionPairs(a, b)
+	if len(u) != 3 {
+		t.Errorf("union size: %d", len(u))
+	}
+	sorted := u.Sorted()
+	for i := 1; i < len(sorted); i++ {
+		prev, cur := sorted[i-1], sorted[i]
+		if prev.A > cur.A || (prev.A == cur.A && prev.B > cur.B) {
+			t.Errorf("not sorted: %v", sorted)
+		}
+	}
+	if u.String() == "" {
+		t.Error("string rendering")
+	}
+}

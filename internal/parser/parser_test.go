@@ -1,0 +1,307 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/ctypes"
+)
+
+func parse(t *testing.T, src string) *ast.TranslationUnit {
+	t.Helper()
+	tu, errs := ParseFile("test.c", src, nil)
+	for _, e := range errs {
+		t.Fatalf("parse error: %v", e)
+	}
+	return tu
+}
+
+func parseExpr(t *testing.T, expr string) ast.Expr {
+	t.Helper()
+	tu := parse(t, "void f() { "+expr+"; }")
+	if len(tu.Funcs) != 1 || tu.Funcs[0].Body == nil {
+		t.Fatal("expected one function")
+	}
+	es := ast.FullExprs(tu.Funcs[0].Body)
+	if len(es) != 1 {
+		t.Fatalf("expected one full expression, got %d", len(es))
+	}
+	return es[0]
+}
+
+func TestGlobals(t *testing.T) {
+	tu := parse(t, "int n; double a[10]; int *p; static int s = 5;")
+	if len(tu.Globals) != 4 {
+		t.Fatalf("got %d globals", len(tu.Globals))
+	}
+	if tu.Globals[0].Type.Kind != ctypes.Int {
+		t.Errorf("n type: %v", tu.Globals[0].Type)
+	}
+	if tu.Globals[1].Type.Kind != ctypes.Array || tu.Globals[1].Type.Len != 10 {
+		t.Errorf("a type: %v", tu.Globals[1].Type)
+	}
+	if tu.Globals[2].Type.Kind != ctypes.Ptr {
+		t.Errorf("p type: %v", tu.Globals[2].Type)
+	}
+	if tu.Globals[3].Storage != ast.SCStatic || tu.Globals[3].Init == nil {
+		t.Errorf("s: %+v", tu.Globals[3])
+	}
+}
+
+func TestFunctionDef(t *testing.T) {
+	tu := parse(t, "int add(int x, int y) { return x + y; }")
+	if len(tu.Funcs) != 1 {
+		t.Fatalf("got %d funcs", len(tu.Funcs))
+	}
+	f := tu.Funcs[0]
+	if f.Name != "add" || len(f.Params) != 2 || f.Body == nil {
+		t.Errorf("func: %+v", f)
+	}
+	if f.Type.Ret.Kind != ctypes.Int {
+		t.Errorf("ret type: %v", f.Type.Ret)
+	}
+}
+
+func TestPrototype(t *testing.T) {
+	tu := parse(t, "double fabs(double x);")
+	if len(tu.Funcs) != 1 || tu.Funcs[0].Body != nil {
+		t.Fatalf("prototype mis-parsed: %+v", tu.Funcs)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	e := parseExpr(t, "a + b * c")
+	bin, ok := e.(*ast.Binary)
+	if !ok {
+		t.Fatalf("not binary: %T", e)
+	}
+	if _, ok := bin.R.(*ast.Binary); !ok {
+		t.Errorf("b*c should bind tighter: %s", ast.ExprString(e))
+	}
+}
+
+func TestAssignRightAssoc(t *testing.T) {
+	e := parseExpr(t, "a = b = c")
+	outer, ok := e.(*ast.Assign)
+	if !ok {
+		t.Fatalf("not assign: %T", e)
+	}
+	if _, ok := outer.R.(*ast.Assign); !ok {
+		t.Errorf("assignment should be right-associative: %s", ast.ExprString(e))
+	}
+}
+
+func TestUnaryAndPostfix(t *testing.T) {
+	e := parseExpr(t, "*p++")
+	u, ok := e.(*ast.Unary)
+	if !ok {
+		t.Fatalf("not unary: %T", e)
+	}
+	if _, ok := u.X.(*ast.Postfix); !ok {
+		t.Errorf("p++ should bind tighter than *: %s", ast.ExprString(e))
+	}
+}
+
+func TestTernaryAndComma(t *testing.T) {
+	e := parseExpr(t, "a ? b : c, d")
+	if _, ok := e.(*ast.Comma); !ok {
+		t.Fatalf("comma should be outermost: %T", e)
+	}
+}
+
+func TestMemberChains(t *testing.T) {
+	src := `struct P { int x; int y; };
+struct K { struct P *pos; double vals[4]; };
+void f(struct K *k) { k->pos->x = k->vals[2]; }`
+	tu := parse(t, src)
+	es := ast.FullExprs(tu.Funcs[0].Body)
+	if len(es) != 1 {
+		t.Fatalf("full exprs: %d", len(es))
+	}
+	got := ast.ExprString(es[0])
+	if got != "(k->pos->x = k->vals[2])" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	tu := parse(t, "struct S { char c; int i; double d; };")
+	s := tu.Types["S"]
+	if s == nil {
+		t.Fatal("struct S not recorded")
+	}
+	if s.Fields[0].Offset != 0 || s.Fields[1].Offset != 4 || s.Fields[2].Offset != 8 {
+		t.Errorf("offsets: %+v", s.Fields)
+	}
+	if s.Size() != 16 {
+		t.Errorf("size: %d", s.Size())
+	}
+}
+
+func TestBitfields(t *testing.T) {
+	tu := parse(t, "struct B { unsigned a : 3; unsigned b : 5; unsigned c : 9; };")
+	s := tu.Types["B"]
+	if s == nil {
+		t.Fatal("struct B missing")
+	}
+	if !s.Fields[0].BitField || s.Fields[0].BitWidth != 3 {
+		t.Errorf("field a: %+v", s.Fields[0])
+	}
+	if s.Fields[1].BitOff != 3 {
+		t.Errorf("field b should pack after a: %+v", s.Fields[1])
+	}
+}
+
+func TestUnion(t *testing.T) {
+	tu := parse(t, "union U { unsigned char in[4]; unsigned int out; };")
+	u := tu.Types["U"]
+	if u == nil || u.Kind != ctypes.Union {
+		t.Fatal("union U missing")
+	}
+	if u.Size() != 4 {
+		t.Errorf("union size: %d", u.Size())
+	}
+	if u.Fields[0].Offset != 0 || u.Fields[1].Offset != 0 {
+		t.Errorf("union offsets: %+v", u.Fields)
+	}
+}
+
+func TestTypedef(t *testing.T) {
+	tu := parse(t, "typedef unsigned long mysize; mysize x;")
+	if len(tu.Globals) != 1 || tu.Globals[0].Type.Kind != ctypes.ULong {
+		t.Errorf("typedef not applied: %+v", tu.Globals)
+	}
+}
+
+func TestEnum(t *testing.T) {
+	tu := parse(t, "enum E { A, B = 5, C }; int x = C;")
+	g := tu.Globals[0]
+	lit, ok := g.Init.(*ast.IntLit)
+	if !ok || lit.Value != 6 {
+		t.Errorf("enumerator C should be 6: %v", g.Init)
+	}
+}
+
+func TestForLoopWithDecl(t *testing.T) {
+	tu := parse(t, "void f(int n, double *a) { for (int i = 0; i < n; i++) a[i] = 0; }")
+	body := tu.Funcs[0].Body
+	var forStmt *ast.For
+	ast.WalkStmts(body, func(s ast.Stmt) {
+		if f, ok := s.(*ast.For); ok {
+			forStmt = f
+		}
+	})
+	if forStmt == nil || forStmt.Init == nil || forStmt.Cond == nil || forStmt.Post == nil {
+		t.Fatalf("for parts missing: %+v", forStmt)
+	}
+}
+
+func TestDoWhile(t *testing.T) {
+	tu := parse(t, "void f(int *d, int *s, int e) { do { *d++ = *s++; } while (*s && d < &e); }")
+	found := false
+	ast.WalkStmts(tu.Funcs[0].Body, func(s ast.Stmt) {
+		if _, ok := s.(*ast.DoWhile); ok {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("do-while not parsed")
+	}
+}
+
+func TestCastVsParen(t *testing.T) {
+	e := parseExpr(t, "(double)x + (y)")
+	bin := e.(*ast.Binary)
+	if _, ok := bin.L.(*ast.Cast); !ok {
+		t.Errorf("(double)x should be a cast: %T", bin.L)
+	}
+	if _, ok := bin.R.(*ast.Paren); !ok {
+		t.Errorf("(y) should be a paren: %T", bin.R)
+	}
+}
+
+func TestSizeof(t *testing.T) {
+	e := parseExpr(t, "sizeof(int) + sizeof x")
+	bin := e.(*ast.Binary)
+	l := bin.L.(*ast.SizeofExpr)
+	if l.Of == nil || l.Of.Kind != ctypes.Int {
+		t.Errorf("sizeof(int): %+v", l)
+	}
+	r := bin.R.(*ast.SizeofExpr)
+	if r.X == nil {
+		t.Errorf("sizeof x: %+v", r)
+	}
+}
+
+func TestUniqueExprIDs(t *testing.T) {
+	tu := parse(t, "void f(int i, int j) { i = j + 1; j = i * 2; }")
+	seen := map[int]bool{}
+	for _, e := range ast.FullExprs(tu.Funcs[0].Body) {
+		ast.Walk(e, func(x ast.Expr) {
+			if seen[x.ID()] {
+				t.Errorf("duplicate expression ID %d", x.ID())
+			}
+			seen[x.ID()] = true
+		})
+	}
+	if len(seen) == 0 || tu.NumExprs < len(seen) {
+		t.Errorf("NumExprs %d < distinct %d", tu.NumExprs, len(seen))
+	}
+}
+
+func TestFunctionPointerDecl(t *testing.T) {
+	tu := parse(t, "int (*handler)(int, double);")
+	g := tu.Globals[0]
+	if g.Name != "handler" || g.Type.Kind != ctypes.Ptr || g.Type.Elem.Kind != ctypes.Func {
+		t.Errorf("function pointer: %v", g.Type)
+	}
+}
+
+func TestMultiDimArray(t *testing.T) {
+	tu := parse(t, "double A[3][4];")
+	ty := tu.Globals[0].Type
+	if ty.Kind != ctypes.Array || ty.Len != 3 || ty.Elem.Kind != ctypes.Array || ty.Elem.Len != 4 {
+		t.Errorf("multi-dim array: %v", ty)
+	}
+}
+
+func TestSwitch(t *testing.T) {
+	tu := parse(t, `void f(int x) { switch (x) { case 1: x = 2; break; default: x = 0; } }`)
+	var sw *ast.Switch
+	ast.WalkStmts(tu.Funcs[0].Body, func(s ast.Stmt) {
+		if v, ok := s.(*ast.Switch); ok {
+			sw = v
+		}
+	})
+	if sw == nil {
+		t.Fatal("switch not parsed")
+	}
+}
+
+func TestConditionalExprString(t *testing.T) {
+	e := parseExpr(t, "*min = (a[i] < *min) ? i : *min")
+	got := ast.ExprString(e)
+	want := "(*min = (((a[i] < *min)) ? i : *min))"
+	if got != want {
+		t.Errorf("got %s want %s", got, want)
+	}
+}
+
+func TestPaperImagickLoop(t *testing.T) {
+	// The imagick kernel-initialization pattern from the paper's intro.
+	src := `struct kern { long x, y; double positive_range; double values[128]; };
+struct args_t { double sigma; };
+double fabs(double);
+double MagickMax(double, double);
+void init(struct kern *kernel, struct args_t *args) {
+  int i; long u, v;
+  for (i = 0, v = -kernel->y; v <= kernel->y; v++)
+    for (u = -kernel->x; u <= kernel->x; u++, i++)
+      kernel->positive_range += (kernel->values[i] =
+        args->sigma * MagickMax(fabs((double)u), fabs((double)v)));
+}`
+	tu := parse(t, src)
+	if len(tu.Funcs) != 3 {
+		t.Fatalf("funcs: %d", len(tu.Funcs))
+	}
+}

@@ -1,0 +1,352 @@
+package passes
+
+import (
+	"fmt"
+
+	"repro/internal/aa"
+	"repro/internal/ir"
+)
+
+// earlyCSE performs block-local common-subexpression elimination and
+// redundant-load elimination (the GVN analog LLVM credits in the paper's
+// perlbench statistics). Identical pure instructions are unified —
+// crucially this makes a CANT_ALIAS annotation's address computations the
+// very same IR values as the real accesses, so unseq-aa facts apply to
+// both. Loads are reused when no intervening instruction may write the
+// location; stores forward their value to subsequent loads.
+func earlyCSE(f *ir.Func, mgr *aa.Manager) int {
+	removed := 0
+	mod := moduleOf(f)
+	for _, b := range f.Blocks {
+		avail := map[string]*ir.Instr{}   // pure value numbering
+		loads := map[ir.Value]*ir.Instr{} // ptr -> load instr providing value
+		stored := map[ir.Value]ir.Value{} // ptr -> last stored value
+		seenFacts := map[[2]ir.Value]bool{}
+
+		invalidate := func(writePtr ir.Value, size int) {
+			for ptr := range loads {
+				if writePtr == nil || mgr.Alias(aa.Location{Ptr: ptr, Size: 8},
+					aa.Location{Ptr: writePtr, Size: size}) != aa.NoAlias {
+					delete(loads, ptr)
+				}
+			}
+			for ptr := range stored {
+				if writePtr == nil || mgr.Alias(aa.Location{Ptr: ptr, Size: 8},
+					aa.Location{Ptr: writePtr, Size: size}) != aa.NoAlias {
+					delete(stored, ptr)
+				}
+			}
+		}
+
+		for i := 0; i < len(b.Instrs); i++ {
+			in := b.Instrs[i]
+			switch {
+			case isPureValueOp(in):
+				key := valueKey(in)
+				if prev, ok := avail[key]; ok {
+					replaceUses(f, in, prev)
+					removeAt(b, i)
+					i--
+					removed++
+					continue
+				}
+				avail[key] = in
+
+			case in.Op == ir.OpLoad && !in.Volatile:
+				ptr := in.Args[0]
+				if v, ok := stored[ptr]; ok && v.Class() == in.Cls {
+					// Store-to-load forwarding.
+					replaceUses(f, in, v)
+					removeAt(b, i)
+					i--
+					removed++
+					continue
+				}
+				if prev, ok := loads[ptr]; ok && prev.Cls == in.Cls {
+					replaceUses(f, in, prev)
+					removeAt(b, i)
+					i--
+					removed++
+					continue
+				}
+				loads[ptr] = in
+
+			case in.Op == ir.OpStore && !in.Volatile:
+				ptr := in.Args[0]
+				invalidate(ptr, accessSize(in))
+				stored[ptr] = in.Args[1]
+				loads[ptr] = nil
+				delete(loads, ptr)
+
+			case in.Op == ir.OpVecStore || in.Op == ir.OpMemset || in.Op == ir.OpMemcpy:
+				ptr, size := memLoc(in)
+				invalidate(ptr, size)
+
+			case in.Op == ir.OpCall:
+				reads, writes := callEffects(mod, in)
+				_ = reads
+				if writes {
+					invalidate(nil, 0)
+				}
+
+			case in.Op == ir.OpMustNotAlias:
+				// Deduplicate identical facts (annotation macros create
+				// many redundant copies).
+				a, c := in.Args[0], in.Args[1]
+				key := [2]ir.Value{a, c}
+				if a2, c2 := c, a; lessValue(a2, a) {
+					key = [2]ir.Value{a2, c2}
+				}
+				if seenFacts[key] {
+					removeAt(b, i)
+					i--
+					removed++
+					continue
+				}
+				seenFacts[key] = true
+
+			case in.Op == ir.OpUBCheck:
+				// No memory effects.
+			}
+		}
+	}
+	return removed
+}
+
+// valueKey builds a structural hash key for pure instructions.
+func valueKey(in *ir.Instr) string {
+	key := fmt.Sprintf("%d|%d|%d|%d|%d|%d|%t", in.Op, in.Cls, in.Scale, in.Off, in.Pred, in.VecOp, in.Unsigned)
+	for _, a := range in.Args {
+		key += "|" + argKey(a)
+	}
+	return key
+}
+
+// lessValue is an arbitrary-but-stable order on values for fact
+// normalization.
+func lessValue(a, b ir.Value) bool { return argKey(a) < argKey(b) }
+
+func argKey(a ir.Value) string {
+	switch x := a.(type) {
+	case *ir.Const:
+		if x.Cls.IsFloat() {
+			return fmt.Sprintf("cf%g", x.F)
+		}
+		return fmt.Sprintf("ci%d", x.I)
+	case *ir.Global:
+		return "g" + x.Name
+	case *ir.Param:
+		return fmt.Sprintf("p%d", x.Idx)
+	case *ir.FuncRef:
+		return "f" + x.Name
+	case *ir.Instr:
+		return fmt.Sprintf("v%d", x.ID)
+	}
+	return "?"
+}
+
+// moduleOf is a helper: functions do not link back to the module, so
+// passes that need callee summaries thread it via a package-level lookup
+// set by RunModule. To keep functions independent for tests, fall back to
+// a nil module (conservative effects).
+var currentModule *ir.Module
+
+func moduleOf(*ir.Func) *ir.Module { return currentModule }
+
+// instCombine folds algebraic identities and constant expressions; the
+// counter maps to the paper's "nodes combined" SelectionDAG statistic.
+// It also removes no-op stores (store p, (load p) with no intervening
+// write) — the residue the CANT_ALIAS macro's self-assignments leave
+// behind, regardless of any aliasing knowledge.
+func instCombine(f *ir.Func) int {
+	combined := 0
+	for _, b := range f.Blocks {
+		for i := 0; i < len(b.Instrs); i++ {
+			in := b.Instrs[i]
+			if v := simplify(in); v != nil {
+				replaceUses(f, in, v)
+				removeAt(b, i)
+				i--
+				combined++
+			}
+		}
+		combined += removeNoopStores(b)
+	}
+	return combined
+}
+
+// removeNoopStores deletes `store p, v` where v = load p happened earlier
+// in the block with no possible write in between (always sound: the
+// memory state cannot have changed).
+func removeNoopStores(b *ir.Block) int {
+	removed := 0
+	for i := 0; i < len(b.Instrs); i++ {
+		st := b.Instrs[i]
+		if st.Op != ir.OpStore || st.Volatile {
+			continue
+		}
+		ld, ok := st.Args[1].(*ir.Instr)
+		if !ok || ld.Op != ir.OpLoad || ld.Args[0] != st.Args[0] || ld.Volatile {
+			continue
+		}
+		// Find the load's position and scan the gap for writes.
+		j := -1
+		for k := 0; k < i; k++ {
+			if b.Instrs[k] == ld {
+				j = k
+				break
+			}
+		}
+		if j < 0 {
+			continue
+		}
+		clean := true
+		for k := j + 1; k < i; k++ {
+			if b.Instrs[k].IsMemWrite() {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			removeAt(b, i)
+			i--
+			removed++
+		}
+	}
+	return removed
+}
+
+// simplify returns a replacement value for in, or nil.
+func simplify(in *ir.Instr) ir.Value {
+	c := func(n int) (*ir.Const, bool) {
+		if n < len(in.Args) {
+			k, ok := in.Args[n].(*ir.Const)
+			return k, ok
+		}
+		return nil, false
+	}
+	k0, ok0 := c(0)
+	k1, ok1 := c(1)
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr:
+		if ok0 && ok1 && !in.Cls.IsFloat() {
+			return ir.ConstInt(in.Cls, foldInt(in.Op, k0.I, k1.I, in.Cls, in.Unsigned))
+		}
+		if ok1 && !k1.Cls.IsFloat() {
+			switch {
+			case k1.I == 0 && (in.Op == ir.OpAdd || in.Op == ir.OpSub ||
+				in.Op == ir.OpOr || in.Op == ir.OpXor || in.Op == ir.OpShl || in.Op == ir.OpShr):
+				return in.Args[0]
+			case k1.I == 1 && in.Op == ir.OpMul:
+				return in.Args[0]
+			case k1.I == 0 && (in.Op == ir.OpMul || in.Op == ir.OpAnd):
+				return ir.ConstInt(in.Cls, 0)
+			}
+		}
+		if ok0 && !k0.Cls.IsFloat() {
+			switch {
+			case k0.I == 0 && (in.Op == ir.OpAdd || in.Op == ir.OpOr || in.Op == ir.OpXor):
+				return in.Args[1]
+			case k0.I == 1 && in.Op == ir.OpMul:
+				return in.Args[1]
+			case k0.I == 0 && (in.Op == ir.OpMul || in.Op == ir.OpAnd):
+				return ir.ConstInt(in.Cls, 0)
+			}
+		}
+	case ir.OpDiv:
+		if ok1 && !k1.Cls.IsFloat() && k1.I == 1 {
+			return in.Args[0]
+		}
+	case ir.OpNeg:
+		if ok0 {
+			if k0.Cls.IsFloat() {
+				return ir.ConstFloat(in.Cls, -k0.F)
+			}
+			return ir.ConstInt(in.Cls, -k0.I)
+		}
+	case ir.OpNot:
+		if ok0 && !k0.Cls.IsFloat() {
+			return ir.ConstInt(in.Cls, ^k0.I)
+		}
+	case ir.OpCmp:
+		if ok0 && ok1 && !k0.Cls.IsFloat() && !k1.Cls.IsFloat() {
+			var r bool
+			a, b2 := k0.I, k1.I
+			switch in.Pred {
+			case ir.Eq:
+				r = a == b2
+			case ir.Ne:
+				r = a != b2
+			case ir.Lt:
+				r = a < b2
+			case ir.Le:
+				r = a <= b2
+			case ir.Gt:
+				r = a > b2
+			case ir.Ge:
+				r = a >= b2
+			}
+			if r {
+				return ir.ConstInt(ir.I32, 1)
+			}
+			return ir.ConstInt(ir.I32, 0)
+		}
+	case ir.OpConvert:
+		if ok0 {
+			if in.Cls.IsFloat() {
+				if k0.Cls.IsFloat() {
+					return ir.ConstFloat(in.Cls, k0.F)
+				}
+				return ir.ConstFloat(in.Cls, float64(k0.I))
+			}
+			if k0.Cls.IsFloat() {
+				return ir.ConstInt(in.Cls, int64(k0.F))
+			}
+			return ir.ConstInt(in.Cls, k0.I)
+		}
+		// convert to the same class is a copy.
+		if in.Args[0].Class() == in.Cls {
+			return in.Args[0]
+		}
+	case ir.OpSelect:
+		if ok0 && !k0.Cls.IsFloat() {
+			if k0.I != 0 {
+				return in.Args[1]
+			}
+			return in.Args[2]
+		}
+	case ir.OpGEP:
+		// gep(base, 0)*s + 0 is the base itself.
+		if ok1 && !k1.Cls.IsFloat() && k1.I == 0 && in.Off == 0 {
+			return in.Args[0]
+		}
+	}
+	return nil
+}
+
+func foldInt(op ir.Op, a, b int64, cls ir.Class, unsigned bool) int64 {
+	var r int64
+	switch op {
+	case ir.OpAdd:
+		r = a + b
+	case ir.OpSub:
+		r = a - b
+	case ir.OpMul:
+		r = a * b
+	case ir.OpAnd:
+		r = a & b
+	case ir.OpOr:
+		r = a | b
+	case ir.OpXor:
+		r = a ^ b
+	case ir.OpShl:
+		r = a << (uint64(b) & 63)
+	case ir.OpShr:
+		if unsigned {
+			r = int64(uint64(a) >> (uint64(b) & 63))
+		} else {
+			r = a >> (uint64(b) & 63)
+		}
+	}
+	return r
+}

@@ -1,0 +1,89 @@
+package passes
+
+import (
+	"repro/internal/aa"
+	"repro/internal/ir"
+)
+
+// pendingStore tracks a store not yet proven observable during the
+// backward DSE walk.
+type pendingStore struct {
+	idx  int
+	ptr  ir.Value
+	size int
+}
+
+// dse removes stores whose value is overwritten before any possible read
+// — block-local, AA-driven. This is the pass the paper credits for the
+// perlbench PL_savestack_ix and x264 getU32 wins: the side effect on the
+// index is unsequenced with the surrounding accesses, so unseq-aa lets
+// the intermediate stores die.
+func dse(f *ir.Func, mgr *aa.Manager) int {
+	deleted := 0
+	mod := moduleOf(f)
+	for _, b := range f.Blocks {
+		var pending []pendingStore
+		kill := map[int]bool{}
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			switch in.Op {
+			case ir.OpStore:
+				if in.Volatile {
+					pending = nil
+					continue
+				}
+				ptr, size := in.Args[0], accessSize(in)
+				// If a later (already-seen) store must-alias this one and
+				// nothing between may read it, this store is dead.
+				for _, p := range pending {
+					if p.size == size &&
+						mgr.Alias(aa.Location{Ptr: ptr, Size: size},
+							aa.Location{Ptr: p.ptr, Size: p.size}) == aa.MustAlias {
+						kill[i] = true
+						break
+					}
+				}
+				if !kill[i] {
+					pending = append(pending, pendingStore{idx: i, ptr: ptr, size: size})
+				}
+			case ir.OpLoad, ir.OpVecLoad, ir.OpMemcpy:
+				ptr, size := memLoc(in)
+				pending = dropObserved(pending, mgr, ptr, size)
+			case ir.OpVecStore, ir.OpMemset:
+				// Conservative: vector stores/memsets neither kill scalar
+				// stores here nor read memory.
+			case ir.OpCall:
+				reads, writes := callEffects(mod, in)
+				if reads || writes {
+					pending = nil
+				}
+			case ir.OpUBCheck, ir.OpMustNotAlias:
+				// Use only the pointer values, not memory contents.
+			}
+		}
+		if len(kill) > 0 {
+			var out []*ir.Instr
+			for i, in := range b.Instrs {
+				if kill[i] {
+					deleted++
+					continue
+				}
+				out = append(out, in)
+			}
+			b.Instrs = out
+		}
+	}
+	return deleted
+}
+
+// dropObserved removes pending stores that the given read may observe.
+func dropObserved(pending []pendingStore, mgr *aa.Manager, readPtr ir.Value, readSize int) []pendingStore {
+	out := pending[:0]
+	for _, p := range pending {
+		if mgr.Alias(aa.Location{Ptr: p.ptr, Size: p.size},
+			aa.Location{Ptr: readPtr, Size: readSize}) == aa.NoAlias {
+			out = append(out, p)
+		}
+	}
+	return out
+}

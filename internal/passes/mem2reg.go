@@ -1,0 +1,112 @@
+package passes
+
+import (
+	"repro/internal/ir"
+)
+
+// mem2reg promotes the simplest alloca pattern to a direct SSA value:
+// a scalar slot with exactly one store, located in the entry block before
+// every load. This covers parameter spills (store %param at entry) and
+// once-initialized locals — and, importantly for unseq-aa, it makes every
+// use of such a pointer the *same IR value*, so a mustnotalias fact
+// recorded at an annotation site applies verbatim to the loop accesses.
+//
+// Allocas referenced by ubcheck instructions are left alone (the
+// sanitizer needs real addresses); mustnotalias intrinsics over a
+// promoted slot become meaningless and are deleted.
+func mem2reg(f *ir.Func) int {
+	promoted := 0
+	entry := f.Entry()
+	if entry == nil {
+		return 0
+	}
+	for {
+		uses := buildUses(f)
+		changed := false
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpAlloca || in.AllocSz > 8 {
+					continue
+				}
+				var store *ir.Instr
+				var loads []*ir.Instr
+				var deadIntrinsics []*ir.Instr
+				ok := true
+				for _, u := range uses[in] {
+					switch {
+					case u.Op == ir.OpStore && u.Args[0] == in && u.Args[1] != in:
+						if store != nil {
+							ok = false
+						}
+						store = u
+					case u.Op == ir.OpLoad && u.Args[0] == in:
+						loads = append(loads, u)
+					case u.Op == ir.OpMustNotAlias:
+						deadIntrinsics = append(deadIntrinsics, u)
+					default:
+						ok = false // address escapes / ubcheck / gep
+					}
+					if !ok {
+						break
+					}
+				}
+				if !ok || store == nil || store.Block() != entry {
+					continue
+				}
+				// Every entry-block load must come after the store.
+				storeIdx := indexIn(entry, store)
+				for _, ld := range loads {
+					if ld.Block() == entry && indexIn(entry, ld) < storeIdx {
+						ok = false
+						break
+					}
+					if ld.Cls != store.Args[1].Class() {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				v := store.Args[1]
+				for _, ld := range loads {
+					replaceUses(f, ld, v)
+				}
+				del := map[*ir.Instr]bool{in: true, store: true}
+				for _, ld := range loads {
+					del[ld] = true
+				}
+				for _, mi := range deadIntrinsics {
+					del[mi] = true
+				}
+				for _, bb := range f.Blocks {
+					var out []*ir.Instr
+					for _, x := range bb.Instrs {
+						if !del[x] {
+							out = append(out, x)
+						}
+					}
+					bb.Instrs = out
+				}
+				promoted++
+				changed = true
+			}
+			if changed {
+				break
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return promoted
+}
+
+func indexIn(b *ir.Block, target *ir.Instr) int {
+	for i, in := range b.Instrs {
+		if in == target {
+			return i
+		}
+	}
+	return -1
+}

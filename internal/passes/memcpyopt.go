@@ -1,0 +1,129 @@
+package passes
+
+import (
+	"repro/internal/aa"
+	"repro/internal/ir"
+)
+
+// memcpyOpt merges runs of adjacent constant stores off the same base
+// pointer into a single memset — the transform behind the paper's gcc
+// cfglayout.c case study (bb->il.rtl->header = bb->il.rtl->footer = NULL
+// becomes one 16-byte memset). A run must be contiguous in the block with
+// no intervening instruction that may read or write the covered range.
+func memcpyOpt(f *ir.Func, mgr *aa.Manager) int {
+	formed := 0
+	mod := moduleOf(f)
+	for _, b := range f.Blocks {
+		for i := 0; i < len(b.Instrs); i++ {
+			run := collectStoreRun(mod, mgr, b, i)
+			if len(run) < 2 {
+				continue
+			}
+			first := b.Instrs[run[0]]
+			base, lo, size, val := storeKey(first)
+			hi := lo + size
+			for _, ri := range run[1:] {
+				st := b.Instrs[ri]
+				_, off, sz, _ := storeKey(st)
+				if off < lo {
+					lo = off
+				}
+				if off+sz > hi {
+					hi = off + sz
+				}
+			}
+			// Replace the first store with a memset; delete the rest.
+			gep := &ir.Instr{Op: ir.OpGEP, Cls: ir.Ptr,
+				Args: []ir.Value{base, ir.ConstInt(ir.I64, 0)}, Scale: 1, Off: lo}
+			ms := &ir.Instr{Op: ir.OpMemset, Cls: ir.Void, Scale: size,
+				Args: []ir.Value{gep, val, ir.ConstInt(ir.I64, int64(hi-lo))}}
+			b.InsertBefore(run[0], gep)
+			b.InsertBefore(run[0]+1, ms)
+			// Indices shifted by 2 after the inserts.
+			kill := map[int]bool{}
+			for _, ri := range run {
+				kill[ri+2] = true
+			}
+			var out []*ir.Instr
+			for n, in := range b.Instrs {
+				if kill[n] {
+					continue
+				}
+				out = append(out, in)
+			}
+			b.Instrs = out
+			formed++
+		}
+	}
+	return formed
+}
+
+// storeKey decomposes a constant store to (base, constOffset, size, val);
+// ok==size>0.
+func storeKey(in *ir.Instr) (base ir.Value, off, size int, val ir.Value) {
+	if in.Op != ir.OpStore || in.Volatile {
+		return nil, 0, 0, nil
+	}
+	c, ok := in.Args[1].(*ir.Const)
+	if !ok {
+		return nil, 0, 0, nil
+	}
+	size = in.Args[1].Class().Size()
+	ptr := in.Args[0]
+	off = 0
+	for {
+		g, ok := ptr.(*ir.Instr)
+		if !ok || g.Op != ir.OpGEP {
+			break
+		}
+		idx, ok := g.Args[1].(*ir.Const)
+		if !ok {
+			return nil, 0, 0, nil
+		}
+		off += g.Off + int(idx.I)*g.Scale
+		ptr = g.Args[0]
+	}
+	return ptr, off, size, c
+}
+
+// collectStoreRun finds maximal runs of same-base same-constant adjacent
+// stores starting at index i, allowing only pure value instructions in
+// between.
+func collectStoreRun(mod *ir.Module, mgr *aa.Manager, b *ir.Block, i int) []int {
+	first := b.Instrs[i]
+	base, off0, size, val := storeKey(first)
+	if base == nil || size == 0 {
+		return nil
+	}
+	covered := map[int]bool{off0: true}
+	run := []int{i}
+	c0 := val.(*ir.Const)
+	for j := i + 1; j < len(b.Instrs); j++ {
+		in := b.Instrs[j]
+		if isPureValueOp(in) || in.Op == ir.OpMustNotAlias {
+			continue
+		}
+		b2, off, sz, v2 := storeKey(in)
+		if b2 == nil || b2 != base || sz != size {
+			break
+		}
+		c2 := v2.(*ir.Const)
+		if c2.I != c0.I || c2.Cls.IsFloat() != c0.Cls.IsFloat() || c2.F != c0.F {
+			break
+		}
+		// Must extend the covered range contiguously on either side.
+		if covered[off-size] || covered[off+size] {
+			if covered[off] {
+				break // duplicate store to the same slot: leave to DSE
+			}
+			covered[off] = true
+			run = append(run, j)
+			continue
+		}
+		break
+	}
+	if len(run) < 2 {
+		return nil
+	}
+	return run
+}

@@ -1,0 +1,535 @@
+// Package sema performs semantic analysis on the C-subset AST: name
+// resolution, type checking, lvalue classification, and function purity
+// inference (LLVM's readnone), which the OOE analysis' impure-fun-call
+// override rule (paper §3, Theorem 3.3) depends on.
+package sema
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/ctypes"
+	"repro/internal/token"
+)
+
+// Error is a semantic error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// PureBuiltins are extern functions we treat as readnone without a body —
+// the libm functions used by the paper's workloads.
+var PureBuiltins = map[string]bool{
+	"fabs": true, "sqrt": true, "sin": true, "cos": true, "exp": true,
+	"log": true, "pow": true, "floor": true, "ceil": true, "fmod": true,
+	"abs": true, "labs": true, "fmax": true, "fmin": true,
+}
+
+// Checker holds the analysis state for one translation unit.
+type Checker struct {
+	tu     *ast.TranslationUnit
+	errs   []*Error
+	scopes []map[string]*ast.Symbol
+	funcs  map[string]*ast.FuncDecl
+
+	curFunc *ast.FuncDecl
+
+	nextGlobal int
+	nextLocal  int
+
+	// callees records the call graph for purity analysis.
+	callees map[*ast.FuncDecl]map[string]bool
+	// accessesMemory marks functions that directly read/write non-local
+	// memory (globals, pointer dereferences).
+	accessesMemory map[*ast.FuncDecl]bool
+}
+
+// Check runs semantic analysis; it returns the (possibly empty) error
+// list. The AST is annotated in place: Expr types, Ident symbols, Member
+// fields, FuncDecl purity.
+func Check(tu *ast.TranslationUnit) []*Error {
+	c := &Checker{
+		tu:             tu,
+		funcs:          make(map[string]*ast.FuncDecl),
+		callees:        make(map[*ast.FuncDecl]map[string]bool),
+		accessesMemory: make(map[*ast.FuncDecl]bool),
+	}
+	c.push()
+	// Declare all functions first (C requires declaration-before-use but
+	// our workloads occasionally forward-reference; this is harmless).
+	for _, f := range tu.Funcs {
+		sym := &ast.Symbol{Name: f.Name, Type: f.Type, Global: true, Func: f, Storage: f.Storage}
+		f.Sym = sym
+		c.declare(f.Name, sym, f.NamePos)
+		c.funcs[f.Name] = f
+	}
+	for _, g := range tu.Globals {
+		sym := &ast.Symbol{Name: g.Name, Type: g.Type, Global: true, Storage: g.Storage, Index: c.nextGlobal}
+		c.nextGlobal++
+		g.Sym = sym
+		c.declare(g.Name, sym, g.NamePos)
+		if g.Init != nil {
+			c.checkExpr(g.Init)
+		}
+	}
+	for _, f := range tu.Funcs {
+		if f.Body == nil {
+			continue
+		}
+		c.checkFunc(f)
+	}
+	c.pop()
+	c.computePurity()
+	return c.errs
+}
+
+func (c *Checker) errorf(pos token.Pos, format string, args ...any) {
+	if len(c.errs) < 50 {
+		c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+func (c *Checker) push() { c.scopes = append(c.scopes, make(map[string]*ast.Symbol)) }
+func (c *Checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *Checker) declare(name string, sym *ast.Symbol, pos token.Pos) {
+	top := c.scopes[len(c.scopes)-1]
+	if name == "" {
+		return
+	}
+	if _, dup := top[name]; dup && len(c.scopes) > 1 {
+		c.errorf(pos, "redeclaration of %q", name)
+	}
+	top[name] = sym
+}
+
+func (c *Checker) lookup(name string) *ast.Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+func (c *Checker) checkFunc(f *ast.FuncDecl) {
+	c.curFunc = f
+	c.nextLocal = 0
+	c.callees[f] = make(map[string]bool)
+	c.push()
+	for _, p := range f.Params {
+		sym := &ast.Symbol{Name: p.Name, Type: p.Type, Param: true, Index: c.nextLocal}
+		c.nextLocal++
+		p.Sym = sym
+		c.declare(p.Name, sym, p.NamePos)
+	}
+	c.checkStmt(f.Body)
+	c.pop()
+	c.curFunc = nil
+}
+
+func (c *Checker) checkStmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.Block:
+		c.push()
+		for _, sub := range x.Stmts {
+			c.checkStmt(sub)
+		}
+		c.pop()
+	case *ast.DeclStmt:
+		for _, d := range x.Decls {
+			if d.Init != nil {
+				c.checkExpr(d.Init)
+			}
+			sym := &ast.Symbol{Name: d.Name, Type: d.Type, Index: c.nextLocal, Storage: d.Storage}
+			c.nextLocal++
+			d.Sym = sym
+			c.declare(d.Name, sym, d.NamePos)
+		}
+	case *ast.ExprStmt:
+		c.checkExpr(x.X)
+	case *ast.If:
+		c.checkExpr(x.Cond)
+		c.checkStmt(x.Then)
+		if x.Else != nil {
+			c.checkStmt(x.Else)
+		}
+	case *ast.While:
+		c.checkExpr(x.Cond)
+		c.checkStmt(x.Body)
+	case *ast.DoWhile:
+		c.checkStmt(x.Body)
+		c.checkExpr(x.Cond)
+	case *ast.For:
+		c.push()
+		if x.Init != nil {
+			c.checkStmt(x.Init)
+		}
+		if x.Cond != nil {
+			c.checkExpr(x.Cond)
+		}
+		if x.Post != nil {
+			c.checkExpr(x.Post)
+		}
+		c.checkStmt(x.Body)
+		c.pop()
+	case *ast.Return:
+		if x.X != nil {
+			c.checkExpr(x.X)
+		}
+	case *ast.Switch:
+		c.checkExpr(x.Tag)
+		c.checkStmt(x.Body)
+	case *ast.Case:
+		if x.Value != nil {
+			c.checkExpr(x.Value)
+		}
+	case *ast.Break, *ast.Continue:
+	}
+}
+
+// checkExpr types e and returns its type (never nil; IntType on error).
+func (c *Checker) checkExpr(e ast.Expr) *ctypes.Type {
+	t := c.typeOf(e)
+	if t == nil {
+		t = ctypes.IntType
+	}
+	e.SetType(t)
+	return t
+}
+
+func (c *Checker) typeOf(e ast.Expr) *ctypes.Type {
+	switch x := e.(type) {
+	case *ast.Ident:
+		sym := c.lookup(x.Name)
+		if sym == nil {
+			c.errorf(x.Pos(), "undeclared identifier %q", x.Name)
+			// Install an implicit int symbol to avoid cascades.
+			sym = &ast.Symbol{Name: x.Name, Type: ctypes.IntType}
+			c.scopes[0][x.Name] = sym
+		}
+		x.Sym = sym
+		if !sym.Global && !sym.Param && c.curFunc != nil {
+			// locals already counted
+		}
+		if sym.Global && c.curFunc != nil && sym.Func == nil {
+			c.accessesMemory[c.curFunc] = true
+		}
+		return sym.Type
+	case *ast.IntLit:
+		return ctypes.IntType
+	case *ast.FloatLit:
+		return ctypes.DoubleType
+	case *ast.CharLit:
+		return ctypes.IntType
+	case *ast.StringLit:
+		return ctypes.PointerTo(ctypes.CharType)
+	case *ast.Paren:
+		return c.checkExpr(x.X)
+	case *ast.Unary:
+		xt := c.checkExpr(x.X)
+		switch x.Op {
+		case token.Minus, token.Tilde:
+			return ctypes.Promote(xt)
+		case token.Not:
+			return ctypes.IntType
+		case token.Amp:
+			if !IsLvalue(x.X) && xt.Kind != ctypes.Func {
+				c.errorf(x.Pos(), "cannot take address of rvalue")
+			}
+			return ctypes.PointerTo(xt)
+		case token.Star:
+			dt := xt.Decay()
+			if dt.Kind != ctypes.Ptr {
+				c.errorf(x.Pos(), "cannot dereference non-pointer type %s", xt)
+				return ctypes.IntType
+			}
+			c.markDeref()
+			return dt.Elem
+		case token.Inc, token.Dec:
+			c.requireLvalue(x.X, x.Pos())
+			c.markWriteTarget(x.X)
+			return xt
+		}
+	case *ast.Postfix:
+		xt := c.checkExpr(x.X)
+		c.requireLvalue(x.X, x.Pos())
+		c.markWriteTarget(x.X)
+		return xt
+	case *ast.Binary:
+		lt := c.checkExpr(x.L)
+		rt := c.checkExpr(x.R)
+		switch x.Op {
+		case token.AndAnd, token.OrOr, token.EqEq, token.NotEq,
+			token.Lt, token.Gt, token.Le, token.Ge:
+			return ctypes.IntType
+		case token.Plus, token.Minus:
+			ldt, rdt := lt.Decay(), rt.Decay()
+			if ldt.Kind == ctypes.Ptr && rdt.IsInteger() {
+				return ldt
+			}
+			if rdt.Kind == ctypes.Ptr && ldt.IsInteger() && x.Op == token.Plus {
+				return rdt
+			}
+			if ldt.Kind == ctypes.Ptr && rdt.Kind == ctypes.Ptr && x.Op == token.Minus {
+				return ctypes.LongType
+			}
+			if !ldt.IsArithmetic() || !rdt.IsArithmetic() {
+				c.errorf(x.Pos(), "invalid operands to %s (%s, %s)", x.Op, lt, rt)
+				return ctypes.IntType
+			}
+			return ctypes.UsualArithmetic(ldt, rdt)
+		case token.Shl, token.Shr:
+			return ctypes.Promote(lt.Decay())
+		default: // * / % ^ | &
+			ldt, rdt := lt.Decay(), rt.Decay()
+			if !ldt.IsArithmetic() || !rdt.IsArithmetic() {
+				c.errorf(x.Pos(), "invalid operands to %s (%s, %s)", x.Op, lt, rt)
+				return ctypes.IntType
+			}
+			return ctypes.UsualArithmetic(ldt, rdt)
+		}
+	case *ast.Assign:
+		lt := c.checkExpr(x.L)
+		c.checkExpr(x.R)
+		c.requireLvalue(x.L, x.Pos())
+		c.markWriteTarget(x.L)
+		return lt
+	case *ast.Comma:
+		c.checkExpr(x.L)
+		return c.checkExpr(x.R)
+	case *ast.Cond:
+		c.checkExpr(x.C)
+		tt := c.checkExpr(x.T)
+		ft := c.checkExpr(x.F)
+		if tt.IsArithmetic() && ft.IsArithmetic() {
+			return ctypes.UsualArithmetic(tt, ft)
+		}
+		return tt.Decay()
+	case *ast.Index:
+		xt := c.checkExpr(x.X).Decay()
+		c.checkExpr(x.I)
+		if xt.Kind != ctypes.Ptr {
+			// Support i[a] for completeness.
+			it := x.I.Type().Decay()
+			if it.Kind == ctypes.Ptr {
+				c.markDeref()
+				return it.Elem
+			}
+			c.errorf(x.Pos(), "subscripted value is not an array or pointer (%s)", xt)
+			return ctypes.IntType
+		}
+		c.markDeref()
+		return xt.Elem
+	case *ast.Member:
+		xt := c.checkExpr(x.X)
+		base := xt
+		if x.Arrow {
+			base = xt.Decay()
+			if base.Kind != ctypes.Ptr {
+				c.errorf(x.Pos(), "-> on non-pointer type %s", xt)
+				return ctypes.IntType
+			}
+			base = base.Elem
+			c.markDeref()
+		}
+		if !base.IsAggregate() {
+			c.errorf(x.Pos(), "member access on non-aggregate type %s", base)
+			return ctypes.IntType
+		}
+		f, ok := base.FieldByName(x.Name)
+		if !ok {
+			c.errorf(x.Pos(), "no field %q in %s", x.Name, base)
+			return ctypes.IntType
+		}
+		x.Field = f
+		return f.Type
+	case *ast.Call:
+		ft := c.checkExpr(x.Fun)
+		for _, a := range x.Args {
+			c.checkExpr(a)
+		}
+		dft := ft
+		if dft.Kind == ctypes.Ptr {
+			dft = dft.Elem
+		}
+		if dft.Kind != ctypes.Func {
+			c.errorf(x.Pos(), "called object is not a function (%s)", ft)
+			return ctypes.IntType
+		}
+		if c.curFunc != nil {
+			if id, ok := x.Fun.(*ast.Ident); ok {
+				c.callees[c.curFunc][id.Name] = true
+			} else {
+				// Indirect call: unknown callee, assume memory access.
+				c.accessesMemory[c.curFunc] = true
+			}
+		}
+		return dft.Ret
+	case *ast.Cast:
+		c.checkExpr(x.X)
+		return x.To
+	case *ast.SizeofExpr:
+		if x.X != nil {
+			c.checkExpr(x.X)
+		}
+		return ctypes.ULongType
+	case *ast.InitList:
+		for _, el := range x.Elems {
+			c.checkExpr(el)
+		}
+		return ctypes.IntType
+	}
+	return ctypes.IntType
+}
+
+func (c *Checker) requireLvalue(e ast.Expr, pos token.Pos) {
+	if !IsLvalue(e) {
+		c.errorf(pos, "expression is not assignable: %s", ast.ExprString(e))
+	}
+}
+
+// markDeref marks the current function as touching non-local memory
+// (it dereferences a pointer).
+func (c *Checker) markDeref() {
+	if c.curFunc != nil {
+		c.accessesMemory[c.curFunc] = true
+	}
+}
+
+// markWriteTarget marks memory-writing assignments: a write to anything
+// but a plain local scalar counts as a global memory effect.
+func (c *Checker) markWriteTarget(e ast.Expr) {
+	if c.curFunc == nil {
+		return
+	}
+	switch x := Strip(e).(type) {
+	case *ast.Ident:
+		if x.Sym != nil && x.Sym.Global {
+			c.accessesMemory[c.curFunc] = true
+		}
+	default:
+		c.accessesMemory[c.curFunc] = true
+	}
+}
+
+// computePurity computes FuncDecl.Pure as a greatest fixed point: a
+// function is pure iff it does not touch non-local memory and all callees
+// are pure (or whitelisted builtins).
+func (c *Checker) computePurity() {
+	// Start optimistic for defined functions; iterate to fixpoint.
+	pure := make(map[string]bool)
+	for name, f := range c.funcs {
+		pure[name] = f.Body != nil && !c.accessesMemory[f]
+	}
+	changed := true
+	for changed {
+		changed = false
+		for name, f := range c.funcs {
+			if !pure[name] || f.Body == nil {
+				continue
+			}
+			for callee := range c.callees[f] {
+				if PureBuiltins[callee] {
+					continue
+				}
+				if !pure[callee] {
+					pure[name] = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for name, f := range c.funcs {
+		f.Pure = pure[name]
+		f.PureKnown = true
+	}
+}
+
+// Strip removes Paren wrappers.
+func Strip(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.Paren)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// IsLvalue reports whether e denotes an object (C lvalue). Function
+// designators are not lvalues for our purposes.
+func IsLvalue(e ast.Expr) bool {
+	switch x := Strip(e).(type) {
+	case *ast.Ident:
+		return x.Sym == nil || x.Sym.Func == nil
+	case *ast.Unary:
+		return x.Op == token.Star
+	case *ast.Index:
+		return true
+	case *ast.Member:
+		if x.Arrow {
+			return true
+		}
+		return IsLvalue(x.X)
+	case *ast.StringLit:
+		return true // array lvalue
+	}
+	return false
+}
+
+// IsNonArrayLvalue implements the paper's ∇ filter: lvalues whose type is
+// not an array (array lvalues decay without a memory reference).
+func IsNonArrayLvalue(e ast.Expr) bool {
+	if !IsLvalue(e) {
+		return false
+	}
+	t := Strip(e).(ast.Expr).Type()
+	if t == nil {
+		return true // pre-sema: be permissive (tests construct small ASTs)
+	}
+	return t.Kind != ctypes.Array
+}
+
+// IsBitfieldLvalue reports whether e is a bitfield member access —
+// predicates with two bitfield sides are dropped per paper §4.2.3.
+func IsBitfieldLvalue(e ast.Expr) bool {
+	m, ok := Strip(e).(*ast.Member)
+	return ok && m.Field.BitField
+}
+
+// CalleeName returns the called function's name for direct calls, "" for
+// indirect calls (through function pointers).
+func CalleeName(call *ast.Call) string {
+	id, ok := Strip(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if id.Sym != nil && id.Sym.Func == nil {
+		if t := id.Sym.Type; t != nil && t.Kind != ctypes.Func {
+			return "" // call through a function-pointer variable
+		}
+	}
+	return id.Name
+}
+
+// CallIsPure reports whether call is to a function known to be readnone:
+// a whitelisted builtin or a defined function the purity analysis proved
+// pure.
+func CallIsPure(call *ast.Call, funcs map[string]*ast.FuncDecl) bool {
+	name := CalleeName(call)
+	if name == "" {
+		return false
+	}
+	if PureBuiltins[name] {
+		return true
+	}
+	if f, ok := funcs[name]; ok && f.PureKnown {
+		return f.Pure
+	}
+	return false
+}

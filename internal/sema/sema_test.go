@@ -1,0 +1,288 @@
+package sema
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/ctypes"
+	"repro/internal/parser"
+)
+
+func check(t *testing.T, src string) *ast.TranslationUnit {
+	t.Helper()
+	tu, perrs := parser.ParseFile("test.c", src, nil)
+	for _, e := range perrs {
+		t.Fatalf("parse: %v", e)
+	}
+	for _, e := range Check(tu) {
+		t.Fatalf("sema: %v", e)
+	}
+	return tu
+}
+
+func checkErrs(t *testing.T, src string) []*Error {
+	t.Helper()
+	tu, perrs := parser.ParseFile("test.c", src, nil)
+	for _, e := range perrs {
+		t.Fatalf("parse: %v", e)
+	}
+	return Check(tu)
+}
+
+func TestResolveAndType(t *testing.T) {
+	tu := check(t, "int n; void f(double *a) { a[0] = n; }")
+	e := ast.FullExprs(tu.Funcs[0].Body)[0]
+	asn := e.(*ast.Assign)
+	if asn.L.Type().Kind != ctypes.Double {
+		t.Errorf("a[0] type: %v", asn.L.Type())
+	}
+	if asn.R.Type().Kind != ctypes.Int {
+		t.Errorf("n type: %v", asn.R.Type())
+	}
+	id := asn.R.(*ast.Ident)
+	if id.Sym == nil || !id.Sym.Global {
+		t.Errorf("n not resolved to global: %+v", id.Sym)
+	}
+}
+
+func TestUndeclared(t *testing.T) {
+	errs := checkErrs(t, "void f() { x = 1; }")
+	if len(errs) == 0 {
+		t.Error("expected undeclared identifier error")
+	}
+}
+
+func TestScopes(t *testing.T) {
+	tu := check(t, "int x; void f() { int x; x = 1; { int x; x = 2; } }")
+	var idents []*ast.Ident
+	for _, e := range ast.FullExprs(tu.Funcs[0].Body) {
+		ast.Walk(e, func(x ast.Expr) {
+			if id, ok := x.(*ast.Ident); ok {
+				idents = append(idents, id)
+			}
+		})
+	}
+	for _, id := range idents {
+		if id.Sym.Global {
+			t.Errorf("inner x should resolve to local, got global")
+		}
+	}
+	if idents[0].Sym == idents[1].Sym {
+		t.Errorf("shadowed locals should be distinct symbols")
+	}
+}
+
+func TestPointerArith(t *testing.T) {
+	tu := check(t, "void f(int *p, int i) { p + i; p - p; }")
+	es := ast.FullExprs(tu.Funcs[0].Body)
+	if es[0].Type().Kind != ctypes.Ptr {
+		t.Errorf("p+i type: %v", es[0].Type())
+	}
+	if es[1].Type().Kind != ctypes.Long {
+		t.Errorf("p-p type: %v", es[1].Type())
+	}
+}
+
+func TestUsualArithmetic(t *testing.T) {
+	tu := check(t, "void f(int i, double d, unsigned u, long l) { i + d; i + u; i + l; }")
+	es := ast.FullExprs(tu.Funcs[0].Body)
+	if es[0].Type().Kind != ctypes.Double {
+		t.Errorf("i+d: %v", es[0].Type())
+	}
+	if es[1].Type().Kind != ctypes.UInt {
+		t.Errorf("i+u: %v", es[1].Type())
+	}
+	if es[2].Type().Kind != ctypes.Long {
+		t.Errorf("i+l: %v", es[2].Type())
+	}
+}
+
+func TestMemberResolution(t *testing.T) {
+	tu := check(t, `struct K { long x; double vals[8]; };
+void f(struct K *k) { k->x = 1; k->vals[0] = 2.0; }`)
+	es := ast.FullExprs(tu.Funcs[0].Body)
+	m := es[0].(*ast.Assign).L.(*ast.Member)
+	if m.Field.Name != "x" || m.Field.Type.Kind != ctypes.Long {
+		t.Errorf("field: %+v", m.Field)
+	}
+}
+
+func TestLvalueClassification(t *testing.T) {
+	tu := check(t, "int g; void f(int *p, int a[4], int x) { }")
+	f := tu.Funcs[0]
+	_ = f
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"x", true},
+		{"*p", true},
+		{"a[1]", true},
+		{"x + 1", false},
+		{"(x)", true},
+		{"g", true},
+	}
+	for _, c := range cases {
+		tu := check(t, "int g; void f(int *p, int a[4], int x) { "+c.src+"; }")
+		e := ast.FullExprs(tu.Funcs[0].Body)[0]
+		if got := IsLvalue(e); got != c.want {
+			t.Errorf("IsLvalue(%s) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestNonArrayLvalue(t *testing.T) {
+	tu := check(t, "void f(double a[4]) { a; a[0]; }")
+	es := ast.FullExprs(tu.Funcs[0].Body)
+	// A parameter declared as an array decays to a pointer: 'a' is a
+	// pointer lvalue (non-array).
+	if !IsNonArrayLvalue(es[0]) {
+		t.Errorf("param a should be a (pointer) non-array lvalue")
+	}
+	if !IsNonArrayLvalue(es[1]) {
+		t.Errorf("a[0] should be a non-array lvalue")
+	}
+	// A true array variable is an array lvalue: excluded by ∇.
+	tu2 := check(t, "double arr[4]; void f() { arr; arr[0]; }")
+	es2 := ast.FullExprs(tu2.Funcs[0].Body)
+	if IsNonArrayLvalue(es2[0]) {
+		t.Errorf("global array arr must be excluded by ∇")
+	}
+	if !IsNonArrayLvalue(es2[1]) {
+		t.Errorf("arr[0] is a non-array lvalue")
+	}
+}
+
+func TestPurityPureFunction(t *testing.T) {
+	tu := check(t, `int square(int x) { return x * x; }
+int twice(int x) { return square(x) + square(x); }`)
+	for _, f := range tu.Funcs {
+		if !f.Pure {
+			t.Errorf("%s should be pure", f.Name)
+		}
+	}
+}
+
+func TestPurityGlobalAccess(t *testing.T) {
+	tu := check(t, `int global;
+int foo() { return ++global; }
+int bar(int x) { return x + 1; }`)
+	byName := map[string]*ast.FuncDecl{}
+	for _, f := range tu.Funcs {
+		byName[f.Name] = f
+	}
+	if byName["foo"].Pure {
+		t.Error("foo touches a global: impure")
+	}
+	if !byName["bar"].Pure {
+		t.Error("bar is pure")
+	}
+}
+
+func TestPurityPointerDeref(t *testing.T) {
+	tu := check(t, "int load(int *p) { return *p; }")
+	if tu.Funcs[0].Pure {
+		t.Error("pointer dereference makes a function impure (reads memory)")
+	}
+}
+
+func TestPurityPropagatesThroughCalls(t *testing.T) {
+	tu := check(t, `int g;
+int touch() { return g; }
+int wraps(int x) { return touch() + x; }
+int clean(int x) { return x; }
+int wrapsclean(int x) { return clean(x); }`)
+	byName := map[string]*ast.FuncDecl{}
+	for _, f := range tu.Funcs {
+		byName[f.Name] = f
+	}
+	if byName["wraps"].Pure {
+		t.Error("wraps calls impure touch")
+	}
+	if !byName["wrapsclean"].Pure {
+		t.Error("wrapsclean only calls pure clean")
+	}
+}
+
+func TestPurityBuiltins(t *testing.T) {
+	tu := check(t, `double fabs(double);
+double norm(double x) { return fabs(x); }`)
+	for _, f := range tu.Funcs {
+		if f.Name == "norm" && !f.Pure {
+			t.Error("fabs is whitelisted readnone; norm should be pure")
+		}
+	}
+}
+
+func TestPurityUnknownExtern(t *testing.T) {
+	tu := check(t, `int mystery(int);
+int caller(int x) { return mystery(x); }`)
+	for _, f := range tu.Funcs {
+		if f.Name == "caller" && f.Pure {
+			t.Error("calls to unknown externs must be impure")
+		}
+	}
+}
+
+func TestPurityRecursion(t *testing.T) {
+	tu := check(t, "int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }")
+	if !tu.Funcs[0].Pure {
+		t.Error("self-recursive pure function should be pure")
+	}
+	tu2 := check(t, `int g;
+int a(int n);
+int b(int n) { return n ? a(n - 1) : g; }
+int a(int n) { return b(n); }`)
+	for _, f := range tu2.Funcs {
+		if f.Body != nil && f.Pure {
+			t.Errorf("%s participates in an impure cycle", f.Name)
+		}
+	}
+}
+
+func TestBitfieldLvalue(t *testing.T) {
+	tu := check(t, `struct B { unsigned a : 3; unsigned b : 5; int plain; };
+void f(struct B *x) { x->a = 1; x->plain = 2; }`)
+	es := ast.FullExprs(tu.Funcs[0].Body)
+	if !IsBitfieldLvalue(es[0].(*ast.Assign).L) {
+		t.Error("x->a is a bitfield lvalue")
+	}
+	if IsBitfieldLvalue(es[1].(*ast.Assign).L) {
+		t.Error("x->plain is not a bitfield lvalue")
+	}
+}
+
+func TestCalleeName(t *testing.T) {
+	tu := check(t, `int h(int);
+int (*fp)(int);
+void f() { h(1); fp(2); }`)
+	var fn *ast.FuncDecl
+	for _, f := range tu.Funcs {
+		if f.Name == "f" {
+			fn = f
+		}
+	}
+	es := ast.FullExprs(fn.Body)
+	if CalleeName(es[0].(*ast.Call)) != "h" {
+		t.Errorf("direct call name")
+	}
+	if CalleeName(es[1].(*ast.Call)) != "" {
+		t.Errorf("indirect call should have empty name")
+	}
+}
+
+func TestTable3ProgramSema(t *testing.T) {
+	// The paper's Table 3 counter-example program must type-check, and
+	// foo must be classified impure (reads globals a and b).
+	tu := check(t, `int a = 0, b = 2;
+int *foo() {
+  if (a == 1) return &a;
+  else return &b;
+}
+int main() { return (a = 1) + *foo(); }`)
+	for _, f := range tu.Funcs {
+		if f.Name == "foo" && f.Pure {
+			t.Error("foo reads/returns globals: impure")
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Package token defines the lexical tokens of the C subset accepted by
+// the OOElala frontend, together with source positions.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Operator names follow C spelling.
+const (
+	EOF Kind = iota
+	Ident
+	IntLit
+	FloatLit
+	CharLit
+	StringLit
+
+	// Punctuation.
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBracket // [
+	RBracket // ]
+	Comma    // ,
+	Semi     // ;
+	Colon    // :
+	Question // ?
+	Ellipsis // ...
+
+	// Operators.
+	Plus      // +
+	Minus     // -
+	Star      // *
+	Slash     // /
+	Percent   // %
+	Amp       // &
+	Pipe      // |
+	Caret     // ^
+	Tilde     // ~
+	Not       // !
+	Shl       // <<
+	Shr       // >>
+	Lt        // <
+	Gt        // >
+	Le        // <=
+	Ge        // >=
+	EqEq      // ==
+	NotEq     // !=
+	AndAnd    // &&
+	OrOr      // ||
+	Inc       // ++
+	Dec       // --
+	Arrow     // ->
+	Dot       // .
+	Assign    // =
+	PlusEq    // +=
+	MinusEq   // -=
+	StarEq    // *=
+	SlashEq   // /=
+	PercentEq // %=
+	AmpEq     // &=
+	PipeEq    // |=
+	CaretEq   // ^=
+	ShlEq     // <<=
+	ShrEq     // >>=
+
+	// Keywords.
+	KwInt
+	KwLong
+	KwShort
+	KwChar
+	KwFloat
+	KwDouble
+	KwVoid
+	KwUnsigned
+	KwSigned
+	KwStruct
+	KwUnion
+	KwEnum
+	KwTypedef
+	KwIf
+	KwElse
+	KwFor
+	KwWhile
+	KwDo
+	KwReturn
+	KwBreak
+	KwContinue
+	KwSizeof
+	KwStatic
+	KwConst
+	KwExtern
+	KwSwitch
+	KwCase
+	KwDefault
+	KwGoto
+	KwRestrict
+	KwVolatile
+	KwInline
+
+	numKinds // sentinel; must be last
+)
+
+var kindNames = [...]string{
+	EOF:        "EOF",
+	Ident:      "identifier",
+	IntLit:     "integer literal",
+	FloatLit:   "float literal",
+	CharLit:    "char literal",
+	StringLit:  "string literal",
+	LParen:     "(",
+	RParen:     ")",
+	LBrace:     "{",
+	RBrace:     "}",
+	LBracket:   "[",
+	RBracket:   "]",
+	Comma:      ",",
+	Semi:       ";",
+	Colon:      ":",
+	Question:   "?",
+	Ellipsis:   "...",
+	Plus:       "+",
+	Minus:      "-",
+	Star:       "*",
+	Slash:      "/",
+	Percent:    "%",
+	Amp:        "&",
+	Pipe:       "|",
+	Caret:      "^",
+	Tilde:      "~",
+	Not:        "!",
+	Shl:        "<<",
+	Shr:        ">>",
+	Lt:         "<",
+	Gt:         ">",
+	Le:         "<=",
+	Ge:         ">=",
+	EqEq:       "==",
+	NotEq:      "!=",
+	AndAnd:     "&&",
+	OrOr:       "||",
+	Inc:        "++",
+	Dec:        "--",
+	Arrow:      "->",
+	Dot:        ".",
+	Assign:     "=",
+	PlusEq:     "+=",
+	MinusEq:    "-=",
+	StarEq:     "*=",
+	SlashEq:    "/=",
+	PercentEq:  "%=",
+	AmpEq:      "&=",
+	PipeEq:     "|=",
+	CaretEq:    "^=",
+	ShlEq:      "<<=",
+	ShrEq:      ">>=",
+	KwInt:      "int",
+	KwLong:     "long",
+	KwShort:    "short",
+	KwChar:     "char",
+	KwFloat:    "float",
+	KwDouble:   "double",
+	KwVoid:     "void",
+	KwUnsigned: "unsigned",
+	KwSigned:   "signed",
+	KwStruct:   "struct",
+	KwUnion:    "union",
+	KwEnum:     "enum",
+	KwTypedef:  "typedef",
+	KwIf:       "if",
+	KwElse:     "else",
+	KwFor:      "for",
+	KwWhile:    "while",
+	KwDo:       "do",
+	KwReturn:   "return",
+	KwBreak:    "break",
+	KwContinue: "continue",
+	KwSizeof:   "sizeof",
+	KwStatic:   "static",
+	KwConst:    "const",
+	KwExtern:   "extern",
+	KwSwitch:   "switch",
+	KwCase:     "case",
+	KwDefault:  "default",
+	KwGoto:     "goto",
+	KwRestrict: "restrict",
+	KwVolatile: "volatile",
+	KwInline:   "inline",
+}
+
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) || kindNames[k] == "" {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Keywords maps C keyword spellings to their token kinds.
+var Keywords = map[string]Kind{
+	"int":      KwInt,
+	"long":     KwLong,
+	"short":    KwShort,
+	"char":     KwChar,
+	"float":    KwFloat,
+	"double":   KwDouble,
+	"void":     KwVoid,
+	"unsigned": KwUnsigned,
+	"signed":   KwSigned,
+	"struct":   KwStruct,
+	"union":    KwUnion,
+	"enum":     KwEnum,
+	"typedef":  KwTypedef,
+	"if":       KwIf,
+	"else":     KwElse,
+	"for":      KwFor,
+	"while":    KwWhile,
+	"do":       KwDo,
+	"return":   KwReturn,
+	"break":    KwBreak,
+	"continue": KwContinue,
+	"sizeof":   KwSizeof,
+	"static":   KwStatic,
+	"const":    KwConst,
+	"extern":   KwExtern,
+	"switch":   KwSwitch,
+	"case":     KwCase,
+	"default":  KwDefault,
+	"goto":     KwGoto,
+	"restrict": KwRestrict,
+	"volatile": KwVolatile,
+	"inline":   KwInline,
+}
+
+// Pos is a source position: file name, 1-based line, 1-based column.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// IsValid reports whether p refers to a real source location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is a single lexical token with its spelling and position.
+type Token struct {
+	Kind Kind
+	Text string // spelling as written (identifiers, literals); empty for fixed tokens
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	if t.Text != "" && (t.Kind == Ident || t.Kind == IntLit || t.Kind == FloatLit ||
+		t.Kind == CharLit || t.Kind == StringLit) {
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	}
+	return t.Kind.String()
+}
+
+// IsAssignOp reports whether k is a simple or compound assignment operator.
+func (k Kind) IsAssignOp() bool {
+	switch k {
+	case Assign, PlusEq, MinusEq, StarEq, SlashEq, PercentEq,
+		AmpEq, PipeEq, CaretEq, ShlEq, ShrEq:
+		return true
+	}
+	return false
+}
+
+// CompoundBase returns the arithmetic operator underlying a compound
+// assignment (e.g. PlusEq -> Plus). It returns EOF for non-compound kinds.
+func (k Kind) CompoundBase() Kind {
+	switch k {
+	case PlusEq:
+		return Plus
+	case MinusEq:
+		return Minus
+	case StarEq:
+		return Star
+	case SlashEq:
+		return Slash
+	case PercentEq:
+		return Percent
+	case AmpEq:
+		return Amp
+	case PipeEq:
+		return Pipe
+	case CaretEq:
+		return Caret
+	case ShlEq:
+		return Shl
+	case ShrEq:
+		return Shr
+	}
+	return EOF
+}
+
+// IsKeyword reports whether k is a C keyword token.
+func (k Kind) IsKeyword() bool { return k >= KwInt && k < numKinds }

@@ -1,0 +1,93 @@
+package token
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		EOF:      "EOF",
+		Ident:    "identifier",
+		PlusEq:   "+=",
+		ShlEq:    "<<=",
+		Arrow:    "->",
+		Ellipsis: "...",
+		KwWhile:  "while",
+		KwSizeof: "sizeof",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d: got %q want %q", int(k), got, want)
+		}
+	}
+	if Kind(-1).String() == "" || Kind(9999).String() == "" {
+		t.Error("out-of-range kinds must still print something")
+	}
+}
+
+func TestKeywordsTable(t *testing.T) {
+	for spelling, kind := range Keywords {
+		if !kind.IsKeyword() {
+			t.Errorf("%q maps to non-keyword kind %v", spelling, kind)
+		}
+		if kind.String() != spelling {
+			t.Errorf("keyword %q prints as %q", spelling, kind)
+		}
+	}
+	if Ident.IsKeyword() || Plus.IsKeyword() {
+		t.Error("non-keywords misclassified")
+	}
+}
+
+func TestAssignOpClassification(t *testing.T) {
+	assigns := []Kind{Assign, PlusEq, MinusEq, StarEq, SlashEq, PercentEq,
+		AmpEq, PipeEq, CaretEq, ShlEq, ShrEq}
+	for _, k := range assigns {
+		if !k.IsAssignOp() {
+			t.Errorf("%v should be an assignment operator", k)
+		}
+	}
+	for _, k := range []Kind{Plus, EqEq, Lt, AndAnd} {
+		if k.IsAssignOp() {
+			t.Errorf("%v is not an assignment operator", k)
+		}
+	}
+}
+
+func TestCompoundBase(t *testing.T) {
+	cases := map[Kind]Kind{
+		PlusEq: Plus, MinusEq: Minus, StarEq: Star, SlashEq: Slash,
+		PercentEq: Percent, AmpEq: Amp, PipeEq: Pipe, CaretEq: Caret,
+		ShlEq: Shl, ShrEq: Shr,
+	}
+	for compound, base := range cases {
+		if got := compound.CompoundBase(); got != base {
+			t.Errorf("%v base: %v want %v", compound, got, base)
+		}
+	}
+	if Assign.CompoundBase() != EOF {
+		t.Error("simple assignment has no compound base")
+	}
+}
+
+func TestPos(t *testing.T) {
+	p := Pos{File: "f.c", Line: 3, Col: 7}
+	if p.String() != "f.c:3:7" {
+		t.Errorf("pos string: %q", p.String())
+	}
+	if (Pos{Line: 2, Col: 1}).String() != "2:1" {
+		t.Error("file-less pos")
+	}
+	if !p.IsValid() || (Pos{}).IsValid() {
+		t.Error("IsValid")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Kind: Ident, Text: "foo"}
+	if tok.String() != `identifier("foo")` {
+		t.Errorf("got %q", tok.String())
+	}
+	fixed := Token{Kind: PlusEq}
+	if fixed.String() != "+=" {
+		t.Errorf("got %q", fixed.String())
+	}
+}

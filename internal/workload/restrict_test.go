@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/driver"
+)
+
+// TestRestrictComparison reproduces the paper's §4.2.1/§5 discussion of
+// restrict vs CANT_ALIAS:
+//
+//  1. restrict-qualified parameters enable the transform in the BASELINE
+//     compiler (restrict-aa is in everyone's chain);
+//  2. the CANT_ALIAS form needs unseq-aa — the baseline cannot use it;
+//  3. the fold kernel's per-element facts are inexpressible via restrict
+//     yet still enable the transform under OOElala.
+func TestRestrictComparison(t *testing.T) {
+	compile := func(p Program, ooelala bool) *driver.Compilation {
+		t.Helper()
+		c, err := driver.Compile(p.Name, p.Source, driver.Config{
+			OOElala: ooelala, Files: Files(), PassOptions: RestrictMeasureOpts()})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		return c
+	}
+
+	// 1. restrict works without unseq-aa.
+	rBase := compile(RestrictScale(), false)
+	if rBase.PassStats.LoopsVectorized == 0 {
+		t.Errorf("baseline should vectorize the restrict kernel, stats: %s", rBase.PassStats)
+	}
+
+	// 2. the annotated form does not help the baseline...
+	aBase := compile(AnnotatedScale(), false)
+	aOOE := compile(AnnotatedScale(), true)
+	if aOOE.PassStats.LoopsVectorized <= aBase.PassStats.LoopsVectorized {
+		t.Errorf("CANT_ALIAS needs unseq-aa: base=%d ooelala=%d",
+			aBase.PassStats.LoopsVectorized, aOOE.PassStats.LoopsVectorized)
+	}
+
+	// 3. the in-place fold: restrict cannot express it; the annotation can.
+	fBase := compile(PartialOverlapKernel(), false)
+	fOOE := compile(PartialOverlapKernel(), true)
+	if fOOE.PassStats.LoopsVectorized <= fBase.PassStats.LoopsVectorized {
+		t.Errorf("per-element facts should vectorize the fold: base=%d ooelala=%d",
+			fBase.PassStats.LoopsVectorized, fOOE.PassStats.LoopsVectorized)
+	}
+
+	// All three kernels must produce identical results in every
+	// configuration.
+	for _, p := range []Program{RestrictScale(), AnnotatedScale(), PartialOverlapKernel()} {
+		if _, _, err := driver.Speedup(p.Name, p.Source, Files(), RestrictMeasureOpts()); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/driver"
+)
+
+// Table5Row aggregates the paper's Table 5 statistics for one benchmark
+// over its generated units.
+type Table5Row struct {
+	Bench SpecBenchmark
+	// GenLOC is the generated source line count (the scaled-down kloc).
+	GenLOC int
+	// The measured columns (absolute, for the generated corpus size).
+	UnseqExprs   int
+	InitialPreds int
+	FinalPreds   int
+	UniquePreds  int
+	ExtraNoAlias int
+	// Query counts for the %-increase column.
+	QueriesBase, QueriesOOE int
+}
+
+// QueryIncreasePct is Table 5's last column.
+func (r Table5Row) QueryIncreasePct() float64 {
+	if r.QueriesBase == 0 {
+		return 0
+	}
+	return 100 * float64(r.QueriesOOE-r.QueriesBase) / float64(r.QueriesBase)
+}
+
+// MeasureTable5 compiles every generated unit of b under baseline and
+// OOElala configurations and aggregates the Table 5 columns.
+func MeasureTable5(b SpecBenchmark) (Table5Row, error) {
+	row := Table5Row{Bench: b}
+	for _, u := range GenerateUnits(b) {
+		row.GenLOC += countLines(u.Source)
+		ooe, err := driver.Compile(u.Name, u.Source, driver.Config{OOElala: true})
+		if err != nil {
+			return row, fmt.Errorf("%s: %w", u.Name, err)
+		}
+		base, err := driver.Compile(u.Name, u.Source, driver.Config{OOElala: false})
+		if err != nil {
+			return row, fmt.Errorf("%s baseline: %w", u.Name, err)
+		}
+		row.UnseqExprs += ooe.Frontend.FullExprsUnseqSE
+		row.InitialPreds += ooe.Frontend.InitialPreds
+		row.FinalPreds += ooe.FinalPreds
+		row.UniquePreds += ooe.UniqueFinalPreds
+		row.ExtraNoAlias += ooe.AAStats.UnseqNoAlias
+		row.QueriesOOE += ooe.AAStats.Queries
+		row.QueriesBase += base.AAStats.Queries
+	}
+	return row, nil
+}
+
+// Table6Row is one benchmark's runtime comparison (the paper's Table 6).
+type Table6Row struct {
+	Bench       SpecBenchmark
+	CyclesBase  float64
+	CyclesOOE   float64
+	ResultMatch bool
+}
+
+// DeltaPct is the improvement percentage (positive = OOElala faster).
+func (r Table6Row) DeltaPct() float64 {
+	if r.CyclesBase == 0 {
+		return 0
+	}
+	return 100 * (r.CyclesBase - r.CyclesOOE) / r.CyclesBase
+}
+
+// MeasureTable6 runs every generated unit of b under both compilers and
+// sums simulated cycles.
+func MeasureTable6(b SpecBenchmark) (Table6Row, error) {
+	row := Table6Row{Bench: b, ResultMatch: true}
+	for _, u := range GenerateUnits(b) {
+		base, err := driver.Compile(u.Name, u.Source, driver.Config{OOElala: false})
+		if err != nil {
+			return row, fmt.Errorf("%s baseline: %w", u.Name, err)
+		}
+		ooe, err := driver.Compile(u.Name, u.Source, driver.Config{OOElala: true})
+		if err != nil {
+			return row, fmt.Errorf("%s: %w", u.Name, err)
+		}
+		rB, cB, err := base.Run("")
+		if err != nil {
+			return row, fmt.Errorf("%s baseline run: %w", u.Name, err)
+		}
+		rO, cO, err := ooe.Run("")
+		if err != nil {
+			return row, fmt.Errorf("%s ooelala run: %w", u.Name, err)
+		}
+		if rB != rO {
+			row.ResultMatch = false
+			return row, fmt.Errorf("%s: MISCOMPILE baseline=%d ooelala=%d", u.Name, rB, rO)
+		}
+		row.CyclesBase += cB
+		row.CyclesOOE += cO
+	}
+	return row, nil
+}
+
+func countLines(s string) int {
+	n := 1
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,39 @@
+// Package workload holds the C sources of every program used in the
+// paper's evaluation, rebuilt for this repository's C subset: the two
+// introduction examples, the six annotated Polybench kernels (Table 4),
+// the nine SPEC CPU 2017 case-study patterns (Fig. 2), and the synthetic
+// SPEC-shaped corpus generator behind Tables 5 and 6.
+package workload
+
+// Header is the shared annotation header: the CANT_ALIAS macro family
+// from §4.2.1. Each macro builds a no-op full expression with
+// unsequenced side effects on all of its arguments; the Fig. 1 rules then
+// derive pairwise must-not-alias predicates for them. (`+` rather than
+// the paper's `&` so the operands may be floating-point in our subset;
+// both operators are unsequenced, so the derived predicates are
+// identical.)
+const Header = `#define CANT_ALIAS2(a, b) ((a = a) + (b = b))
+#define CANT_ALIAS3(a, b, c) ((a = a) + (b = b) + (c = c))
+#define CANT_ALIAS4(a, b, c, d) ((a = a) + (b = b) + (c = c) + (d = d))
+#define CANT_ALIAS5(a, b, c, d, e) ((a = a) + (b = b) + (c = c) + (d = d) + (e = e))
+`
+
+// Files returns the include set for workloads (the annotation header).
+func Files() map[string]string {
+	return map[string]string{"ooelala.h": Header}
+}
+
+// Program is one runnable benchmark program.
+type Program struct {
+	// Name identifies the workload (e.g. "bicg").
+	Name string
+	// Source is the full C source including a main() that initializes
+	// inputs deterministically and returns a checksum.
+	Source string
+	// PaperSpeedup is the speedup the paper reports for this workload
+	// (0 when the paper reports an absolute/relative improvement
+	// elsewhere).
+	PaperSpeedup float64
+	// Description summarizes what the paper says about it.
+	Description string
+}

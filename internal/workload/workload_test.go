@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/driver"
+)
+
+// compileBoth builds p under baseline and OOElala configurations and
+// checks result equality; it returns the speedup.
+func compileBoth(t *testing.T, p Program) float64 {
+	t.Helper()
+	ratio, _, err := driver.Speedup(p.Name, p.Source, Files(), nil)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name, err)
+	}
+	return ratio
+}
+
+func TestIntroMinmaxSpeedup(t *testing.T) {
+	p := IntroMinmax(256)
+	ratio := compileBoth(t, p)
+	if ratio < 1.2 {
+		t.Errorf("minmax speedup %.2fx, want >= 1.2x (paper: 1.5x)", ratio)
+	}
+	t.Logf("minmax speedup: %.2fx (paper 1.5x)", ratio)
+}
+
+func TestIntroImagickSpeedup(t *testing.T) {
+	p := IntroImagick(6)
+	ratio := compileBoth(t, p)
+	if ratio < 1.2 {
+		t.Errorf("imagick speedup %.2fx, want >= 1.2x (paper: 1.66x)", ratio)
+	}
+	t.Logf("imagick speedup: %.2fx (paper 1.66x)", ratio)
+}
+
+func TestPolybenchKernelsRunAndMatch(t *testing.T) {
+	for _, p := range PolybenchKernels() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			ratio := compileBoth(t, p)
+			t.Logf("%s speedup: %.2fx (paper %.2fx)", p.Name, ratio, p.PaperSpeedup)
+			if ratio < 0.95 {
+				t.Errorf("%s: OOElala should never slow a kernel down this much: %.2fx", p.Name, ratio)
+			}
+		})
+	}
+}
+
+func TestTable4Ordering(t *testing.T) {
+	// The paper's claim to reproduce: bicg and gesummv lead by a wide
+	// margin; jacobi-1d is in the middle; gemm/atax/trisolv trail with
+	// small gains.
+	ratios := map[string]float64{}
+	for _, p := range PolybenchKernels() {
+		ratios[p.Name] = compileBoth(t, p)
+	}
+	t.Logf("ratios: %v", ratios)
+	if ratios["bicg"] < ratios["gemm"] {
+		t.Errorf("bicg (%.2f) should beat gemm (%.2f)", ratios["bicg"], ratios["gemm"])
+	}
+	if ratios["gesummv"] < ratios["gemm"] {
+		t.Errorf("gesummv (%.2f) should beat gemm (%.2f)", ratios["gesummv"], ratios["gemm"])
+	}
+	if ratios["bicg"] < 1.5 {
+		t.Errorf("bicg should show a large speedup, got %.2f", ratios["bicg"])
+	}
+	if ratios["jacobi-1d"] < 1.1 {
+		t.Errorf("jacobi-1d should show a clear speedup, got %.2f", ratios["jacobi-1d"])
+	}
+}
+
+func TestExtraPolybenchKernels(t *testing.T) {
+	for _, p := range ExtraPolybenchKernels() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			ratio := compileBoth(t, p)
+			t.Logf("%s speedup: %.2fx", p.Name, ratio)
+			if ratio < 1.05 {
+				t.Errorf("%s: annotated kernel should improve, got %.2fx", p.Name, ratio)
+			}
+		})
+	}
+}
