@@ -10,9 +10,15 @@
 //	ooebench -intro     the two introduction examples
 //	ooebench -ubsan     sanitizer sweep over every workload
 //	ooebench -all       everything above
+//
+// Telemetry flags (-stats, -time-passes, -remarks, -metrics-json,
+// -metrics-prom) attach a telemetry session to the OOElala-side
+// compilations and runs; -json writes a BENCH_ooebench.json artifact
+// with the table 4/6 rows.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,8 +30,36 @@ import (
 	"repro/internal/parser"
 	"repro/internal/sanitizer"
 	"repro/internal/sema"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
+
+// tel is the process-wide telemetry session (nil = disabled).
+var tel *telemetry.Session
+
+// benchJSON is the -json artifact: the machine-readable rows of the
+// runtime tables.
+type benchJSON struct {
+	Table4 []table4Row `json:"table4,omitempty"`
+	Table6 []table6Row `json:"table6,omitempty"`
+}
+
+type table4Row struct {
+	Kernel       string  `json:"kernel"`
+	Speedup      float64 `json:"speedup"`
+	PaperSpeedup float64 `json:"paperSpeedup"`
+	Mechanism    string  `json:"mechanism"`
+}
+
+type table6Row struct {
+	Bench         string  `json:"bench"`
+	CyclesBase    float64 `json:"cyclesBase"`
+	CyclesOOE     float64 `json:"cyclesOOElala"`
+	DeltaPct      float64 `json:"deltaPct"`
+	PaperDeltaPct float64 `json:"paperDeltaPct"`
+}
+
+var benchOut benchJSON
 
 func main() {
 	t2 := flag.Bool("table2", false, "reproduce Table 2")
@@ -37,8 +71,11 @@ func main() {
 	intro := flag.Bool("intro", false, "reproduce the introduction examples")
 	ub := flag.Bool("ubsan", false, "run the sanitizer sweep (§4.2.3)")
 	all := flag.Bool("all", false, "run everything")
+	jsonOut := flag.Bool("json", false, "write table rows to BENCH_ooebench.json")
+	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	tel = tf.Session()
 	any := false
 	run := func(enabled bool, f func() error) {
 		if !enabled && !*all {
@@ -65,6 +102,31 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err := tf.Finish(tel, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ooebench:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		if err := writeBenchJSON("BENCH_ooebench.json"); err != nil {
+			fmt.Fprintln(os.Stderr, "ooebench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote BENCH_ooebench.json")
+	}
+}
+
+func writeBenchJSON(path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&benchOut); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }
 
 // table2 prints the judgement sets for the paper's running example.
@@ -164,7 +226,7 @@ int main() { return (a = 1) + *foo(); }`
 func introExamples() error {
 	fmt.Println("== Introduction examples ==")
 	for _, p := range []workload.Program{workload.IntroMinmax(256), workload.IntroImagick(6)} {
-		ratio, _, err := driver.Speedup(p.Name, p.Source, workload.Files(), nil)
+		ratio, _, err := driver.SpeedupWith(p.Name, p.Source, workload.Files(), nil, tel)
 		if err != nil {
 			return err
 		}
@@ -178,11 +240,15 @@ func table4() error {
 	fmt.Println("== Table 4: Polybench speedups (annotated kernels) ==")
 	fmt.Printf("%-12s %-10s %-10s %s\n", "kernel", "measured", "paper", "mechanism")
 	for _, p := range workload.PolybenchKernels() {
-		ratio, _, err := driver.Speedup(p.Name, p.Source, workload.Files(), nil)
+		ratio, _, err := driver.SpeedupWith(p.Name, p.Source, workload.Files(), nil, tel)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%-12s %-10.2f %-10.2f %s\n", p.Name, ratio, p.PaperSpeedup, p.Description)
+		benchOut.Table4 = append(benchOut.Table4, table4Row{
+			Kernel: p.Name, Speedup: ratio, PaperSpeedup: p.PaperSpeedup,
+			Mechanism: p.Description,
+		})
 	}
 	return nil
 }
@@ -191,7 +257,7 @@ func fig2() error {
 	fmt.Println("== Fig. 2: SPEC CPU 2017 case-study patterns ==")
 	fmt.Printf("%-20s %-10s %-12s %s\n", "case", "measured", "paper", "passes")
 	for _, cs := range workload.Fig2CaseStudies() {
-		ratio, _, err := driver.Speedup(cs.Name, cs.Source, workload.Files(), cs.MeasureOpts())
+		ratio, _, err := driver.SpeedupWith(cs.Name, cs.Source, workload.Files(), cs.MeasureOpts(), tel)
 		if err != nil {
 			return err
 		}
@@ -209,7 +275,7 @@ func table5() error {
 	fmt.Printf("%-10s %6s %6s %8s %8s %8s %8s %10s %8s\n",
 		"bench", "kloc*", "unseq", "initial", "final", "unique", "noalias", "queries", "q-incr%")
 	for _, b := range workload.SpecSuite() {
-		row, err := workload.MeasureTable5(b)
+		row, err := workload.MeasureTable5With(b, tel)
 		if err != nil {
 			return err
 		}
@@ -227,12 +293,16 @@ func table6() error {
 	fmt.Printf("%-10s %14s %14s %10s %10s\n", "bench", "base cycles", "ooelala", "delta%", "paper%")
 	var base, ooeC, baseNP, ooeNP float64
 	for _, b := range workload.SpecSuite() {
-		row, err := workload.MeasureTable6(b)
+		row, err := workload.MeasureTable6With(b, tel)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%-10s %14.0f %14.0f %+10.3f %+10.3f\n",
 			b.Name, row.CyclesBase, row.CyclesOOE, row.DeltaPct(), b.PaperDeltaPct)
+		benchOut.Table6 = append(benchOut.Table6, table6Row{
+			Bench: b.Name, CyclesBase: row.CyclesBase, CyclesOOE: row.CyclesOOE,
+			DeltaPct: row.DeltaPct(), PaperDeltaPct: b.PaperDeltaPct,
+		})
 		base += row.CyclesBase
 		ooeC += row.CyclesOOE
 		if b.Name != "perlbench" {
@@ -264,7 +334,7 @@ func ubsanSweep() error {
 	failures := 0
 	checks := 0
 	for _, p := range programs {
-		rep, err := sanitizer.Check(p.Name, p.Source, workload.Files(), "")
+		rep, err := sanitizer.CheckWith(p.Name, p.Source, workload.Files(), "", nil, tel)
 		if err != nil {
 			return fmt.Errorf("%s: %w", p.Name, err)
 		}

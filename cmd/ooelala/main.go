@@ -14,6 +14,10 @@
 //	-compare       compile and run under BOTH configurations, report speedup
 //	-dump-ir       print the optimized IR
 //	-stats         print analysis and pass statistics
+//	-time-passes   print per-phase and per-pass wall-clock times
+//	-remarks       print optimization remarks with unseq-aa attribution
+//	-metrics-json  write every collected metric as JSON to the given path
+//	-metrics-prom  write metrics in Prometheus text format to the given path
 //	-D name=value  predefine an object-like macro (repeatable)
 package main
 
@@ -26,6 +30,7 @@ import (
 	"repro/internal/annotate"
 	"repro/internal/ast"
 	"repro/internal/driver"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -48,7 +53,7 @@ func main() {
 	run := flag.Bool("run", false, "execute main() and report result + cycles")
 	compare := flag.Bool("compare", false, "run under both configurations and report the speedup")
 	dumpIR := flag.Bool("dump-ir", false, "print the optimized IR")
-	stats := flag.Bool("stats", false, "print analysis and pass statistics")
+	tf := telemetry.RegisterFlags(flag.CommandLine)
 	autoAnnotate := flag.Bool("auto-annotate", false,
 		"insert CANT_ALIAS-equivalent annotations algorithmically (validated via the sanitizer)")
 	defines := defineFlags{}
@@ -66,11 +71,13 @@ func main() {
 		fatal(err)
 	}
 
+	tel := tf.Session()
 	cfg := driver.Config{
-		OOElala: !*baseline,
-		NoOpt:   *noOpt,
-		Files:   workload.Files(),
-		Defines: defines,
+		OOElala:   !*baseline,
+		NoOpt:     *noOpt,
+		Files:     workload.Files(),
+		Defines:   defines,
+		Telemetry: tel,
 	}
 	if *autoAnnotate {
 		rep, err := annotate.Validate(path, string(src), workload.Files())
@@ -87,12 +94,15 @@ func main() {
 	}
 
 	if *compare {
-		ratio, result, err := driver.Speedup(path, string(src), workload.Files(), nil)
+		ratio, result, err := driver.SpeedupWith(path, string(src), workload.Files(), nil, tel)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("result   %d (identical under both configurations)\n", result)
 		fmt.Printf("speedup  %.3fx (baseline cycles / ooelala cycles)\n", ratio)
+		if err := tf.Finish(tel, os.Stdout); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -101,7 +111,7 @@ func main() {
 		fatal(err)
 	}
 
-	if *stats {
+	if tf.Stats {
 		fmt.Printf("full expressions analyzed:         %d\n", c.Frontend.FullExprs)
 		fmt.Printf("  with unsequenced side effects:   %d\n", c.Frontend.FullExprsUnseqSE)
 		fmt.Printf("initial must-not-alias predicates: %d\n", c.Frontend.InitialPreds)
@@ -122,7 +132,10 @@ func main() {
 		}
 		fmt.Printf("result %d\ncycles %.0f\n", result, cycles)
 	}
-	if !*stats && !*dumpIR && !*run {
+	if err := tf.Finish(tel, os.Stdout); err != nil {
+		fatal(err)
+	}
+	if !tf.Stats && !*dumpIR && !*run && tel == nil {
 		fmt.Printf("compiled %s: %d functions, %d predicates (%d unique)\n",
 			path, len(c.Module.Funcs), c.FinalPreds, c.UniqueFinalPreds)
 	}

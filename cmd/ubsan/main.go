@@ -5,7 +5,10 @@
 //
 // Usage:
 //
-//	ubsan [-entry name] file.c
+//	ubsan [-entry name] [telemetry flags] file.c
+//
+// The telemetry flags -stats, -time-passes, -remarks, -metrics-json and
+// -metrics-prom report on the instrumented compilation and run.
 package main
 
 import (
@@ -14,11 +17,13 @@ import (
 	"os"
 
 	"repro/internal/sanitizer"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
 func main() {
 	entry := flag.String("entry", "main", "entry function to execute")
+	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ubsan [-entry name] file.c")
@@ -30,7 +35,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ubsan:", err)
 		os.Exit(1)
 	}
-	rep, err := sanitizer.Check(path, string(src), workload.Files(), *entry)
+	tel := tf.Session()
+	rep, err := sanitizer.CheckWith(path, string(src), workload.Files(), *entry, nil, tel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ubsan:", err)
 		os.Exit(1)
@@ -38,6 +44,10 @@ func main() {
 	fmt.Printf("predicates: %d total, %d with calls (skipped), %d bitfield-dropped, %d checks inserted\n",
 		rep.PredsTotal, rep.PredsWithCalls, rep.BitfieldDropped, rep.ChecksInserted)
 	fmt.Printf("result: %d\n", rep.Result)
+	if err := tf.Finish(tel, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ubsan:", err)
+		os.Exit(1)
+	}
 	if len(rep.Failures) == 0 {
 		fmt.Println("clean: no unsequenced races observed")
 		return

@@ -50,11 +50,31 @@ type Stats struct {
 	UnseqNoAlias int
 }
 
+// Attribution describes how a query (or a window of queries) was
+// decided: whether unseq-aa supplied the deciding NoAlias answer, and
+// if so the provenance id (mustnotalias intrinsic Meta) of the π
+// predicate that registered the fact. It is the payload optimization
+// remarks carry so a transform can be traced back to the predicate
+// that enabled it.
+type Attribution struct {
+	// UnseqDecided is set when unseq-aa answered NoAlias while every
+	// other analysis in the chain said MayAlias.
+	UnseqDecided bool
+	// PredicateMeta is the enabling predicate's provenance id.
+	PredicateMeta int
+}
+
 // Manager chains analyses.
 type Manager struct {
 	analyses []Analysis
 	unseq    *UnseqAA // may be nil
 	Stats    Stats
+
+	// last describes the most recent query; window accumulates since
+	// ResetWindow — passes bracket a transform candidate's legality
+	// queries with ResetWindow/Window to attribute the transform.
+	last   Attribution
+	window Attribution
 }
 
 // NewManager builds the default chain: basic-aa, tbaa, and (optionally)
@@ -84,9 +104,36 @@ func (m *Manager) Refresh(fn *ir.Func) {
 // Unseq exposes the unseq-aa instance (nil when disabled).
 func (m *Manager) Unseq() *UnseqAA { return m.unseq }
 
+// ResetWindow clears the attribution accumulator. Passes call it
+// before a transform candidate's legality queries.
+func (m *Manager) ResetWindow() { m.window = Attribution{} }
+
+// Window returns the attribution accumulated since ResetWindow: set if
+// any query in the window was decided by unseq-aa (the first deciding
+// predicate's meta is kept).
+func (m *Manager) Window() Attribution { return m.window }
+
+// Last returns the attribution of the most recent Alias query.
+func (m *Manager) Last() Attribution { return m.last }
+
+// UnseqDecides reports whether unseq-aa alone answers NoAlias for
+// (a, b), merging the attribution into the current window. Passes use
+// it to test whether an already-proven fact came from the paper's
+// analysis (the vectorizer's cost-model question).
+func (m *Manager) UnseqDecides(a, b Location) bool {
+	if m.unseq == nil || m.unseq.Alias(a, b) != NoAlias {
+		return false
+	}
+	if !m.window.UnseqDecided {
+		m.window = Attribution{UnseqDecided: true, PredicateMeta: m.unseq.LastMeta()}
+	}
+	return true
+}
+
 // Alias runs the chain on (a, b).
 func (m *Manager) Alias(a, b Location) Result {
 	m.Stats.Queries++
+	m.last = Attribution{}
 	best := MayAlias
 	othersBest := MayAlias
 	for _, an := range m.analyses {
@@ -94,6 +141,10 @@ func (m *Manager) Alias(a, b Location) Result {
 		if r == NoAlias {
 			if an == Analysis(m.unseq) && othersBest == MayAlias {
 				m.Stats.UnseqNoAlias++
+				m.last = Attribution{UnseqDecided: true, PredicateMeta: m.unseq.LastMeta()}
+				if !m.window.UnseqDecided {
+					m.window = m.last
+				}
 			}
 			m.Stats.NoAlias++
 			return NoAlias

@@ -15,7 +15,13 @@ import (
 // values, or decompose to GEPs whose bases form a registered pair with
 // offsets that keep the accesses disjoint-or-equal-indexed.
 type UnseqAA struct {
-	pairs map[[2]ir.Value]bool
+	// pairs maps a registered pointer pair to the provenance id (the
+	// intrinsic's Meta) of the π predicate that asserted it — the
+	// attribution optimization remarks report.
+	pairs map[[2]ir.Value]int
+	// lastMeta is the predicate id behind the most recent NoAlias
+	// answer.
+	lastMeta int
 }
 
 // NewUnseqAA scans fn for mustnotalias intrinsics.
@@ -28,7 +34,7 @@ func NewUnseqAA(fn *ir.Func) *UnseqAA {
 // Rebuild rescans the function (after transforms clone or delete
 // intrinsics).
 func (u *UnseqAA) Rebuild(fn *ir.Func) {
-	u.pairs = make(map[[2]ir.Value]bool)
+	u.pairs = make(map[[2]ir.Value]int)
 	if fn == nil {
 		return
 	}
@@ -39,10 +45,17 @@ func (u *UnseqAA) Rebuild(fn *ir.Func) {
 			}
 			a := resolveCopies(in.Args[0])
 			c := resolveCopies(in.Args[1])
-			u.pairs[normPair(a, c)] = true
+			key := normPair(a, c)
+			if _, ok := u.pairs[key]; !ok {
+				u.pairs[key] = in.Meta
+			}
 		}
 	}
 }
+
+// LastMeta returns the predicate provenance id behind the most recent
+// NoAlias answer.
+func (u *UnseqAA) LastMeta() int { return u.lastMeta }
 
 // NumFacts returns the number of registered (deduplicated) pairs.
 func (u *UnseqAA) NumFacts() int { return len(u.pairs) }
@@ -92,7 +105,8 @@ func (u *UnseqAA) Alias(a, b Location) Result {
 	if pa == pb {
 		return MayAlias // same value: leave Must to basic-aa
 	}
-	if u.pairs[normPair(pa, pb)] {
+	if meta, ok := u.pairs[normPair(pa, pb)]; ok {
+		u.lastMeta = meta
 		return NoAlias
 	}
 	// NOTE: no structural extrapolation to derived pointers — a

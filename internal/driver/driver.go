@@ -17,6 +17,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/passes"
 	"repro/internal/sema"
+	"repro/internal/telemetry"
 )
 
 // Config selects the compiler configuration.
@@ -41,6 +42,9 @@ type Config struct {
 	// Transform, if set, runs after semantic analysis and may rewrite the
 	// AST (e.g. the automatic annotator); sema is re-run afterwards.
 	Transform func(*ast.TranslationUnit)
+	// Telemetry, if non-nil, receives phase spans, pass/AA counters, and
+	// optimization remarks. The nil default has zero overhead.
+	Telemetry *telemetry.Session
 }
 
 // FrontendStats are the AST-level analysis counts (Table 5, cols 3-4).
@@ -83,16 +87,22 @@ type Compilation struct {
 
 // Compile builds src under the configuration.
 func Compile(name, src string, cfg Config) (*Compilation, error) {
+	tel := cfg.Telemetry
 	files := cfg.Files
 	pre := ""
 	for k, v := range cfg.Defines {
 		pre += "#define " + k + " " + v + "\n"
 	}
+	stop := tel.Span("phase/parse")
 	tu, perrs := parser.ParseFile(name, pre+src, files)
+	stop()
 	if len(perrs) > 0 {
 		return nil, fmt.Errorf("%s: parse: %v", name, perrs[0])
 	}
-	if serrs := sema.Check(tu); len(serrs) > 0 {
+	stop = tel.Span("phase/sema")
+	serrs := sema.Check(tu)
+	stop()
+	if len(serrs) > 0 {
 		return nil, fmt.Errorf("%s: sema: %v", name, serrs[0])
 	}
 	if cfg.Transform != nil {
@@ -104,7 +114,9 @@ func Compile(name, src string, cfg Config) (*Compilation, error) {
 
 	ooeCfg := ooe.Config{}
 	an := ooe.New(ooeCfg, ooe.FuncMap(tu))
+	stop = tel.Span("phase/ooe")
 	reports := an.AnalyzeUnit(tu)
+	stop()
 
 	c := &Compilation{Name: name, TU: tu, Reports: reports, cfg: cfg}
 	for _, rep := range reports {
@@ -127,7 +139,9 @@ func Compile(name, src string, cfg Config) (*Compilation, error) {
 		EmitPredicates: cfg.OOElala,
 		Sanitize:       cfg.Sanitize,
 	}
+	stop = tel.Span("phase/irgen")
 	mod, gerrs := irgen.Generate(tu, reports, genOpts)
+	stop()
 	if len(gerrs) > 0 {
 		return nil, fmt.Errorf("%s: irgen: %v", name, gerrs[0])
 	}
@@ -138,13 +152,21 @@ func Compile(name, src string, cfg Config) (*Compilation, error) {
 		popts = *cfg.PassOptions
 	}
 	popts.UseUnseqAA = cfg.OOElala
+	if popts.Telemetry == nil {
+		popts.Telemetry = tel
+	}
 	if cfg.NoOpt || cfg.Sanitize {
 		// The paper limits the sanitizer to unoptimized IR.
 		popts.OptLevel = 0
 	}
+	stop = tel.Span("phase/opt")
 	c.PassStats = passes.RunModule(mod, popts, &c.AAStats)
+	stop()
 
-	if problems := mod.Verify(); len(problems) > 0 {
+	stop = tel.Span("phase/verify")
+	problems := mod.Verify()
+	stop()
+	if len(problems) > 0 {
 		return nil, fmt.Errorf("%s: IR verification failed: %s", name, problems[0])
 	}
 
@@ -163,7 +185,30 @@ func Compile(name, src string, cfg Config) (*Compilation, error) {
 		}
 	}
 	c.UniqueFinalPreds = len(seen)
+	c.record(tel)
 	return c, nil
+}
+
+// record exports the compilation's statistics as telemetry counters.
+func (c *Compilation) record(tel *telemetry.Session) {
+	if !tel.MetricsEnabled() {
+		return
+	}
+	tel.Count("frontend/full_exprs", int64(c.Frontend.FullExprs))
+	tel.Count("frontend/full_exprs_unseq_se", int64(c.Frontend.FullExprsUnseqSE))
+	tel.Count("frontend/initial_preds", int64(c.Frontend.InitialPreds))
+	tel.Count("frontend/preds_with_calls", int64(c.Frontend.PredsWithCalls))
+	tel.Count("frontend/bitfield_dropped", int64(c.Frontend.BitfieldDropped))
+	tel.Count("aa/queries", int64(c.AAStats.Queries))
+	tel.Count("aa/noalias", int64(c.AAStats.NoAlias))
+	tel.Count("aa/mayalias", int64(c.AAStats.MayAlias))
+	tel.Count("aa/mustalias", int64(c.AAStats.MustAlias))
+	tel.Count("aa/partialalias", int64(c.AAStats.PartialAlias))
+	tel.Count("aa/unseq_noalias", int64(c.AAStats.UnseqNoAlias))
+	tel.Count("preds/final", int64(c.FinalPreds))
+	tel.Count("preds/unique", int64(c.UniqueFinalPreds))
+	tel.Count("preds/ubchecks", int64(c.UBChecks))
+	c.PassStats.Record(tel)
 }
 
 // NewMachine builds a fresh execution machine for the compiled module.
@@ -182,7 +227,10 @@ func (c *Compilation) Run(entry string, args ...int64) (int64, float64, error) {
 	if entry == "" {
 		entry = "main"
 	}
+	stop := c.cfg.Telemetry.Span("phase/interp")
 	v, err := m.RunArgs(entry, args...)
+	stop()
+	m.Report(c.cfg.Telemetry)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -195,7 +243,11 @@ func (c *Compilation) RunSanitized(entry string) ([]*interp.SanitizerFailure, er
 	if entry == "" {
 		entry = "main"
 	}
-	if _, err := m.RunArgs(entry); err != nil {
+	stop := c.cfg.Telemetry.Span("phase/interp")
+	_, err := m.RunArgs(entry)
+	stop()
+	m.Report(c.cfg.Telemetry)
+	if err != nil {
 		return nil, err
 	}
 	return m.SanFailures, nil
@@ -205,11 +257,18 @@ func (c *Compilation) RunSanitized(entry string) ([]*interp.SanitizerFailure, er
 // both, and returns baselineCycles/ooelalaCycles. Both runs must produce
 // the same result (returned for verification).
 func Speedup(name, src string, files map[string]string, popts *passes.Options) (ratio float64, result int64, err error) {
+	return SpeedupWith(name, src, files, popts, nil)
+}
+
+// SpeedupWith is Speedup with a telemetry session attached to the
+// OOElala-side compilation and run (the baseline side is untracked so
+// remarks and counters reflect the paper's pipeline, not the control).
+func SpeedupWith(name, src string, files map[string]string, popts *passes.Options, tel *telemetry.Session) (ratio float64, result int64, err error) {
 	base, err := Compile(name, src, Config{OOElala: false, Files: files, PassOptions: popts})
 	if err != nil {
 		return 0, 0, err
 	}
-	opt, err := Compile(name, src, Config{OOElala: true, Files: files, PassOptions: popts})
+	opt, err := Compile(name, src, Config{OOElala: true, Files: files, PassOptions: popts, Telemetry: tel})
 	if err != nil {
 		return 0, 0, err
 	}

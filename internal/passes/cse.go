@@ -5,7 +5,20 @@ import (
 
 	"repro/internal/aa"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
+
+// availMem is an available memory value (a prior load's result or a
+// stored value) during the block-local CSE walk. unseqKept/meta record
+// that an unseq-aa NoAlias answer is what kept it available past a
+// potentially-clobbering write — the attribution for the remark when
+// a later load is eliminated against it.
+type availMem struct {
+	load      *ir.Instr // redundant-load source (nil for stores)
+	val       ir.Value  // store-to-load forwarding source
+	unseqKept bool
+	meta      int
+}
 
 // earlyCSE performs block-local common-subexpression elimination and
 // redundant-load elimination (the GVN analog LLVM credits in the paper's
@@ -14,27 +27,42 @@ import (
 // very same IR values as the real accesses, so unseq-aa facts apply to
 // both. Loads are reused when no intervening instruction may write the
 // location; stores forward their value to subsequent loads.
-func earlyCSE(f *ir.Func, mgr *aa.Manager) int {
+func earlyCSE(f *ir.Func, mgr *aa.Manager, tel *telemetry.Session) int {
 	removed := 0
 	mod := moduleOf(f)
 	for _, b := range f.Blocks {
-		avail := map[string]*ir.Instr{}   // pure value numbering
-		loads := map[ir.Value]*ir.Instr{} // ptr -> load instr providing value
-		stored := map[ir.Value]ir.Value{} // ptr -> last stored value
+		avail := map[string]*ir.Instr{}    // pure value numbering
+		loads := map[ir.Value]*availMem{}  // ptr -> load instr providing value
+		stored := map[ir.Value]*availMem{} // ptr -> last stored value
 		seenFacts := map[[2]ir.Value]bool{}
 
 		invalidate := func(writePtr ir.Value, size int) {
-			for ptr := range loads {
+			for ptr, e := range loads {
 				if writePtr == nil || mgr.Alias(aa.Location{Ptr: ptr, Size: 8},
 					aa.Location{Ptr: writePtr, Size: size}) != aa.NoAlias {
 					delete(loads, ptr)
+				} else if att := mgr.Last(); att.UnseqDecided && !e.unseqKept {
+					e.unseqKept = true
+					e.meta = att.PredicateMeta
 				}
 			}
-			for ptr := range stored {
+			for ptr, e := range stored {
 				if writePtr == nil || mgr.Alias(aa.Location{Ptr: ptr, Size: 8},
 					aa.Location{Ptr: writePtr, Size: size}) != aa.NoAlias {
 					delete(stored, ptr)
+				} else if att := mgr.Last(); att.UnseqDecided && !e.unseqKept {
+					e.unseqKept = true
+					e.meta = att.PredicateMeta
 				}
+			}
+		}
+
+		memRemark := func(kind string, e *availMem) {
+			if tel.RemarksEnabled() {
+				tel.Remark(telemetry.Remark{
+					Pass: "earlycse", Function: f.Name, Loc: b.Name, Kind: kind,
+					EnabledByUnseqAA: e.unseqKept, PredicateMeta: e.meta,
+				})
 			}
 		}
 
@@ -54,28 +82,29 @@ func earlyCSE(f *ir.Func, mgr *aa.Manager) int {
 
 			case in.Op == ir.OpLoad && !in.Volatile:
 				ptr := in.Args[0]
-				if v, ok := stored[ptr]; ok && v.Class() == in.Cls {
+				if e, ok := stored[ptr]; ok && e.val.Class() == in.Cls {
 					// Store-to-load forwarding.
-					replaceUses(f, in, v)
+					replaceUses(f, in, e.val)
 					removeAt(b, i)
 					i--
 					removed++
+					memRemark("StoreForwarded", e)
 					continue
 				}
-				if prev, ok := loads[ptr]; ok && prev.Cls == in.Cls {
-					replaceUses(f, in, prev)
+				if e, ok := loads[ptr]; ok && e.load.Cls == in.Cls {
+					replaceUses(f, in, e.load)
 					removeAt(b, i)
 					i--
 					removed++
+					memRemark("LoadEliminated", e)
 					continue
 				}
-				loads[ptr] = in
+				loads[ptr] = &availMem{load: in}
 
 			case in.Op == ir.OpStore && !in.Volatile:
 				ptr := in.Args[0]
 				invalidate(ptr, accessSize(in))
-				stored[ptr] = in.Args[1]
-				loads[ptr] = nil
+				stored[ptr] = &availMem{val: in.Args[1]}
 				delete(loads, ptr)
 
 			case in.Op == ir.OpVecStore || in.Op == ir.OpMemset || in.Op == ir.OpMemcpy:

@@ -3,14 +3,19 @@ package passes
 import (
 	"repro/internal/aa"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // pendingStore tracks a store not yet proven observable during the
-// backward DSE walk.
+// backward DSE walk. unseqKept/meta record that an unseq-aa NoAlias
+// answer was what disproved an intervening read — the attribution an
+// eventual StoreDeleted remark carries.
 type pendingStore struct {
-	idx  int
-	ptr  ir.Value
-	size int
+	idx       int
+	ptr       ir.Value
+	size      int
+	unseqKept bool
+	meta      int
 }
 
 // dse removes stores whose value is overwritten before any possible read
@@ -18,7 +23,7 @@ type pendingStore struct {
 // perlbench PL_savestack_ix and x264 getU32 wins: the side effect on the
 // index is unsequenced with the surrounding accesses, so unseq-aa lets
 // the intermediate stores die.
-func dse(f *ir.Func, mgr *aa.Manager) int {
+func dse(f *ir.Func, mgr *aa.Manager, tel *telemetry.Session) int {
 	deleted := 0
 	mod := moduleOf(f)
 	for _, b := range f.Blocks {
@@ -40,6 +45,14 @@ func dse(f *ir.Func, mgr *aa.Manager) int {
 						mgr.Alias(aa.Location{Ptr: ptr, Size: size},
 							aa.Location{Ptr: p.ptr, Size: p.size}) == aa.MustAlias {
 						kill[i] = true
+						if tel.RemarksEnabled() {
+							tel.Remark(telemetry.Remark{
+								Pass: "dse", Function: f.Name, Loc: b.Name,
+								Kind:             "StoreDeleted",
+								EnabledByUnseqAA: p.unseqKept,
+								PredicateMeta:    p.meta,
+							})
+						}
 						break
 					}
 				}
@@ -77,11 +90,17 @@ func dse(f *ir.Func, mgr *aa.Manager) int {
 }
 
 // dropObserved removes pending stores that the given read may observe.
+// Stores that survive only thanks to an unseq-aa NoAlias answer are
+// tagged so the eventual StoreDeleted remark attributes the deletion.
 func dropObserved(pending []pendingStore, mgr *aa.Manager, readPtr ir.Value, readSize int) []pendingStore {
 	out := pending[:0]
 	for _, p := range pending {
 		if mgr.Alias(aa.Location{Ptr: p.ptr, Size: p.size},
 			aa.Location{Ptr: readPtr, Size: readSize}) == aa.NoAlias {
+			if att := mgr.Last(); att.UnseqDecided && !p.unseqKept {
+				p.unseqKept = true
+				p.meta = att.PredicateMeta
+			}
 			out = append(out, p)
 		}
 	}

@@ -2,6 +2,7 @@ package passes
 
 import (
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // inlineCalls replaces direct calls to small, non-recursive functions
@@ -11,7 +12,7 @@ import (
 // shorter optimized callee fits the threshold and gets inlined
 // everywhere, which is also why the cost model carries an icache penalty
 // for oversized functions.
-func inlineCalls(mod *ir.Module, f *ir.Func, threshold int) int {
+func inlineCalls(mod *ir.Module, f *ir.Func, threshold int, tel *telemetry.Session) int {
 	if mod == nil {
 		return 0
 	}
@@ -32,6 +33,7 @@ func inlineCalls(mod *ir.Module, f *ir.Func, threshold int) int {
 			}
 			if inlineOne(f, b, i, in, callee) {
 				inlined++
+				emitRemark(tel, nil, "inline", "CallInlined:"+callee.Name, f.Name, b.Name)
 				// The block was split; restart scanning from the next
 				// block to avoid revisiting cloned instructions twice.
 				break

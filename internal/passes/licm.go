@@ -3,6 +3,7 @@ package passes
 import (
 	"repro/internal/aa"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // licm performs loop-invariant code motion: (1) hoists invariant pure
@@ -14,7 +15,7 @@ import (
 // promoteLoopAccessesToScalars, the transform behind the paper's minmax,
 // omega.c, toke.c, and delta_encoder.c case studies. Both steps hinge on
 // NoAlias answers from the AA chain.
-func licm(f *ir.Func, mgr *aa.Manager) (hoisted, promoted int) {
+func licm(f *ir.Func, mgr *aa.Manager, tel *telemetry.Session) (hoisted, promoted int) {
 	dt := ir.ComputeDom(f)
 	loops := ir.FindLoops(f, dt)
 	// Process inner loops first so promotions compose outward.
@@ -30,18 +31,18 @@ func licm(f *ir.Func, mgr *aa.Manager) (hoisted, promoted int) {
 		if l.Preheader == nil {
 			continue
 		}
-		hoisted += hoistInvariants(f, l, mgr, dt)
+		hoisted += hoistInvariants(f, l, mgr, dt, tel)
 	}
 	// Hoisting co-locates duplicated GEP/convert chains; merge them so
 	// promotion's value-keyed grouping (and unseq-aa's value-keyed facts)
 	// see one pointer per location.
-	earlyCSE(f, mgr)
+	earlyCSE(f, mgr, nil)
 	mgr.Refresh(f)
 	for _, l := range ordered {
 		if l.Preheader == nil {
 			continue
 		}
-		promoted += promoteScalars(f, l, mgr, dt)
+		promoted += promoteScalars(f, l, mgr, dt, tel)
 	}
 	return hoisted, promoted
 }
@@ -77,7 +78,7 @@ func definedInLoop(l *ir.Loop, v ir.Value) bool {
 
 // hoistInvariants moves invariant pure instructions and safe invariant
 // loads to the preheader, iterating to a fixpoint.
-func hoistInvariants(f *ir.Func, l *ir.Loop, mgr *aa.Manager, dt *ir.DomTree) int {
+func hoistInvariants(f *ir.Func, l *ir.Loop, mgr *aa.Manager, dt *ir.DomTree, tel *telemetry.Session) int {
 	pre := l.Preheader
 	hoisted := 0
 	mod := moduleOf(f)
@@ -127,11 +128,14 @@ func hoistInvariants(f *ir.Func, l *ir.Loop, mgr *aa.Manager, dt *ir.DomTree) in
 					continue
 				}
 				canHoist := false
+				isLoadHoist := false
 				switch {
 				case isPureValueOp(in):
 					canHoist = true
 				case in.Op == ir.OpLoad && !in.Volatile && writesKnown:
 					canHoist = true
+					isLoadHoist = true
+					mgr.ResetWindow()
 					for _, w := range writes {
 						ptr, _ := memLoc(w)
 						if ptr == nil {
@@ -159,6 +163,9 @@ func hoistInvariants(f *ir.Func, l *ir.Loop, mgr *aa.Manager, dt *ir.DomTree) in
 				insertBeforeTerm(pre, in)
 				hoisted++
 				changed = true
+				if isLoadHoist {
+					emitRemark(tel, mgr, "licm", "LICMHoisted", f.Name, l.Header.Name)
+				}
 			}
 		}
 		if !changed {
@@ -191,7 +198,7 @@ func insertBeforeTerm(b *ir.Block, in *ir.Instr) {
 // promoteScalars register-promotes loop memory accessed only through one
 // invariant pointer: preheader load into a fresh alloca slot, in-loop
 // accesses retargeted to the slot, and stores sunk to every exit edge.
-func promoteScalars(f *ir.Func, l *ir.Loop, mgr *aa.Manager, dt *ir.DomTree) int {
+func promoteScalars(f *ir.Func, l *ir.Loop, mgr *aa.Manager, dt *ir.DomTree, tel *telemetry.Session) int {
 	pre := l.Preheader
 	mod := moduleOf(f)
 
@@ -259,6 +266,8 @@ func promoteScalars(f *ir.Func, l *ir.Loop, mgr *aa.Manager, dt *ir.DomTree) int
 		if g.cls == ir.Void {
 			continue
 		}
+		// Attribution window for this promotion candidate's queries.
+		mgr.ResetWindow()
 		// Mixed-width access groups are not promotable.
 		ok := true
 		for _, ld := range g.loads {
@@ -352,6 +361,7 @@ func promoteScalars(f *ir.Func, l *ir.Loop, mgr *aa.Manager, dt *ir.DomTree) int
 			exit.InsertBefore(1, sink)
 		}
 		promoted++
+		emitRemark(tel, mgr, "licm", "LICMPromoted", f.Name, l.Header.Name)
 	}
 	return promoted
 }

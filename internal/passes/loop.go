@@ -3,6 +3,7 @@ package passes
 import (
 	"repro/internal/aa"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // canonLoop is the canonical counted-loop shape produced by our
@@ -148,7 +149,7 @@ func cloneInto(dst *ir.Block, body *ir.Block, remap map[ir.Value]ir.Value) {
 // keeping the original loop as the remainder. The mustnotalias
 // intrinsics of the body are re-cloned per copy (this is why the paper's
 // "# final preds" can exceed "# initial preds").
-func unrollLoops(f *ir.Func, mgr *aa.Manager, factor int) int {
+func unrollLoops(f *ir.Func, mgr *aa.Manager, factor int, tel *telemetry.Session) int {
 	if factor < 2 {
 		return 0
 	}
@@ -169,6 +170,7 @@ func unrollLoops(f *ir.Func, mgr *aa.Manager, factor int) int {
 		}
 		buildUnrolledLoop(f, cl, factor)
 		unrolled++
+		emitRemark(tel, nil, "unroll", "LoopUnrolled", f.Name, cl.header.Name)
 	}
 	return unrolled
 }

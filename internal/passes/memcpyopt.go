@@ -3,6 +3,7 @@ package passes
 import (
 	"repro/internal/aa"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // memcpyOpt merges runs of adjacent constant stores off the same base
@@ -10,11 +11,13 @@ import (
 // cfglayout.c case study (bb->il.rtl->header = bb->il.rtl->footer = NULL
 // becomes one 16-byte memset). A run must be contiguous in the block with
 // no intervening instruction that may read or write the covered range.
-func memcpyOpt(f *ir.Func, mgr *aa.Manager) int {
+func memcpyOpt(f *ir.Func, mgr *aa.Manager, tel *telemetry.Session) int {
 	formed := 0
 	mod := moduleOf(f)
 	for _, b := range f.Blocks {
 		for i := 0; i < len(b.Instrs); i++ {
+			// Attribution window for this run's clobber queries.
+			mgr.ResetWindow()
 			run := collectStoreRun(mod, mgr, b, i)
 			if len(run) < 2 {
 				continue
@@ -53,6 +56,7 @@ func memcpyOpt(f *ir.Func, mgr *aa.Manager) int {
 			}
 			b.Instrs = out
 			formed++
+			emitRemark(tel, mgr, "memcpyopt", "MemsetFormed", f.Name, b.Name)
 		}
 	}
 	return formed

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/aa"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // Stats aggregates the per-pass counters reported in the paper's §4.2.2
@@ -52,10 +53,32 @@ func (s *Stats) Add(other Stats) {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("cse=%d combine=%d dse=%d hoist=%d promote=%d unroll=%d vec=%d inline=%d memset=%d dce=%d",
+	return fmt.Sprintf("cse=%d combine=%d dse=%d hoist=%d promote=%d unroll=%d vec=%d inline=%d funcdel=%d memset=%d dce=%d blockmerge=%d regs=%d",
 		s.CSESimplified, s.NodesCombined, s.StoresDeleted, s.LICMHoisted,
 		s.LICMPromoted, s.LoopsUnrolled, s.LoopsVectorized, s.CallsInlined,
-		s.MemsetsFormed, s.DCERemoved)
+		s.FuncsDeleted, s.MemsetsFormed, s.DCERemoved, s.BlocksMerged,
+		s.RegsAssigned)
+}
+
+// Record exports every counter into the telemetry registry under the
+// pass/ namespace.
+func (s Stats) Record(tel *telemetry.Session) {
+	if !tel.MetricsEnabled() {
+		return
+	}
+	tel.Count("pass/cse_simplified", int64(s.CSESimplified))
+	tel.Count("pass/nodes_combined", int64(s.NodesCombined))
+	tel.Count("pass/stores_deleted", int64(s.StoresDeleted))
+	tel.Count("pass/licm_hoisted", int64(s.LICMHoisted))
+	tel.Count("pass/licm_promoted", int64(s.LICMPromoted))
+	tel.Count("pass/loops_unrolled", int64(s.LoopsUnrolled))
+	tel.Count("pass/loops_vectorized", int64(s.LoopsVectorized))
+	tel.Count("pass/calls_inlined", int64(s.CallsInlined))
+	tel.Count("pass/funcs_deleted", int64(s.FuncsDeleted))
+	tel.Count("pass/memsets_formed", int64(s.MemsetsFormed))
+	tel.Count("pass/dce_removed", int64(s.DCERemoved))
+	tel.Count("pass/blocks_merged", int64(s.BlocksMerged))
+	tel.Count("pass/regs_assigned", int64(s.RegsAssigned))
 }
 
 // Options configures the pipeline.
@@ -79,6 +102,9 @@ type Options struct {
 	MemcheckThreshold int
 	// MaxIterations bounds the cleanup fixpoint.
 	MaxIterations int
+	// Telemetry receives per-pass spans and optimization remarks. Nil
+	// (the default) is a zero-overhead no-op sink.
+	Telemetry *telemetry.Session
 }
 
 // DefaultOptions is -O3.
@@ -163,39 +189,51 @@ func RunModule(mod *ir.Module, opts Options, aaStats *aa.Stats) Stats {
 	return total
 }
 
+// timed brackets one pass invocation with a telemetry span.
+func timed(tel *telemetry.Session, name string, pass func()) {
+	stop := tel.Span(name)
+	pass()
+	stop()
+}
+
 // runFunc runs the pipeline on one function.
 func runFunc(mod *ir.Module, f *ir.Func, opts Options, aaStats *aa.Stats) Stats {
 	var st Stats
+	tel := opts.Telemetry
 	mgr := aa.NewManager(f, opts.UseUnseqAA)
 	pipeline := func() {
-		st.BlocksMerged += simplifyCFG(f)
-		mem2reg(f)
+		timed(tel, "pass/simplifycfg", func() { st.BlocksMerged += simplifyCFG(f) })
+		timed(tel, "pass/mem2reg", func() { mem2reg(f) })
 		mgr.Refresh(f)
-		st.CSESimplified += earlyCSE(f, mgr)
-		st.NodesCombined += instCombine(f)
-		st.CallsInlined += inlineCalls(mod, f, opts.InlineThreshold)
-		st.BlocksMerged += simplifyCFG(f)
-		mem2reg(f)
+		timed(tel, "pass/earlycse", func() { st.CSESimplified += earlyCSE(f, mgr, tel) })
+		timed(tel, "pass/instcombine", func() { st.NodesCombined += instCombine(f) })
+		timed(tel, "pass/inline", func() { st.CallsInlined += inlineCalls(mod, f, opts.InlineThreshold, tel) })
+		timed(tel, "pass/simplifycfg", func() { st.BlocksMerged += simplifyCFG(f) })
+		timed(tel, "pass/mem2reg", func() { mem2reg(f) })
 		mgr.Refresh(f)
-		st.CSESimplified += earlyCSE(f, mgr)
-		h, p := licm(f, mgr)
-		st.LICMHoisted += h
-		st.LICMPromoted += p
-		st.DCERemoved += dce(f) // clear dead slots before loop planning
+		timed(tel, "pass/earlycse", func() { st.CSESimplified += earlyCSE(f, mgr, tel) })
+		timed(tel, "pass/licm", func() {
+			h, p := licm(f, mgr, tel)
+			st.LICMHoisted += h
+			st.LICMPromoted += p
+		})
+		timed(tel, "pass/dce", func() { st.DCERemoved += dce(f) }) // clear dead slots before loop planning
 		mgr.Refresh(f)
 		budget := 0
 		if opts.UseUnseqAA {
 			budget = opts.MemcheckThreshold
 		}
-		st.LoopsVectorized += vectorizeLoopsOpt(f, mgr, opts.VectorWidth, budget)
+		timed(tel, "pass/vectorize", func() {
+			st.LoopsVectorized += vectorizeLoopsOpt(f, mgr, opts.VectorWidth, budget, tel)
+		})
 		mgr.Refresh(f)
-		st.LoopsUnrolled += unrollLoops(f, mgr, opts.UnrollFactor)
+		timed(tel, "pass/unroll", func() { st.LoopsUnrolled += unrollLoops(f, mgr, opts.UnrollFactor, tel) })
 		mgr.Refresh(f)
-		st.CSESimplified += earlyCSE(f, mgr)
-		st.StoresDeleted += dse(f, mgr)
-		st.MemsetsFormed += memcpyOpt(f, mgr)
-		st.DCERemoved += dce(f)
-		st.BlocksMerged += simplifyCFG(f)
+		timed(tel, "pass/earlycse", func() { st.CSESimplified += earlyCSE(f, mgr, tel) })
+		timed(tel, "pass/dse", func() { st.StoresDeleted += dse(f, mgr, tel) })
+		timed(tel, "pass/memcpyopt", func() { st.MemsetsFormed += memcpyOpt(f, mgr, tel) })
+		timed(tel, "pass/dce", func() { st.DCERemoved += dce(f) })
+		timed(tel, "pass/simplifycfg", func() { st.BlocksMerged += simplifyCFG(f) })
 		mgr.Refresh(f)
 	}
 	for i := 0; i < opts.MaxIterations; i++ {
@@ -225,6 +263,24 @@ func runFunc(mod *ir.Module, f *ir.Func, opts Options, aaStats *aa.Stats) Stats 
 }
 
 // ---------- shared utilities ----------
+
+// emitRemark reports one committed transform to the remark stream,
+// attaching the unseq-aa attribution accumulated in mgr's current
+// query window (bracketed by mgr.ResetWindow before the candidate's
+// legality queries). mgr may be nil for passes that never consult AA.
+func emitRemark(tel *telemetry.Session, mgr *aa.Manager, pass, kind, fn, loc string) {
+	if !tel.RemarksEnabled() {
+		return
+	}
+	var att aa.Attribution
+	if mgr != nil {
+		att = mgr.Window()
+	}
+	tel.Remark(telemetry.Remark{
+		Pass: pass, Function: fn, Loc: loc, Kind: kind,
+		EnabledByUnseqAA: att.UnseqDecided, PredicateMeta: att.PredicateMeta,
+	})
+}
 
 // buildUses computes value -> using instructions.
 func buildUses(f *ir.Func) map[ir.Value][]*ir.Instr {

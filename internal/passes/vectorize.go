@@ -3,6 +3,7 @@ package passes
 import (
 	"repro/internal/aa"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // vectorizeLoops widens canonical innermost loops by W lanes.
@@ -28,10 +29,10 @@ import (
 // "LoopVectorize uses the extra aliasing information in its cost
 // calculation" mechanism described for gcc's regmove.c.
 func vectorizeLoops(f *ir.Func, mgr *aa.Manager, width int) int {
-	return vectorizeLoopsOpt(f, mgr, width, 0)
+	return vectorizeLoopsOpt(f, mgr, width, 0, nil)
 }
 
-func vectorizeLoopsOpt(f *ir.Func, mgr *aa.Manager, width, memcheckBudget int) int {
+func vectorizeLoopsOpt(f *ir.Func, mgr *aa.Manager, width, memcheckBudget int, tel *telemetry.Session) int {
 	if width < 2 {
 		return 0
 	}
@@ -49,12 +50,15 @@ func vectorizeLoopsOpt(f *ir.Func, mgr *aa.Manager, width, memcheckBudget int) i
 		if hasVectorOps(cl.body) {
 			continue
 		}
+		// Attribution window for this loop's dependence queries.
+		mgr.ResetWindow()
 		plan, ok := planVectorization(f, cl, mgr, width, memcheckBudget)
 		if !ok {
 			continue
 		}
 		emitVectorLoop(f, cl, plan, width)
 		count++
+		emitRemark(tel, mgr, "vectorize", "LoopVectorized", f.Name, cl.header.Name)
 	}
 	return count
 }
@@ -388,10 +392,10 @@ func planVectorization(f *ir.Func, cl *canonLoop, mgr *aa.Manager, width, budget
 		plan.scales = append(plan.scales, scale)
 		return true
 	}
-	unseqSaysNo := func(a, b aa.Location) bool {
-		u := mgr.Unseq()
-		return u != nil && u.Alias(a, b) == aa.NoAlias
-	}
+	// UnseqDecides additionally merges the fact's predicate id into the
+	// manager's attribution window, so the LoopVectorized remark can name
+	// the π predicate that flipped the cost calculation.
+	unseqSaysNo := mgr.UnseqDecides
 
 	allStreams := append(append([]stream{}, plan.loads...), plan.stores...)
 	for _, st := range plan.stores {

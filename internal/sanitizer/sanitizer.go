@@ -12,6 +12,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/driver"
 	"repro/internal/interp"
+	"repro/internal/telemetry"
 )
 
 // Failure is one runtime must-not-alias violation.
@@ -60,11 +61,19 @@ func Check(name, src string, files map[string]string, entry string) (*Report, er
 // analysis — used by the automatic annotator to validate its insertions.
 func CheckTransformed(name, src string, files map[string]string, entry string,
 	transform func(*ast.TranslationUnit)) (*Report, error) {
+	return CheckWith(name, src, files, entry, transform, nil)
+}
+
+// CheckWith is CheckTransformed with a telemetry session attached to the
+// compilation and the sanitized run.
+func CheckWith(name, src string, files map[string]string, entry string,
+	transform func(*ast.TranslationUnit), tel *telemetry.Session) (*Report, error) {
 	c, err := driver.Compile(name, src, driver.Config{
 		OOElala:   true,
 		Sanitize:  true,
 		Files:     files,
 		Transform: transform,
+		Telemetry: tel,
 	})
 	if err != nil {
 		return nil, err
@@ -79,7 +88,10 @@ func CheckTransformed(name, src string, files map[string]string, entry string,
 	if entry == "" {
 		entry = "main"
 	}
+	stop := tel.Span("phase/interp")
 	res, err := m.RunArgs(entry)
+	stop()
+	m.Report(tel)
 	if err != nil {
 		return rep, err
 	}

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Flags is the standard telemetry flag set shared by the CLIs
+// (ooelala, ooebench, ubsan). Register it with RegisterFlags, build the
+// session with Session(), and call Finish after the work is done.
+type Flags struct {
+	// Stats enables counter/gauge collection (-stats).
+	Stats bool
+	// TimePasses enables phase/pass wall-clock spans (-time-passes).
+	TimePasses bool
+	// Remarks enables the optimization-remark stream (-remarks).
+	Remarks bool
+	// JSONPath, if non-empty, writes the full snapshot as JSON
+	// (-metrics-json). Implies all three streams.
+	JSONPath string
+	// PromPath, if non-empty, writes the snapshot in Prometheus text
+	// exposition format (-metrics-prom). Implies all three streams.
+	PromPath string
+}
+
+// RegisterFlags binds the telemetry flags onto fs (use
+// flag.CommandLine for the process flag set).
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.BoolVar(&f.Stats, "stats", false, "collect and print analysis/pass/AA counters")
+	fs.BoolVar(&f.TimePasses, "time-passes", false, "time every compiler phase and optimization pass")
+	fs.BoolVar(&f.Remarks, "remarks", false, "print optimization remarks with unseq-aa attribution")
+	fs.StringVar(&f.JSONPath, "metrics-json", "", "write all collected metrics as JSON to `path`")
+	fs.StringVar(&f.PromPath, "metrics-prom", "", "write all collected metrics in Prometheus text format to `path`")
+	return f
+}
+
+// Config maps the flags to a telemetry configuration. A machine-readable
+// export destination turns every stream on.
+func (f *Flags) Config() Config {
+	exportAll := f.JSONPath != "" || f.PromPath != ""
+	return Config{
+		Metrics: f.Stats || exportAll,
+		Timing:  f.TimePasses || exportAll,
+		Remarks: f.Remarks || exportAll,
+	}
+}
+
+// Session builds the session for the flags; nil (the zero-overhead
+// no-op) when no telemetry flag was given.
+func (f *Flags) Session() *Session { return New(f.Config()) }
+
+// Finish renders the session: human text to w when any of the explicit
+// print flags was given, plus the JSON/Prometheus artifacts. Safe to
+// call with a nil session.
+func (f *Flags) Finish(s *Session, w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	snap := s.Snapshot()
+	if f.Stats || f.TimePasses || f.Remarks {
+		if err := WriteText(w, snap); err != nil {
+			return err
+		}
+	}
+	if f.JSONPath != "" {
+		if err := writeFile(f.JSONPath, snap, WriteJSON); err != nil {
+			return fmt.Errorf("metrics-json: %w", err)
+		}
+	}
+	if f.PromPath != "" {
+		if err := writeFile(f.PromPath, snap, WritePrometheus); err != nil {
+			return fmt.Errorf("metrics-prom: %w", err)
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, snap *Snapshot, render func(io.Writer, *Snapshot) error) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(out, snap); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

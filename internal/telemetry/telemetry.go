@@ -1,0 +1,330 @@
+// Package telemetry is the observability substrate for the OOElala
+// pipeline: a metrics registry (counters, gauges, duration histograms),
+// phase spans (the -time-passes analog), and a structured
+// optimization-remark stream (the -Rpass analog) that carries unseq-aa
+// attribution so the paper's causal chain — extra NoAlias answers →
+// extra transforms → speedup — is observable per transform.
+//
+// The zero value of the system is "off": a nil *Session is a valid
+// no-op sink, and every method on it is allocation-free, so the
+// compiler hot path can be instrumented unconditionally.
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Config selects which telemetry streams a Session collects. Each
+// stream is independent so the CLIs can map -stats, -time-passes and
+// -remarks onto exactly one of them.
+type Config struct {
+	// Metrics enables the counter/gauge registry (-stats).
+	Metrics bool
+	// Timing enables phase/pass spans (-time-passes).
+	Timing bool
+	// Remarks enables the optimization-remark stream (-remarks).
+	Remarks bool
+}
+
+// Enabled reports whether any stream is on.
+func (c Config) Enabled() bool { return c.Metrics || c.Timing || c.Remarks }
+
+// Remark is one structured optimization remark: a single transform a
+// pass performed, with enough context to attribute it. When the
+// transform was only legal because unseq-aa answered NoAlias on a
+// query every other analysis left as MayAlias, EnabledByUnseqAA is set
+// and PredicateMeta carries the provenance id of the π predicate
+// (the mustnotalias intrinsic's Meta) that supplied the fact.
+type Remark struct {
+	Pass             string `json:"pass"`
+	Function         string `json:"function"`
+	Loc              string `json:"loc,omitempty"` // block or loop header
+	Kind             string `json:"kind"`
+	EnabledByUnseqAA bool   `json:"enabledByUnseqAA"`
+	PredicateMeta    int    `json:"predicateMeta"`
+}
+
+// Duration histogram buckets (upper bounds); the last bucket is +Inf.
+var bucketBounds = [...]time.Duration{
+	10 * time.Microsecond,
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+}
+
+// NumBuckets is the histogram bucket count (bounds + overflow).
+const NumBuckets = len(bucketBounds) + 1
+
+func bucketFor(d time.Duration) int {
+	for i, b := range bucketBounds {
+		if d <= b {
+			return i
+		}
+	}
+	return NumBuckets - 1
+}
+
+// durStat accumulates one span name's timing.
+type durStat struct {
+	count   int64
+	total   time.Duration
+	max     time.Duration
+	buckets [NumBuckets]int64
+}
+
+// Session is a telemetry sink. A nil session is the no-op default; all
+// methods are safe (and allocation-free) on nil.
+type Session struct {
+	cfg Config
+
+	mu           sync.Mutex
+	counters     map[string]int64
+	counterOrder []string
+	gauges       map[string]float64
+	gaugeOrder   []string
+	durs         map[string]*durStat
+	durOrder     []string
+	remarks      []Remark
+}
+
+// New builds a session collecting the configured streams. If nothing
+// is enabled it returns nil — the canonical no-op sink.
+func New(cfg Config) *Session {
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &Session{
+		cfg:      cfg,
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		durs:     make(map[string]*durStat),
+	}
+}
+
+// noopStop is the pre-allocated stop function returned by disabled
+// spans, keeping Span allocation-free on the no-op path.
+var noopStop = func() {}
+
+// MetricsEnabled reports whether the counter registry is collecting.
+func (s *Session) MetricsEnabled() bool { return s != nil && s.cfg.Metrics }
+
+// TimingEnabled reports whether spans are collecting.
+func (s *Session) TimingEnabled() bool { return s != nil && s.cfg.Timing }
+
+// RemarksEnabled reports whether the remark stream is collecting.
+func (s *Session) RemarksEnabled() bool { return s != nil && s.cfg.Remarks }
+
+// Count adds delta to the named counter.
+func (s *Session) Count(name string, delta int64) {
+	if s == nil || !s.cfg.Metrics {
+		return
+	}
+	s.mu.Lock()
+	if _, ok := s.counters[name]; !ok {
+		s.counterOrder = append(s.counterOrder, name)
+	}
+	s.counters[name] += delta
+	s.mu.Unlock()
+}
+
+// SetGauge sets the named gauge.
+func (s *Session) SetGauge(name string, v float64) {
+	if s == nil || !s.cfg.Metrics {
+		return
+	}
+	s.mu.Lock()
+	if _, ok := s.gauges[name]; !ok {
+		s.gaugeOrder = append(s.gaugeOrder, name)
+	}
+	s.gauges[name] = v
+	s.mu.Unlock()
+}
+
+// AddGauge accumulates into the named gauge (e.g. simulated cycles
+// across multiple runs).
+func (s *Session) AddGauge(name string, v float64) {
+	if s == nil || !s.cfg.Metrics {
+		return
+	}
+	s.mu.Lock()
+	if _, ok := s.gauges[name]; !ok {
+		s.gaugeOrder = append(s.gaugeOrder, name)
+	}
+	s.gauges[name] += v
+	s.mu.Unlock()
+}
+
+// Span starts a timed phase and returns its stop function. Durations
+// for the same name accumulate (count/total/max + histogram), so
+// repeated pass invocations fold into one line of -time-passes output.
+func (s *Session) Span(name string) func() {
+	if s == nil || !s.cfg.Timing {
+		return noopStop
+	}
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		s.mu.Lock()
+		st := s.durs[name]
+		if st == nil {
+			st = &durStat{}
+			s.durs[name] = st
+			s.durOrder = append(s.durOrder, name)
+		}
+		st.count++
+		st.total += d
+		if d > st.max {
+			st.max = d
+		}
+		st.buckets[bucketFor(d)]++
+		s.mu.Unlock()
+	}
+}
+
+// RecordDuration folds an externally-measured duration into the named
+// span accumulator.
+func (s *Session) RecordDuration(name string, d time.Duration) {
+	if s == nil || !s.cfg.Timing {
+		return
+	}
+	s.mu.Lock()
+	st := s.durs[name]
+	if st == nil {
+		st = &durStat{}
+		s.durs[name] = st
+		s.durOrder = append(s.durOrder, name)
+	}
+	st.count++
+	st.total += d
+	if d > st.max {
+		st.max = d
+	}
+	st.buckets[bucketFor(d)]++
+	s.mu.Unlock()
+}
+
+// Remark appends r to the remark stream.
+func (s *Session) Remark(r Remark) {
+	if s == nil || !s.cfg.Remarks {
+		return
+	}
+	s.mu.Lock()
+	s.remarks = append(s.remarks, r)
+	s.mu.Unlock()
+}
+
+// ---------- snapshots ----------
+
+// Counter is one named counter value in a snapshot.
+type Counter struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Gauge is one named gauge value in a snapshot.
+type Gauge struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// DurationStat is one span accumulator in a snapshot.
+type DurationStat struct {
+	Name    string            `json:"name"`
+	Count   int64             `json:"count"`
+	TotalNS int64             `json:"total_ns"`
+	MaxNS   int64             `json:"max_ns"`
+	Buckets [NumBuckets]int64 `json:"buckets"`
+}
+
+// Total returns the accumulated wall time.
+func (d DurationStat) Total() time.Duration { return time.Duration(d.TotalNS) }
+
+// Snapshot is a point-in-time copy of everything a session collected,
+// in first-seen order (deterministic output).
+type Snapshot struct {
+	Counters  []Counter      `json:"counters"`
+	Gauges    []Gauge        `json:"gauges"`
+	Durations []DurationStat `json:"phases"`
+	Remarks   []Remark       `json:"remarks"`
+}
+
+// Snapshot copies the session's current state. Safe on nil (returns an
+// empty snapshot).
+func (s *Session) Snapshot() *Snapshot {
+	snap := &Snapshot{}
+	if s == nil {
+		return snap
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, n := range s.counterOrder {
+		snap.Counters = append(snap.Counters, Counter{Name: n, Value: s.counters[n]})
+	}
+	for _, n := range s.gaugeOrder {
+		snap.Gauges = append(snap.Gauges, Gauge{Name: n, Value: s.gauges[n]})
+	}
+	for _, n := range s.durOrder {
+		st := s.durs[n]
+		snap.Durations = append(snap.Durations, DurationStat{
+			Name: n, Count: st.count, TotalNS: int64(st.total),
+			MaxNS: int64(st.max), Buckets: st.buckets,
+		})
+	}
+	snap.Remarks = append(snap.Remarks, s.remarks...)
+	return snap
+}
+
+// Diff returns the delta snapshot s − prev: counters, gauges and
+// durations subtract by name (entries absent from prev pass through),
+// and remarks are the suffix appended since prev was taken. Use it to
+// attribute metrics to one stage of a longer run.
+func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
+	if prev == nil {
+		return s
+	}
+	out := &Snapshot{}
+	pc := map[string]int64{}
+	for _, c := range prev.Counters {
+		pc[c.Name] = c.Value
+	}
+	for _, c := range s.Counters {
+		if v := c.Value - pc[c.Name]; v != 0 {
+			out.Counters = append(out.Counters, Counter{Name: c.Name, Value: v})
+		}
+	}
+	pg := map[string]float64{}
+	for _, g := range prev.Gauges {
+		pg[g.Name] = g.Value
+	}
+	for _, g := range s.Gauges {
+		if v := g.Value - pg[g.Name]; v != 0 {
+			out.Gauges = append(out.Gauges, Gauge{Name: g.Name, Value: v})
+		}
+	}
+	pd := map[string]DurationStat{}
+	for _, d := range prev.Durations {
+		pd[d.Name] = d
+	}
+	for _, d := range s.Durations {
+		p := pd[d.Name]
+		if d.Count == p.Count && d.TotalNS == p.TotalNS {
+			continue
+		}
+		nd := DurationStat{
+			Name: d.Name, Count: d.Count - p.Count,
+			TotalNS: d.TotalNS - p.TotalNS, MaxNS: d.MaxNS,
+		}
+		for i := range nd.Buckets {
+			nd.Buckets[i] = d.Buckets[i] - p.Buckets[i]
+		}
+		out.Durations = append(out.Durations, nd)
+	}
+	if len(s.Remarks) > len(prev.Remarks) {
+		out.Remarks = append(out.Remarks, s.Remarks[len(prev.Remarks):]...)
+	}
+	return out
+}

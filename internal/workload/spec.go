@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/driver"
+	"repro/internal/telemetry"
 )
 
 // Table5Row aggregates the paper's Table 5 statistics for one benchmark
@@ -33,10 +34,16 @@ func (r Table5Row) QueryIncreasePct() float64 {
 // MeasureTable5 compiles every generated unit of b under baseline and
 // OOElala configurations and aggregates the Table 5 columns.
 func MeasureTable5(b SpecBenchmark) (Table5Row, error) {
+	return MeasureTable5With(b, nil)
+}
+
+// MeasureTable5With is MeasureTable5 with telemetry attached to the
+// OOElala-side compilations.
+func MeasureTable5With(b SpecBenchmark, tel *telemetry.Session) (Table5Row, error) {
 	row := Table5Row{Bench: b}
 	for _, u := range GenerateUnits(b) {
 		row.GenLOC += countLines(u.Source)
-		ooe, err := driver.Compile(u.Name, u.Source, driver.Config{OOElala: true})
+		ooe, err := driver.Compile(u.Name, u.Source, driver.Config{OOElala: true, Telemetry: tel})
 		if err != nil {
 			return row, fmt.Errorf("%s: %w", u.Name, err)
 		}
@@ -74,13 +81,19 @@ func (r Table6Row) DeltaPct() float64 {
 // MeasureTable6 runs every generated unit of b under both compilers and
 // sums simulated cycles.
 func MeasureTable6(b SpecBenchmark) (Table6Row, error) {
+	return MeasureTable6With(b, nil)
+}
+
+// MeasureTable6With is MeasureTable6 with telemetry attached to the
+// OOElala-side compilations and runs (the baseline is untracked).
+func MeasureTable6With(b SpecBenchmark, tel *telemetry.Session) (Table6Row, error) {
 	row := Table6Row{Bench: b, ResultMatch: true}
 	for _, u := range GenerateUnits(b) {
 		base, err := driver.Compile(u.Name, u.Source, driver.Config{OOElala: false})
 		if err != nil {
 			return row, fmt.Errorf("%s baseline: %w", u.Name, err)
 		}
-		ooe, err := driver.Compile(u.Name, u.Source, driver.Config{OOElala: true})
+		ooe, err := driver.Compile(u.Name, u.Source, driver.Config{OOElala: true, Telemetry: tel})
 		if err != nil {
 			return row, fmt.Errorf("%s: %w", u.Name, err)
 		}
