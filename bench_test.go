@@ -12,6 +12,9 @@
 package repro_test
 
 import (
+	"fmt"
+	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/annotate"
@@ -381,6 +384,55 @@ func BenchmarkRestrictComparison(b *testing.B) {
 				ratio = speedupOf(b, p.Name, p.Source, workload.RestrictMeasureOpts())
 			}
 			b.ReportMetric(ratio, "speedup")
+		})
+	}
+}
+
+// BenchmarkCompileParallel measures the middle-end worker pool on a
+// wide translation unit (many independent loop-heavy functions — the
+// shape that parallelizes). The -j 1 sub-benchmark is the sequential
+// oracle; the -j GOMAXPROCS one is the default configuration. Their
+// output is asserted byte-identical elsewhere
+// (TestParallelCompileDeterminism); here only wall clock may differ.
+func BenchmarkCompileParallel(b *testing.B) {
+	var sb strings.Builder
+	const funcs = 24
+	sb.WriteString("double data[512];\n")
+	for i := 0; i < funcs; i++ {
+		fmt.Fprintf(&sb, `double kernel%d(double *mn, double *mx) {
+  double s = 0;
+  for (int r = 0; r < 6; r++) {
+    for (int i = 0; i < 512; i++) {
+      if (data[i] < *mn) *mn = data[i];
+      if (data[i] > *mx) *mx = data[i];
+      s += data[i] * %d.0;
+    }
+  }
+  return s;
+}
+`, i, i+1)
+	}
+	sb.WriteString("double mn, mx;\nint main() {\n  double s = 0;\n")
+	for i := 0; i < funcs; i++ {
+		fmt.Fprintf(&sb, "  s += kernel%d(&mn, &mx);\n", i)
+	}
+	sb.WriteString("  return (int)s;\n}\n")
+	src := sb.String()
+
+	widths := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		widths = append(widths, n)
+	}
+	for _, jobs := range widths {
+		jobs := jobs
+		b.Run(fmt.Sprintf("j%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := driver.Compile("wide.c", src, driver.Config{OOElala: true, Jobs: jobs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = c
+			}
 		})
 	}
 }

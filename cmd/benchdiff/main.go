@@ -1,0 +1,120 @@
+// Command benchdiff compares two BENCH_ooebench.json artifacts (as
+// written by `ooebench -json`) and fails when the current run regresses
+// past a tolerance, so CI can gate on cost-model performance:
+//
+//	benchdiff [-tolerance pct] baseline.json current.json
+//
+// Table 4 rows regress when a kernel's speedup drops more than the
+// tolerance below the baseline's; Table 6 rows regress when a bench's
+// OOElala cycle count grows more than the tolerance above the
+// baseline's. A kernel or bench present in the baseline but missing
+// from the current run is also a failure (a silently dropped benchmark
+// must not pass the gate). Exit status: 0 ok, 1 regression, 2 usage.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchJSON struct {
+	Table4 []table4Row `json:"table4"`
+	Table6 []table6Row `json:"table6"`
+}
+
+type table4Row struct {
+	Kernel  string  `json:"kernel"`
+	Speedup float64 `json:"speedup"`
+}
+
+type table6Row struct {
+	Bench      string  `json:"bench"`
+	CyclesBase float64 `json:"cyclesBase"`
+	CyclesOOE  float64 `json:"cyclesOOElala"`
+}
+
+func main() {
+	tol := flag.Float64("tolerance", 10, "allowed regression in percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance pct] baseline.json current.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	regressions := 0
+	report := func(kind, name string, baseV, curV, deltaPct float64, worse bool) {
+		status := "ok"
+		if worse {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-8s %-14s base=%-14.4g cur=%-14.4g delta=%+7.2f%%  %s\n",
+			kind, name, baseV, curV, deltaPct, status)
+	}
+
+	cur4 := map[string]table4Row{}
+	for _, r := range cur.Table4 {
+		cur4[r.Kernel] = r
+	}
+	for _, b := range base.Table4 {
+		c, ok := cur4[b.Kernel]
+		if !ok {
+			fmt.Printf("table4   %-14s MISSING from current run\n", b.Kernel)
+			regressions++
+			continue
+		}
+		delta := 100 * (c.Speedup - b.Speedup) / b.Speedup
+		report("table4", b.Kernel, b.Speedup, c.Speedup, delta, delta < -*tol)
+	}
+
+	cur6 := map[string]table6Row{}
+	for _, r := range cur.Table6 {
+		cur6[r.Bench] = r
+	}
+	for _, b := range base.Table6 {
+		c, ok := cur6[b.Bench]
+		if !ok {
+			fmt.Printf("table6   %-14s MISSING from current run\n", b.Bench)
+			regressions++
+			continue
+		}
+		delta := 100 * (c.CyclesOOE - b.CyclesOOE) / b.CyclesOOE
+		report("table6", b.Bench, b.CyclesOOE, c.CyclesOOE, delta, delta > *tol)
+	}
+
+	if regressions > 0 {
+		fmt.Printf("benchdiff: %d regression(s) beyond %.1f%% tolerance\n", regressions, *tol)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: all rows within %.1f%% tolerance\n", *tol)
+}
+
+func load(path string) (*benchJSON, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b benchJSON
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Table4) == 0 && len(b.Table6) == 0 {
+		return nil, fmt.Errorf("%s: no table4/table6 rows (was it written by ooebench -json?)", path)
+	}
+	return &b, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -72,9 +72,11 @@ func main() {
 	ub := flag.Bool("ubsan", false, "run the sanitizer sweep (§4.2.3)")
 	all := flag.Bool("all", false, "run everything")
 	jsonOut := flag.Bool("json", false, "write table rows to BENCH_ooebench.json")
+	jobs := flag.Int("j", 0, "per-function compilation parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	driver.SetDefaultJobs(*jobs)
 	tel = tf.Session()
 	any := false
 	run := func(enabled bool, f func() error) {

@@ -18,6 +18,7 @@
 //	-remarks       print optimization remarks with unseq-aa attribution
 //	-metrics-json  write every collected metric as JSON to the given path
 //	-metrics-prom  write metrics in Prometheus text format to the given path
+//	-j N           per-function compilation parallelism (0 = GOMAXPROCS)
 //	-D name=value  predefine an object-like macro (repeatable)
 package main
 
@@ -53,6 +54,7 @@ func main() {
 	run := flag.Bool("run", false, "execute main() and report result + cycles")
 	compare := flag.Bool("compare", false, "run under both configurations and report the speedup")
 	dumpIR := flag.Bool("dump-ir", false, "print the optimized IR")
+	jobs := flag.Int("j", 0, "per-function compilation parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	autoAnnotate := flag.Bool("auto-annotate", false,
 		"insert CANT_ALIAS-equivalent annotations algorithmically (validated via the sanitizer)")
@@ -71,12 +73,14 @@ func main() {
 		fatal(err)
 	}
 
+	driver.SetDefaultJobs(*jobs)
 	tel := tf.Session()
 	cfg := driver.Config{
 		OOElala:   !*baseline,
 		NoOpt:     *noOpt,
 		Files:     workload.Files(),
 		Defines:   defines,
+		Jobs:      *jobs,
 		Telemetry: tel,
 	}
 	if *autoAnnotate {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/driver"
 	"repro/internal/sanitizer"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -23,8 +24,10 @@ import (
 
 func main() {
 	entry := flag.String("entry", "main", "entry function to execute")
+	jobs := flag.Int("j", 0, "per-function compilation parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	driver.SetDefaultJobs(*jobs)
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ubsan [-entry name] file.c")
 		os.Exit(2)

@@ -42,6 +42,12 @@ type Config struct {
 	// Transform, if set, runs after semantic analysis and may rewrite the
 	// AST (e.g. the automatic annotator); sema is re-run afterwards.
 	Transform func(*ast.TranslationUnit)
+	// Jobs bounds the worker pool the per-function analysis and pass
+	// pipeline shard across (the -j flag). 0 uses the process default
+	// (SetDefaultJobs, else GOMAXPROCS); 1 forces the sequential path,
+	// the differential-testing oracle. Output is byte-identical across
+	// all values — results merge in original function order.
+	Jobs int
 	// Telemetry, if non-nil, receives phase spans, pass/AA counters, and
 	// optimization remarks. The nil default has zero overhead.
 	Telemetry *telemetry.Session
@@ -112,10 +118,11 @@ func Compile(name, src string, cfg Config) (*Compilation, error) {
 		}
 	}
 
+	jobs := cfg.jobs()
 	ooeCfg := ooe.Config{}
 	an := ooe.New(ooeCfg, ooe.FuncMap(tu))
 	stop = tel.Span("phase/ooe")
-	reports := an.AnalyzeUnit(tu)
+	reports := an.AnalyzeUnitJobs(tu, jobs)
 	stop()
 
 	c := &Compilation{Name: name, TU: tu, Reports: reports, cfg: cfg}
@@ -154,6 +161,9 @@ func Compile(name, src string, cfg Config) (*Compilation, error) {
 	popts.UseUnseqAA = cfg.OOElala
 	if popts.Telemetry == nil {
 		popts.Telemetry = tel
+	}
+	if popts.Jobs == 0 {
+		popts.Jobs = jobs
 	}
 	if cfg.NoOpt || cfg.Sanitize {
 		// The paper limits the sanitizer to unoptimized IR.
@@ -263,14 +273,17 @@ func Speedup(name, src string, files map[string]string, popts *passes.Options) (
 // SpeedupWith is Speedup with a telemetry session attached to the
 // OOElala-side compilation and run (the baseline side is untracked so
 // remarks and counters reflect the paper's pipeline, not the control).
+// Compile errors from either leg propagate with the leg identified — a
+// failure on the telemetry-carrying OOElala side must never surface as
+// a silent zero ratio.
 func SpeedupWith(name, src string, files map[string]string, popts *passes.Options, tel *telemetry.Session) (ratio float64, result int64, err error) {
 	base, err := Compile(name, src, Config{OOElala: false, Files: files, PassOptions: popts})
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, fmt.Errorf("baseline compile: %w", err)
 	}
 	opt, err := Compile(name, src, Config{OOElala: true, Files: files, PassOptions: popts, Telemetry: tel})
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, fmt.Errorf("ooelala compile: %w", err)
 	}
 	rBase, cBase, err := base.Run("")
 	if err != nil {
@@ -283,8 +296,8 @@ func SpeedupWith(name, src string, files map[string]string, popts *passes.Option
 	if rBase != rOpt {
 		return 0, 0, fmt.Errorf("MISCOMPILE: baseline=%d ooelala=%d", rBase, rOpt)
 	}
-	if cOpt == 0 {
-		return 0, 0, fmt.Errorf("zero cycle count")
+	if cBase == 0 || cOpt == 0 {
+		return 0, 0, fmt.Errorf("zero cycle count (base=%.0f ooe=%.0f)", cBase, cOpt)
 	}
 	return cBase / cOpt, rBase, nil
 }

@@ -1,0 +1,109 @@
+package driver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// defaultJobs is the process-wide worker-pool default used when
+// Config.Jobs is zero — the CLIs' -j flag plumbs into it so every
+// compilation a command triggers (including ones constructed deep in
+// the workload helpers) picks the setting up. Zero means GOMAXPROCS.
+var defaultJobs atomic.Int32
+
+// SetDefaultJobs sets the process-wide default worker count applied
+// when Config.Jobs is zero. n <= 0 restores the GOMAXPROCS default.
+func SetDefaultJobs(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultJobs.Store(int32(n))
+}
+
+// jobs resolves the effective worker count for a configuration:
+// Config.Jobs when set, else the process default, else GOMAXPROCS.
+func (c Config) jobs() int {
+	if c.Jobs > 0 {
+		return c.Jobs
+	}
+	if n := defaultJobs.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Unit is one translation unit for batch compilation.
+type Unit struct {
+	Name   string
+	Source string
+}
+
+// CompileAll compiles every unit under cfg across a bounded worker pool
+// (cfg.Jobs workers; see Config.Jobs). The first failure cancels the
+// remaining unstarted units via the context, and every error that did
+// occur is aggregated in unit order. Results are returned in unit
+// order; entries whose compilation failed or was cancelled are nil. If
+// cfg.Telemetry is set, each unit collects into a fork of the session,
+// merged back in unit order — the combined stream is byte-stable
+// regardless of interleaving when every unit succeeds.
+func CompileAll(ctx context.Context, units []Unit, cfg Config) ([]*Compilation, error) {
+	n := len(units)
+	out := make([]*Compilation, n)
+	if n == 0 {
+		return out, nil
+	}
+	jobs := cfg.jobs()
+	if jobs > n {
+		jobs = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	tel := cfg.Telemetry
+	errs := make([]error, n)
+	children := make([]*telemetry.Session, n)
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if ctx.Err() != nil {
+					errs[i] = fmt.Errorf("%s: %w", units[i].Name, ctx.Err())
+					continue
+				}
+				ucfg := cfg
+				ucfg.Telemetry = tel.Fork()
+				children[i] = ucfg.Telemetry
+				c, err := Compile(units[i].Name, units[i].Source, ucfg)
+				if err != nil {
+					errs[i] = err
+					cancel()
+					continue
+				}
+				out[i] = c
+			}
+		}()
+	}
+	wg.Wait()
+	for i, child := range children {
+		tel.Merge(child)
+		if out[i] != nil {
+			// Post-compile activity (Run spans, machine reports) must
+			// land in the live session, not the drained fork.
+			out[i].cfg.Telemetry = tel
+		}
+	}
+	return out, errors.Join(errs...)
+}

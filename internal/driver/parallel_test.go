@@ -1,0 +1,150 @@
+package driver
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// multiFunc exercises the inliner across functions so the parallel
+// scheduler's dependency ordering actually matters.
+const multiFunc = `int a[8];
+int sum(int n) { int s = 0; for (int i = 0; i < n; i++) s += a[i]; return s; }
+int twice(int n) { return sum(n) + sum(n); }
+int main() { for (int i = 0; i < 8; i++) a[i] = i; return twice(8); }`
+
+func TestCompileAllPreservesUnitOrder(t *testing.T) {
+	units := []Unit{
+		{Name: "u0.c", Source: "int main() { return 1; }"},
+		{Name: "u1.c", Source: multiFunc},
+		{Name: "u2.c", Source: "int main() { return 3; }"},
+		{Name: "u3.c", Source: "int g; int main() { g = 4; return g; }"},
+	}
+	out, err := CompileAll(context.Background(), units, Config{OOElala: true, Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(units) {
+		t.Fatalf("got %d results, want %d", len(out), len(units))
+	}
+	for i, c := range out {
+		if c == nil {
+			t.Fatalf("unit %d: nil compilation", i)
+		}
+		if c.Name != units[i].Name {
+			t.Errorf("result %d is %q, want %q", i, c.Name, units[i].Name)
+		}
+	}
+	want := []int64{1, 56, 3, 4}
+	for i, c := range out {
+		res, _, err := c.Run("")
+		if err != nil {
+			t.Fatalf("unit %d run: %v", i, err)
+		}
+		if res != want[i] {
+			t.Errorf("unit %d result %d, want %d", i, res, want[i])
+		}
+	}
+}
+
+func TestCompileAllAggregatesErrors(t *testing.T) {
+	units := []Unit{
+		{Name: "good.c", Source: "int main() { return 0; }"},
+		{Name: "bad.c", Source: "int main() { return x; }"},
+	}
+	out, err := CompileAll(context.Background(), units, Config{Jobs: 2})
+	if err == nil {
+		t.Fatal("want error from bad.c")
+	}
+	if !strings.Contains(err.Error(), "bad.c") {
+		t.Errorf("error does not identify the failing unit: %v", err)
+	}
+	if out[1] != nil {
+		t.Error("failed unit produced a non-nil compilation")
+	}
+}
+
+func TestCompileAllCancelsAfterFirstError(t *testing.T) {
+	// One failing unit up front, many units behind it, one worker: the
+	// cancellation must mark every unstarted unit rather than compiling
+	// it.
+	units := []Unit{{Name: "bad.c", Source: "int x = ;"}}
+	for i := 0; i < 6; i++ {
+		units = append(units, Unit{Name: "ok.c", Source: "int main() { return 0; }"})
+	}
+	out, err := CompileAll(context.Background(), units, Config{Jobs: 1})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "bad.c") {
+		t.Errorf("missing failing unit in error: %v", err)
+	}
+	cancelled := 0
+	for _, c := range out[1:] {
+		if c == nil {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no unit was cancelled after the first failure")
+	}
+	if !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Errorf("cancelled units not reported: %v", err)
+	}
+}
+
+func TestCompileAllMergesTelemetry(t *testing.T) {
+	tel := telemetry.New(telemetry.Config{Metrics: true})
+	units := []Unit{
+		{Name: "u0.c", Source: multiFunc},
+		{Name: "u1.c", Source: multiFunc},
+	}
+	out, err := CompileAll(context.Background(), units, Config{OOElala: true, Jobs: 2, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tel.Snapshot()
+	got := map[string]int64{}
+	for _, c := range snap.Counters {
+		got[c.Name] = c.Value
+	}
+	want := 2 * int64(out[0].Frontend.FullExprs)
+	if got["frontend/full_exprs"] != want {
+		t.Errorf("merged frontend/full_exprs = %d, want %d", got["frontend/full_exprs"], want)
+	}
+	// Post-merge activity must land in the live session, not the fork.
+	before := len(tel.Snapshot().Gauges)
+	if _, _, err := out[0].Run(""); err != nil {
+		t.Fatal(err)
+	}
+	if after := len(tel.Snapshot().Gauges); after <= before {
+		t.Error("post-compile Run did not report into the merged session")
+	}
+}
+
+func TestSpeedupPropagatesCompileErrors(t *testing.T) {
+	_, _, err := Speedup("broken.c", "int main() { return x; }", nil, nil)
+	if err == nil {
+		t.Fatal("want compile error")
+	}
+	if !strings.Contains(err.Error(), "compile") {
+		t.Errorf("error does not identify the compile leg: %v", err)
+	}
+}
+
+func TestJobsResolution(t *testing.T) {
+	defer SetDefaultJobs(0)
+	if got := (Config{Jobs: 3}).jobs(); got != 3 {
+		t.Errorf("explicit Jobs: got %d, want 3", got)
+	}
+	SetDefaultJobs(5)
+	if got := (Config{}).jobs(); got != 5 {
+		t.Errorf("process default: got %d, want 5", got)
+	}
+	SetDefaultJobs(0)
+	if got := (Config{}).jobs(); got < 1 {
+		t.Errorf("GOMAXPROCS fallback: got %d", got)
+	}
+}

@@ -1,0 +1,56 @@
+package ooe
+
+import (
+	"sync"
+
+	"repro/internal/ast"
+)
+
+// AnalyzeUnitJobs is AnalyzeUnit with the per-function analyses fanned
+// out across jobs workers (jobs <= 1 falls back to the sequential
+// path). The analyzer itself is stateless — cfg and the callee map are
+// read-only after construction, and AST expression IDs are assigned at
+// parse time — so one instance serves every worker. Reports collect
+// into per-function slots and concatenate in declaration order, making
+// the output independent of scheduling.
+func (a *Analyzer) AnalyzeUnitJobs(tu *ast.TranslationUnit, jobs int) []FullExprReport {
+	if jobs > len(tu.Funcs) {
+		jobs = len(tu.Funcs)
+	}
+	if jobs <= 1 {
+		return a.AnalyzeUnit(tu)
+	}
+	var out []FullExprReport
+	for _, g := range tu.Globals {
+		if g.Init == nil {
+			continue
+		}
+		r := a.AnalyzeExpr(g.Init)
+		out = append(out, FullExprReport{
+			Result:       r,
+			Predicates:   a.Predicates(r),
+			ContainsCall: containsAnyCall(g.Init),
+		})
+	}
+	perFunc := make([][]FullExprReport, len(tu.Funcs))
+	next := make(chan int, len(tu.Funcs))
+	for i := range tu.Funcs {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				perFunc[i] = a.AnalyzeFunction(tu.Funcs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, reps := range perFunc {
+		out = append(out, reps...)
+	}
+	return out
+}

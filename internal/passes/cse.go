@@ -27,9 +27,8 @@ type availMem struct {
 // very same IR values as the real accesses, so unseq-aa facts apply to
 // both. Loads are reused when no intervening instruction may write the
 // location; stores forward their value to subsequent loads.
-func earlyCSE(f *ir.Func, mgr *aa.Manager, tel *telemetry.Session) int {
+func earlyCSE(mod *ir.Module, f *ir.Func, mgr *aa.Manager, tel *telemetry.Session) int {
 	removed := 0
-	mod := moduleOf(f)
 	for _, b := range f.Blocks {
 		avail := map[string]*ir.Instr{}    // pure value numbering
 		loads := map[ir.Value]*availMem{}  // ptr -> load instr providing value
@@ -173,14 +172,6 @@ func argKey(a ir.Value) string {
 	}
 	return "?"
 }
-
-// moduleOf is a helper: functions do not link back to the module, so
-// passes that need callee summaries thread it via a package-level lookup
-// set by RunModule. To keep functions independent for tests, fall back to
-// a nil module (conservative effects).
-var currentModule *ir.Module
-
-func moduleOf(*ir.Func) *ir.Module { return currentModule }
 
 // instCombine folds algebraic identities and constant expressions; the
 // counter maps to the paper's "nodes combined" SelectionDAG statistic.

@@ -23,9 +23,8 @@ type pendingStore struct {
 // perlbench PL_savestack_ix and x264 getU32 wins: the side effect on the
 // index is unsequenced with the surrounding accesses, so unseq-aa lets
 // the intermediate stores die.
-func dse(f *ir.Func, mgr *aa.Manager, tel *telemetry.Session) int {
+func dse(mod *ir.Module, f *ir.Func, mgr *aa.Manager, tel *telemetry.Session) int {
 	deleted := 0
-	mod := moduleOf(f)
 	for _, b := range f.Blocks {
 		var pending []pendingStore
 		kill := map[int]bool{}

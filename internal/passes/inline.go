@@ -12,9 +12,19 @@ import (
 // shorter optimized callee fits the threshold and gets inlined
 // everywhere, which is also why the cost model carries an icache penalty
 // for oversized functions.
-func inlineCalls(mod *ir.Module, f *ir.Func, threshold int, tel *telemetry.Session) int {
-	if mod == nil {
+//
+// resolve supplies the callee body to splice. The parallel scheduler
+// passes a resolver that reproduces sequential pipeline order — the
+// already-optimized body for functions the sequential pipeline would
+// have finished, a pre-pipeline snapshot otherwise — so inlining reads
+// no function another worker may be mutating. A nil resolve falls back
+// to the live module.
+func inlineCalls(mod *ir.Module, resolve func(string) *ir.Func, f *ir.Func, threshold int, tel *telemetry.Session) int {
+	if mod == nil && resolve == nil {
 		return 0
+	}
+	if resolve == nil {
+		resolve = mod.FindFunc
 	}
 	inlined := 0
 	for bi := 0; bi < len(f.Blocks); bi++ {
@@ -24,7 +34,7 @@ func inlineCalls(mod *ir.Module, f *ir.Func, threshold int, tel *telemetry.Sessi
 			if in.Op != ir.OpCall || in.Callee == "" || in.Callee == f.Name {
 				continue
 			}
-			callee := mod.FindFunc(in.Callee)
+			callee := resolve(in.Callee)
 			if callee == nil || len(callee.Blocks) == 0 {
 				continue
 			}

@@ -15,7 +15,7 @@ import (
 // promoteLoopAccessesToScalars, the transform behind the paper's minmax,
 // omega.c, toke.c, and delta_encoder.c case studies. Both steps hinge on
 // NoAlias answers from the AA chain.
-func licm(f *ir.Func, mgr *aa.Manager, tel *telemetry.Session) (hoisted, promoted int) {
+func licm(mod *ir.Module, f *ir.Func, mgr *aa.Manager, tel *telemetry.Session) (hoisted, promoted int) {
 	dt := ir.ComputeDom(f)
 	loops := ir.FindLoops(f, dt)
 	// Process inner loops first so promotions compose outward.
@@ -31,18 +31,18 @@ func licm(f *ir.Func, mgr *aa.Manager, tel *telemetry.Session) (hoisted, promote
 		if l.Preheader == nil {
 			continue
 		}
-		hoisted += hoistInvariants(f, l, mgr, dt, tel)
+		hoisted += hoistInvariants(mod, f, l, mgr, dt, tel)
 	}
 	// Hoisting co-locates duplicated GEP/convert chains; merge them so
 	// promotion's value-keyed grouping (and unseq-aa's value-keyed facts)
 	// see one pointer per location.
-	earlyCSE(f, mgr, nil)
+	earlyCSE(mod, f, mgr, nil)
 	mgr.Refresh(f)
 	for _, l := range ordered {
 		if l.Preheader == nil {
 			continue
 		}
-		promoted += promoteScalars(f, l, mgr, dt, tel)
+		promoted += promoteScalars(mod, f, l, mgr, dt, tel)
 	}
 	return hoisted, promoted
 }
@@ -78,10 +78,9 @@ func definedInLoop(l *ir.Loop, v ir.Value) bool {
 
 // hoistInvariants moves invariant pure instructions and safe invariant
 // loads to the preheader, iterating to a fixpoint.
-func hoistInvariants(f *ir.Func, l *ir.Loop, mgr *aa.Manager, dt *ir.DomTree, tel *telemetry.Session) int {
+func hoistInvariants(mod *ir.Module, f *ir.Func, l *ir.Loop, mgr *aa.Manager, dt *ir.DomTree, tel *telemetry.Session) int {
 	pre := l.Preheader
 	hoisted := 0
-	mod := moduleOf(f)
 
 	// Collect loop memory writes once per round for load hoisting.
 	writesIn := func() []*ir.Instr {
@@ -198,9 +197,8 @@ func insertBeforeTerm(b *ir.Block, in *ir.Instr) {
 // promoteScalars register-promotes loop memory accessed only through one
 // invariant pointer: preheader load into a fresh alloca slot, in-loop
 // accesses retargeted to the slot, and stores sunk to every exit edge.
-func promoteScalars(f *ir.Func, l *ir.Loop, mgr *aa.Manager, dt *ir.DomTree, tel *telemetry.Session) int {
+func promoteScalars(mod *ir.Module, f *ir.Func, l *ir.Loop, mgr *aa.Manager, dt *ir.DomTree, tel *telemetry.Session) int {
 	pre := l.Preheader
-	mod := moduleOf(f)
 
 	// Group loop accesses by exact pointer value. Conditional accesses
 	// are fine: promoted accesses become register moves, and sinking the
@@ -214,7 +212,11 @@ func promoteScalars(f *ir.Func, l *ir.Loop, mgr *aa.Manager, dt *ir.DomTree, tel
 		stores []*ir.Instr
 		cls    ir.Class
 	}
+	// groupOrder keeps first-access order: promotion iterates it instead of
+	// the map so emitted preheader loads, exit sinks, and AA query counts
+	// are identical on every compile of the same input.
 	groups := map[ir.Value]*group{}
+	var groupOrder []ir.Value
 	var others []*ir.Instr // memory ops not in any group (by pointer)
 	for _, b := range blocksOf(l) {
 		for _, in := range b.Instrs {
@@ -239,6 +241,7 @@ func promoteScalars(f *ir.Func, l *ir.Loop, mgr *aa.Manager, dt *ir.DomTree, tel
 				if g == nil {
 					g = &group{ptr: ptr}
 					groups[ptr] = g
+					groupOrder = append(groupOrder, ptr)
 				}
 				if in.Op == ir.OpLoad {
 					g.loads = append(g.loads, in)
@@ -259,7 +262,8 @@ func promoteScalars(f *ir.Func, l *ir.Loop, mgr *aa.Manager, dt *ir.DomTree, tel
 	}
 
 	promoted := 0
-	for _, g := range groups {
+	for _, gptr := range groupOrder {
+		g := groups[gptr]
 		if len(g.stores) == 0 {
 			continue // plain loads are handled by hoisting
 		}
@@ -295,7 +299,8 @@ func promoteScalars(f *ir.Func, l *ir.Loop, mgr *aa.Manager, dt *ir.DomTree, tel
 		if !ok {
 			continue
 		}
-		for _, og := range groups {
+		for _, optr := range groupOrder {
+			og := groups[optr]
 			if og == g {
 				continue
 			}

@@ -11,9 +11,8 @@ import (
 // cfglayout.c case study (bb->il.rtl->header = bb->il.rtl->footer = NULL
 // becomes one 16-byte memset). A run must be contiguous in the block with
 // no intervening instruction that may read or write the covered range.
-func memcpyOpt(f *ir.Func, mgr *aa.Manager, tel *telemetry.Session) int {
+func memcpyOpt(mod *ir.Module, f *ir.Func, mgr *aa.Manager, tel *telemetry.Session) int {
 	formed := 0
-	mod := moduleOf(f)
 	for _, b := range f.Blocks {
 		for i := 0; i < len(b.Instrs); i++ {
 			// Attribution window for this run's clobber queries.

@@ -102,6 +102,12 @@ type Options struct {
 	MemcheckThreshold int
 	// MaxIterations bounds the cleanup fixpoint.
 	MaxIterations int
+	// Jobs bounds the per-function pipeline worker pool: the middle-end
+	// is function-local, so RunModule shards it across Jobs workers with
+	// output merged in original function order (byte-identical to a
+	// sequential run regardless of scheduling). 0 = GOMAXPROCS; 1 runs
+	// the plain sequential path, the differential-testing oracle.
+	Jobs int
 	// Telemetry receives per-pass spans and optimization remarks. Nil
 	// (the default) is a zero-overhead no-op sink.
 	Telemetry *telemetry.Session
@@ -122,26 +128,22 @@ func DefaultOptions() Options {
 
 // RunModule optimizes every function with the O3-like pipeline and
 // returns aggregate statistics. AA query statistics accumulate into
-// aaStats if non-nil.
+// aaStats if non-nil. The per-function pipeline is sharded across
+// opts.Jobs workers (see Options.Jobs); results merge in original
+// function order, so the output is independent of scheduling.
 func RunModule(mod *ir.Module, opts Options, aaStats *aa.Stats) Stats {
 	var total Stats
 	if opts.OptLevel == 0 {
 		return total
 	}
-	currentModule = mod
-	defer func() { currentModule = nil }()
 	if opts.MaxIterations <= 0 {
 		opts.MaxIterations = 1
 	}
-	readnone := map[string]bool{}
 	sizes := map[string]int{}
 	for _, f := range mod.Funcs {
-		readnone[f.Name] = f.ReadNone
 		sizes[f.Name] = f.NumInstrs()
 	}
-	for _, f := range mod.Funcs {
-		total.Add(runFunc(mod, f, opts, aaStats))
-	}
+	total = runFuncs(mod, opts, aaStats)
 	// Delete now-uncalled static-like functions (all call sites inlined),
 	// keeping main and anything address-taken.
 	called := map[string]bool{"main": true}
@@ -196,8 +198,10 @@ func timed(tel *telemetry.Session, name string, pass func()) {
 	stop()
 }
 
-// runFunc runs the pipeline on one function.
-func runFunc(mod *ir.Module, f *ir.Func, opts Options, aaStats *aa.Stats) Stats {
+// runFunc runs the pipeline on one function. resolve supplies callee
+// bodies for inlining (nil = the live module; the parallel scheduler
+// passes a snapshot-aware resolver).
+func runFunc(mod *ir.Module, f *ir.Func, opts Options, aaStats *aa.Stats, resolve func(string) *ir.Func) Stats {
 	var st Stats
 	tel := opts.Telemetry
 	mgr := aa.NewManager(f, opts.UseUnseqAA)
@@ -205,15 +209,15 @@ func runFunc(mod *ir.Module, f *ir.Func, opts Options, aaStats *aa.Stats) Stats 
 		timed(tel, "pass/simplifycfg", func() { st.BlocksMerged += simplifyCFG(f) })
 		timed(tel, "pass/mem2reg", func() { mem2reg(f) })
 		mgr.Refresh(f)
-		timed(tel, "pass/earlycse", func() { st.CSESimplified += earlyCSE(f, mgr, tel) })
+		timed(tel, "pass/earlycse", func() { st.CSESimplified += earlyCSE(mod, f, mgr, tel) })
 		timed(tel, "pass/instcombine", func() { st.NodesCombined += instCombine(f) })
-		timed(tel, "pass/inline", func() { st.CallsInlined += inlineCalls(mod, f, opts.InlineThreshold, tel) })
+		timed(tel, "pass/inline", func() { st.CallsInlined += inlineCalls(mod, resolve, f, opts.InlineThreshold, tel) })
 		timed(tel, "pass/simplifycfg", func() { st.BlocksMerged += simplifyCFG(f) })
 		timed(tel, "pass/mem2reg", func() { mem2reg(f) })
 		mgr.Refresh(f)
-		timed(tel, "pass/earlycse", func() { st.CSESimplified += earlyCSE(f, mgr, tel) })
+		timed(tel, "pass/earlycse", func() { st.CSESimplified += earlyCSE(mod, f, mgr, tel) })
 		timed(tel, "pass/licm", func() {
-			h, p := licm(f, mgr, tel)
+			h, p := licm(mod, f, mgr, tel)
 			st.LICMHoisted += h
 			st.LICMPromoted += p
 		})
@@ -224,14 +228,14 @@ func runFunc(mod *ir.Module, f *ir.Func, opts Options, aaStats *aa.Stats) Stats 
 			budget = opts.MemcheckThreshold
 		}
 		timed(tel, "pass/vectorize", func() {
-			st.LoopsVectorized += vectorizeLoopsOpt(f, mgr, opts.VectorWidth, budget, tel)
+			st.LoopsVectorized += vectorizeLoopsOpt(mod, f, mgr, opts.VectorWidth, budget, tel)
 		})
 		mgr.Refresh(f)
 		timed(tel, "pass/unroll", func() { st.LoopsUnrolled += unrollLoops(f, mgr, opts.UnrollFactor, tel) })
 		mgr.Refresh(f)
-		timed(tel, "pass/earlycse", func() { st.CSESimplified += earlyCSE(f, mgr, tel) })
-		timed(tel, "pass/dse", func() { st.StoresDeleted += dse(f, mgr, tel) })
-		timed(tel, "pass/memcpyopt", func() { st.MemsetsFormed += memcpyOpt(f, mgr, tel) })
+		timed(tel, "pass/earlycse", func() { st.CSESimplified += earlyCSE(mod, f, mgr, tel) })
+		timed(tel, "pass/dse", func() { st.StoresDeleted += dse(mod, f, mgr, tel) })
+		timed(tel, "pass/memcpyopt", func() { st.MemsetsFormed += memcpyOpt(mod, f, mgr, tel) })
 		timed(tel, "pass/dce", func() { st.DCERemoved += dce(f) })
 		timed(tel, "pass/simplifycfg", func() { st.BlocksMerged += simplifyCFG(f) })
 		mgr.Refresh(f)

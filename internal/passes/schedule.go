@@ -1,0 +1,192 @@
+package passes
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/aa"
+	"repro/internal/ir"
+	"repro/internal/telemetry"
+)
+
+// The middle-end is function-local, so RunModule shards the per-function
+// pipeline across a bounded worker pool. The only cross-function reads
+// are (a) callee effect summaries — the immutable ReadNone bit, safe on
+// the live module — and (b) callee bodies spliced by the inliner. The
+// scheduler makes (b) both race-free and deterministic by reproducing
+// the sequential pipeline's visibility rule: when function i runs, every
+// function j < i it can transitively reach has already finished (a DAG
+// dependency), and every reachable j >= i is read from an immutable
+// pre-pipeline snapshot — exactly the state the sequential loop would
+// have observed. Results (stats, AA counters, telemetry forks) merge in
+// original function order, so IR, remarks, and metrics are byte-stable
+// regardless of worker count or interleaving.
+
+// funcResult collects one function's pipeline output for ordered fan-in.
+type funcResult struct {
+	stats Stats
+	aa    aa.Stats
+	tel   *telemetry.Session
+}
+
+// runFuncs optimizes every function in mod, fanning out across
+// opts.Jobs workers (0 = GOMAXPROCS). Jobs == 1 runs the plain
+// sequential loop — the differential-testing oracle the parallel path
+// must match byte-for-byte.
+func runFuncs(mod *ir.Module, opts Options, aaStats *aa.Stats) Stats {
+	var total Stats
+	n := len(mod.Funcs)
+	if n == 0 {
+		return total
+	}
+	jobs := opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs == 1 || n == 1 {
+		for _, f := range mod.Funcs {
+			total.Add(runFunc(mod, f, opts, aaStats, nil))
+		}
+		return total
+	}
+
+	idx := make(map[string]int, n)
+	for i, f := range mod.Funcs {
+		idx[f.Name] = i
+	}
+	reach := reachability(mod, idx)
+
+	// deps[i] = reachable functions with a smaller index: those the
+	// sequential pipeline would have finished before starting i, so the
+	// inliner must see their final bodies. Larger-index reachable
+	// functions are snapshotted pre-pipeline instead.
+	depCount := make([]int32, n)
+	dependents := make([][]int, n)
+	orig := make([]*ir.Func, n)
+	for i := 0; i < n; i++ {
+		for j := range reach[i] {
+			if j < i {
+				depCount[i]++
+				dependents[j] = append(dependents[j], i)
+			} else if j > i && orig[j] == nil {
+				orig[j] = ir.CloneFunc(mod.Funcs[j])
+			}
+		}
+	}
+
+	resolveFor := func(i int) func(string) *ir.Func {
+		return func(name string) *ir.Func {
+			j, ok := idx[name]
+			if !ok {
+				return nil
+			}
+			if j < i {
+				return mod.Funcs[j] // finished: dependency-ordered
+			}
+			// Pre-pipeline snapshot; nil (never inlined) only if the
+			// call graph said i cannot reach j — then the pipeline
+			// never asks for it.
+			return orig[j]
+		}
+	}
+
+	tel := opts.Telemetry
+	results := make([]funcResult, n)
+	ready := make(chan int, n)
+	for i := 0; i < n; i++ {
+		if depCount[i] == 0 {
+			ready <- i
+		}
+	}
+	var done int32
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range ready {
+				o := opts
+				o.Telemetry = tel.Fork()
+				r := &results[i]
+				r.stats = runFunc(mod, mod.Funcs[i], o, &r.aa, resolveFor(i))
+				r.tel = o.Telemetry
+				for _, d := range dependents[i] {
+					if atomic.AddInt32(&depCount[d], -1) == 0 {
+						ready <- d
+					}
+				}
+				if atomic.AddInt32(&done, 1) == int32(n) {
+					close(ready)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Fan-in strictly in original function order: telemetry names
+	// register in the same sequence a sequential run would produce.
+	for i := range results {
+		total.Add(results[i].stats)
+		if aaStats != nil {
+			aaStats.Queries += results[i].aa.Queries
+			aaStats.NoAlias += results[i].aa.NoAlias
+			aaStats.MayAlias += results[i].aa.MayAlias
+			aaStats.MustAlias += results[i].aa.MustAlias
+			aaStats.PartialAlias += results[i].aa.PartialAlias
+			aaStats.UnseqNoAlias += results[i].aa.UnseqNoAlias
+		}
+		tel.Merge(results[i].tel)
+	}
+	return total
+}
+
+// reachability returns, for every function index, the set of function
+// indices transitively reachable through direct calls and function
+// references in the original (pre-pipeline) bodies. Optimization never
+// introduces a callee outside this closure: inlining splices bodies of
+// reachable functions, whose own calls are reachable by transitivity.
+func reachability(mod *ir.Module, idx map[string]int) []map[int]struct{} {
+	n := len(mod.Funcs)
+	callees := make([][]int, n)
+	for i, f := range mod.Funcs {
+		seen := map[int]bool{}
+		add := func(name string) {
+			if j, ok := idx[name]; ok && !seen[j] {
+				seen[j] = true
+				callees[i] = append(callees[i], j)
+			}
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall && in.Callee != "" {
+					add(in.Callee)
+				}
+				for _, a := range in.Args {
+					if fr, ok := a.(*ir.FuncRef); ok {
+						add(fr.Name)
+					}
+				}
+			}
+		}
+	}
+	reach := make([]map[int]struct{}, n)
+	for i := 0; i < n; i++ {
+		r := make(map[int]struct{})
+		stack := append([]int(nil), callees[i]...)
+		for len(stack) > 0 {
+			j := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if _, ok := r[j]; ok {
+				continue
+			}
+			r[j] = struct{}{}
+			stack = append(stack, callees[j]...)
+		}
+		reach[i] = r
+	}
+	return reach
+}

@@ -29,10 +29,10 @@ import (
 // "LoopVectorize uses the extra aliasing information in its cost
 // calculation" mechanism described for gcc's regmove.c.
 func vectorizeLoops(f *ir.Func, mgr *aa.Manager, width int) int {
-	return vectorizeLoopsOpt(f, mgr, width, 0, nil)
+	return vectorizeLoopsOpt(nil, f, mgr, width, 0, nil)
 }
 
-func vectorizeLoopsOpt(f *ir.Func, mgr *aa.Manager, width, memcheckBudget int, tel *telemetry.Session) int {
+func vectorizeLoopsOpt(mod *ir.Module, f *ir.Func, mgr *aa.Manager, width, memcheckBudget int, tel *telemetry.Session) int {
 	if width < 2 {
 		return 0
 	}
@@ -52,7 +52,7 @@ func vectorizeLoopsOpt(f *ir.Func, mgr *aa.Manager, width, memcheckBudget int, t
 		}
 		// Attribution window for this loop's dependence queries.
 		mgr.ResetWindow()
-		plan, ok := planVectorization(f, cl, mgr, width, memcheckBudget)
+		plan, ok := planVectorization(mod, f, cl, mgr, width, memcheckBudget)
 		if !ok {
 			continue
 		}
@@ -154,10 +154,9 @@ func isIndVarLoad(cl *canonLoop, plan *vecPlan, v ir.Value) bool {
 }
 
 // planVectorization checks legality and collects the transformation plan.
-func planVectorization(f *ir.Func, cl *canonLoop, mgr *aa.Manager, width, budget int) (*vecPlan, bool) {
+func planVectorization(mod *ir.Module, f *ir.Func, cl *canonLoop, mgr *aa.Manager, width, budget int) (*vecPlan, bool) {
 	plan := &vecPlan{}
 	l := cl.l
-	mod := moduleOf(f)
 
 	// Pass 1: find secondary IVs and reductions among alloca stores, and
 	// invariant-address memory reductions.

@@ -217,6 +217,65 @@ func (s *Session) Remark(r Remark) {
 	s.mu.Unlock()
 }
 
+// Fork returns a fresh session with the same configuration. Workers of
+// a parallel phase each collect into their own fork, and the fan-in
+// merges the forks back in a deterministic order (Merge), so the
+// combined stream is byte-stable regardless of goroutine scheduling.
+// Forking a nil session returns nil (the no-op default propagates).
+func (s *Session) Fork() *Session {
+	if s == nil {
+		return nil
+	}
+	return New(s.cfg)
+}
+
+// Merge folds everything child collected into s: counters and gauges
+// add, duration accumulators combine (count/total sum, max of max,
+// buckets add), and remarks append. Names register in child's
+// first-seen order, so merging forks in a fixed order yields a
+// deterministic combined registry. Safe when s or child is nil.
+func (s *Session) Merge(child *Session) {
+	if s == nil || child == nil {
+		return
+	}
+	// Lock ordering: parent before child. Forks are only ever merged
+	// into the session they were forked from, so the order is acyclic.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	child.mu.Lock()
+	defer child.mu.Unlock()
+	for _, n := range child.counterOrder {
+		if _, ok := s.counters[n]; !ok {
+			s.counterOrder = append(s.counterOrder, n)
+		}
+		s.counters[n] += child.counters[n]
+	}
+	for _, n := range child.gaugeOrder {
+		if _, ok := s.gauges[n]; !ok {
+			s.gaugeOrder = append(s.gaugeOrder, n)
+		}
+		s.gauges[n] += child.gauges[n]
+	}
+	for _, n := range child.durOrder {
+		cd := child.durs[n]
+		st := s.durs[n]
+		if st == nil {
+			st = &durStat{}
+			s.durs[n] = st
+			s.durOrder = append(s.durOrder, n)
+		}
+		st.count += cd.count
+		st.total += cd.total
+		if cd.max > st.max {
+			st.max = cd.max
+		}
+		for i := range st.buckets {
+			st.buckets[i] += cd.buckets[i]
+		}
+	}
+	s.remarks = append(s.remarks, child.remarks...)
+}
+
 // ---------- snapshots ----------
 
 // Counter is one named counter value in a snapshot.
