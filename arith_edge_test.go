@@ -1,0 +1,206 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/csem"
+	"repro/internal/driver"
+	"repro/internal/ir"
+	"repro/internal/parser"
+	"repro/internal/sema"
+)
+
+// This file is the arithmetic edge-case audit: for every corner of C
+// integer arithmetic the project takes a stance on, pin (a) the csem
+// verdict — UB trap or defined value — and (b) the IR layer's totalized
+// choice, which constant folding and the interpreter must share so the
+// optimization level cannot change an observable result.
+
+func exploreArith(t *testing.T, src string) *csem.ExploreResult {
+	t.Helper()
+	tu, perrs := parser.ParseFile("a.c", src, nil)
+	if len(perrs) > 0 {
+		t.Fatalf("parse: %v\n%s", perrs[0], src)
+	}
+	if errs := sema.Check(tu); len(errs) > 0 {
+		t.Fatalf("sema: %v\n%s", errs[0], src)
+	}
+	res, err := csem.Explore(tu, "main", csem.ExploreOpts{})
+	if err != nil {
+		t.Fatalf("csem: %v\n%s", err, src)
+	}
+	return res
+}
+
+// TestArithUBVerdicts: operations C17 leaves undefined must be trapped
+// by the reference semantics, with a reason naming the operation.
+func TestArithUBVerdicts(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		reason string
+	}{
+		{"div-by-zero", `int main(void) { int z = 0; return 1 / z; }`, "division by zero"},
+		{"rem-by-zero", `int main(void) { int z = 0; return 7 % z; }`, "remainder by zero"},
+		{"int-min-div-neg1", `int main(void) { int a = -2147483647 - 1; int b = -1; return a / b; }`, "division overflow"},
+		{"int-min-rem-neg1", `int main(void) { int a = -2147483647 - 1; int b = -1; return a % b; }`, "remainder overflow"},
+		{"shl-width", `int main(void) { int s = 32; return 1 << s; }`, "shift amount"},
+		{"shr-width", `int main(void) { int s = 32; return 1 >> s; }`, "shift amount"},
+		{"shl-negative", `int main(void) { int s = -1; return 1 << s; }`, "shift amount"},
+		{"long-shl-width", `int main(void) { int s = 64; long v = 1; return (int)(v << s); }`, "shift amount"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := exploreArith(t, tc.src)
+			if !res.UB {
+				t.Fatalf("not flagged UB; Values = %v", res.Values)
+			}
+			if !strings.Contains(res.UBReason, tc.reason) {
+				t.Errorf("UBReason = %q, want mention of %q", res.UBReason, tc.reason)
+			}
+		})
+	}
+}
+
+// TestArithDefinedEdgeCases: defined-but-sharp corners must produce the
+// pinned value in the reference semantics AND in every compiled
+// pipeline. Signed overflow wraps here by project choice (as if
+// -fwrapv), so it is defined and must be consistent end to end.
+func TestArithDefinedEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int64
+	}{
+		{"signed-overflow-wraps", `int main(void) { int x = 2147483647; x = x + 1; return x < 0; }`, 1},
+		{"signed-mul-wraps", `int main(void) { int x = 65536; x = x * 65536; return x == 0; }`, 1},
+		{"int-min-negate-wraps", `int main(void) { int a = -2147483647 - 1; a = -a; return a == -2147483647 - 1; }`, 1},
+		{"unsigned-sub-wraps", `int main(void) { unsigned a = 0; a = a - 2; return a > 1u; }`, 1},
+		{"unsigned-div-large", `int main(void) { unsigned a = 0; a = a - 7; return (int)(a / 1000000000u); }`, 4},
+		{"unsigned-rem-large", `int main(void) { unsigned a = 0; a = a - 1; return (int)(a % 10u); }`, 5},
+		{"signed-div-truncates", `int main(void) { int a = -5; return a / 2; }`, -2},
+		{"signed-rem-sign", `int main(void) { int a = -5; return a % 2; }`, -1},
+		{"arith-shr-negative", `int main(void) { int a = -8; return a >> 1; }`, -4},
+		{"logical-shr-unsigned", `int main(void) { unsigned a = 0; a = a - 8; return (int)(a >> 28); }`, 15},
+		{"shl-by-31", `int main(void) { int a = 1; a = a << 31; return a == -2147483647 - 1; }`, 1},
+		{"ulong-wrap", `int main(void) { unsigned long a = 0; a = a - 1; return a > 0; }`, 1},
+		{"char-trunc-signed", `int main(void) { char c = 200; return c < 0; }`, 1},
+		{"short-trunc", `int main(void) { short s = 70000; return s; }`, 4464},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := exploreArith(t, tc.src)
+			if res.UB {
+				t.Fatalf("reference reports UB (%s) on a defined program", res.UBReason)
+			}
+			if len(res.Values) != 1 || res.Values[0] != tc.want {
+				t.Fatalf("reference Values = %v, want [%d]", res.Values, tc.want)
+			}
+			for _, cfg := range []driver.Config{
+				{OOElala: true, NoOpt: true},
+				{OOElala: false},
+				{OOElala: true},
+			} {
+				c, err := driver.Compile("a.c", tc.src, cfg)
+				if err != nil {
+					t.Fatalf("compile (noopt=%v): %v", cfg.NoOpt, err)
+				}
+				got, _, err := c.Run("")
+				if err != nil {
+					t.Fatalf("run (noopt=%v): %v", cfg.NoOpt, err)
+				}
+				if got != tc.want {
+					t.Errorf("pipeline (ooelala=%v noopt=%v) = %d, want %d", cfg.OOElala, cfg.NoOpt, got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestArithFoldMatchesRuntime: for C-level-UB shapes the IR layer still
+// totalizes, the constant-folded value (literal operands, O3) must be
+// bit-identical to the runtime value (opaque operands the folder cannot
+// see). csem flags all of these UB, so they are unobservable in defined
+// programs — but the pipeline stages must not disagree with each other.
+func TestArithFoldMatchesRuntime(t *testing.T) {
+	cases := []struct {
+		name   string
+		folded string // all-literal version: O3 folds it
+		opaque string // same computation via a global the folder can't see
+	}{
+		{"oversized-shl-masked",
+			`int main(void) { return 1 << 65; }`,
+			`int g; int main(void) { g = 65; return 1 << g; }`},
+		{"oversized-shr-masked",
+			`int main(void) { return 256 >> 66; }`,
+			`int g; int main(void) { g = 66; return 256 >> g; }`},
+		{"int-min-div-neg1-wraps",
+			`int main(void) { return (-2147483647 - 1) / -1 == -2147483647 - 1; }`,
+			`int g; int main(void) { g = -1; return (-2147483647 - 1) / g == -2147483647 - 1; }`},
+		{"int-min-rem-neg1-zero",
+			`int main(void) { return (-2147483647 - 1) % -1; }`,
+			`int g; int main(void) { g = -1; return (-2147483647 - 1) % g; }`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			vals := map[string]int64{}
+			for _, leg := range []struct {
+				tag, src string
+				cfg      driver.Config
+			}{
+				{"folded-O3", tc.folded, driver.Config{OOElala: true}},
+				{"opaque-O3", tc.opaque, driver.Config{OOElala: true}},
+				{"opaque-O0", tc.opaque, driver.Config{NoOpt: true}},
+			} {
+				c, err := driver.Compile("a.c", leg.src, leg.cfg)
+				if err != nil {
+					t.Fatalf("%s compile: %v", leg.tag, err)
+				}
+				got, _, err := c.Run("")
+				if err != nil {
+					t.Fatalf("%s run: %v", leg.tag, err)
+				}
+				vals[leg.tag] = got
+			}
+			if vals["folded-O3"] != vals["opaque-O3"] || vals["opaque-O3"] != vals["opaque-O0"] {
+				t.Errorf("pipeline stages disagree on totalized UB shape: %v", vals)
+			}
+		})
+	}
+}
+
+// TestArithFoldPinnedChoices documents the totalization table in
+// ir.FoldInt directly, so a change to any pinned choice fails here with
+// a readable diff rather than as a distant differential mismatch.
+func TestArithFoldPinnedChoices(t *testing.T) {
+	const intMin32 = -2147483648
+	cases := []struct {
+		name     string
+		op       ir.Op
+		cls      ir.Class
+		a, b     int64
+		unsigned bool
+		want     int64
+	}{
+		{"div-by-zero-is-zero", ir.OpDiv, ir.I32, 7, 0, false, 0},
+		{"rem-by-zero-is-zero", ir.OpRem, ir.I32, 7, 0, false, 0},
+		{"int-min-div-neg1-wraps", ir.OpDiv, ir.I32, intMin32, -1, false, intMin32},
+		{"int-min-rem-neg1-zero", ir.OpRem, ir.I32, intMin32, -1, false, 0},
+		{"shl-count-masked-64", ir.OpShl, ir.I32, 1, 65, false, 2},
+		{"shl-count-masked-neg", ir.OpShl, ir.I32, 1, -63, false, 2},
+		{"shr-count-masked", ir.OpShr, ir.I32, 256, 66, false, 64},
+		{"signed-overflow-wraps", ir.OpAdd, ir.I32, 2147483647, 1, false, intMin32},
+		{"unsigned-div-wide", ir.OpDiv, ir.I32, -7, 1000000000, true, 4},
+		{"signed-shr-arithmetic", ir.OpShr, ir.I32, -8, 1, false, -4},
+		{"unsigned-shr-logical", ir.OpShr, ir.I32, -8, 28, true, 15},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ir.FoldInt(tc.op, tc.cls, tc.a, tc.b, tc.unsigned); got != tc.want {
+				t.Errorf("FoldInt(%v, %v, %d, %d, unsigned=%v) = %d, want %d",
+					tc.op, tc.cls, tc.a, tc.b, tc.unsigned, got, tc.want)
+			}
+		})
+	}
+}

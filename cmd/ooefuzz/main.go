@@ -1,0 +1,117 @@
+// Command ooefuzz is the differential fuzzer: it generates random C
+// programs over the supported subset, runs each through the reference
+// semantics (under enumerated evaluation orders), the O0 and O3
+// pipelines (with and without unseq-aa, sequential and parallel), and
+// the sanitizer build, and reports any divergence as a JSON crash
+// report. Exit status: 0 clean, 1 findings (or internal error), 2 usage.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+
+	"repro/internal/csem"
+	"repro/internal/fuzz"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 100, "number of programs to generate")
+		seed    = flag.Int64("seed", 1, "base seed (program i uses seed+i)")
+		out     = flag.String("out", "", "corpus directory for crash reports (default: report to stdout only)")
+		reduce  = flag.Bool("reduce", false, "delta-reduce each crashing program")
+		racy    = flag.Float64("racy", 0, "probability a full expression deliberately races (exercises the sanitizer)")
+		strict  = flag.Bool("strict", false, "count sanitizer misses on racy programs as findings")
+		orders  = flag.Int("orders", 0, "max enumerated evaluation orders per program (0 = default)")
+		stmts   = flag.Int("stmts", 0, "max statements per program (0 = default)")
+		jsonOut = flag.Bool("json", false, "print the run summary as JSON")
+		quiet   = flag.Bool("q", false, "suppress per-crash progress lines")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ooefuzz [flags]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() > 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *n <= 0 {
+		fmt.Fprintln(os.Stderr, "ooefuzz: -n must be positive")
+		os.Exit(2)
+	}
+
+	cfg := fuzz.DefaultConfig()
+	cfg.RacyBias = *racy
+	if *stmts > 0 {
+		cfg.MaxStmts = *stmts
+	}
+	opts := fuzz.RunOpts{
+		N:       *n,
+		Seed:    *seed,
+		Config:  cfg,
+		Reduce:  *reduce,
+		Strict:  *strict,
+		Explore: csem.ExploreOpts{MaxOrders: *orders, Seed: *seed},
+	}
+	if !*quiet {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	// SIGINT/SIGTERM (e.g. a CI time box expiring) stops the sweep at
+	// the next program boundary so the summary and any crash reports
+	// already found still get written.
+	var stopped atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		stopped.Store(true)
+		signal.Stop(sigc) // a second signal kills us outright
+	}()
+	opts.Stop = stopped.Load
+
+	// Crash reports are flushed as they are found, not at the end, so an
+	// interrupted run has already persisted everything it discovered.
+	writeErr := false
+	if *out != "" {
+		opts.OnCrash = func(r *fuzz.CrashReport) error {
+			if err := r.Write(*out); err != nil {
+				fmt.Fprintf(os.Stderr, "ooefuzz: writing report: %v\n", err)
+				writeErr = true
+				return err
+			}
+			return nil
+		}
+	}
+
+	stats := fuzz.Run(opts)
+	if writeErr {
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stats); err != nil {
+			fmt.Fprintf(os.Stderr, "ooefuzz: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("ooefuzz: %d programs (%d UB-free, %d racy; sanitizer caught %d, missed %d)\n",
+			stats.Programs, stats.UBFree, stats.UBRacy, stats.SanCaught, stats.SanMissed)
+		for _, r := range stats.Crashes {
+			fmt.Printf("CRASH seed=%d kind=%s\n", r.Seed, r.Kind)
+		}
+		if len(stats.Crashes) == 0 {
+			fmt.Println("clean: no divergence between reference semantics and compiled pipelines")
+		}
+	}
+	if len(stats.Crashes) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,176 @@
+package main_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildOoefuzz compiles the CLI once into a temp dir shared by the
+// package's tests.
+func buildOoefuzz(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ooefuzz")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runCmd(t *testing.T, bin string, args ...string) (stdout, stderr string, exit int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var ob, eb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &ob, &eb
+	err := cmd.Run()
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("run %v: %v", args, err)
+		}
+		exit = ee.ExitCode()
+	}
+	return ob.String(), eb.String(), exit
+}
+
+// TestExitCodes pins the documented exit-status contract: 0 clean,
+// 1 findings, 2 usage errors.
+func TestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI")
+	}
+	bin := buildOoefuzz(t)
+
+	t.Run("clean-run-is-zero", func(t *testing.T) {
+		stdout, _, exit := runCmd(t, bin, "-n", "5", "-seed", "1", "-q")
+		if exit != 0 {
+			t.Fatalf("exit = %d, want 0\n%s", exit, stdout)
+		}
+		if !strings.Contains(stdout, "clean: no divergence") {
+			t.Errorf("missing clean line:\n%s", stdout)
+		}
+		if !strings.Contains(stdout, "5 programs") {
+			t.Errorf("missing summary line:\n%s", stdout)
+		}
+	})
+
+	t.Run("bad-n-is-usage", func(t *testing.T) {
+		_, stderr, exit := runCmd(t, bin, "-n", "0")
+		if exit != 2 {
+			t.Fatalf("exit = %d, want 2", exit)
+		}
+		if !strings.Contains(stderr, "-n must be positive") {
+			t.Errorf("stderr = %q", stderr)
+		}
+	})
+
+	t.Run("positional-arg-is-usage", func(t *testing.T) {
+		_, stderr, exit := runCmd(t, bin, "stray.c")
+		if exit != 2 {
+			t.Fatalf("exit = %d, want 2", exit)
+		}
+		if !strings.Contains(stderr, "usage: ooefuzz") {
+			t.Errorf("stderr = %q", stderr)
+		}
+	})
+
+	t.Run("strict-miss-is-one", func(t *testing.T) {
+		// Seed 9001 at racy bias 0.3 deterministically generates a racy
+		// program the sanitizer misses; -strict promotes that to a finding.
+		stdout, _, exit := runCmd(t, bin, "-n", "1", "-seed", "9001", "-racy", "0.3", "-strict", "-q")
+		if exit != 1 {
+			t.Fatalf("exit = %d, want 1\n%s", exit, stdout)
+		}
+		if !strings.Contains(stdout, "CRASH seed=9001 kind=sanitizer-miss") {
+			t.Errorf("missing crash line:\n%s", stdout)
+		}
+	})
+}
+
+// TestJSONSummary: -json must emit the machine-readable run summary with
+// the stable field names CI consumers rely on.
+func TestJSONSummary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI")
+	}
+	bin := buildOoefuzz(t)
+	stdout, _, exit := runCmd(t, bin, "-n", "3", "-seed", "1", "-json", "-q")
+	if exit != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", exit, stdout)
+	}
+	var stats map[string]any
+	if err := json.Unmarshal([]byte(stdout), &stats); err != nil {
+		t.Fatalf("summary is not JSON: %v\n%s", err, stdout)
+	}
+	for _, key := range []string{"programs", "ub_free", "ub_racy", "san_caught", "san_missed"} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("summary missing %q: %v", key, stats)
+		}
+	}
+	if got := stats["programs"].(float64); got != 3 {
+		t.Errorf("programs = %v, want 3", got)
+	}
+}
+
+// TestCrashReportFiles: -out must write the per-crash JSON report plus
+// the .c companion, and the report must carry the stable schema fields.
+func TestCrashReportFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI")
+	}
+	bin := buildOoefuzz(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "corpus")
+	stdout, _, exit := runCmd(t, bin,
+		"-n", "1", "-seed", "9001", "-racy", "0.3", "-strict", "-out", out, "-q")
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", exit, stdout)
+	}
+
+	data, err := os.ReadFile(filepath.Join(out, "crash-seed9001.json"))
+	if err != nil {
+		t.Fatalf("crash report not written: %v", err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("crash report is not JSON: %v", err)
+	}
+	for _, key := range []string{"seed", "kind", "findings", "racy", "ub", "orders", "exhaustive", "source"} {
+		if _, ok := rep[key]; !ok {
+			t.Errorf("crash report missing %q", key)
+		}
+	}
+	if rep["kind"] != "sanitizer-miss" {
+		t.Errorf("kind = %v, want sanitizer-miss", rep["kind"])
+	}
+	if rep["racy"] != true || rep["ub"] != true {
+		t.Errorf("racy/ub = %v/%v, want true/true", rep["racy"], rep["ub"])
+	}
+	findings := rep["findings"].([]any)
+	if len(findings) == 0 {
+		t.Fatal("crash report has no findings")
+	}
+	f := findings[0].(map[string]any)
+	if _, ok := f["kind"]; !ok {
+		t.Error("finding missing kind")
+	}
+	if _, ok := f["detail"]; !ok {
+		t.Error("finding missing detail")
+	}
+
+	src, err := os.ReadFile(filepath.Join(out, "crash-seed9001.c"))
+	if err != nil {
+		t.Fatalf(".c companion not written: %v", err)
+	}
+	if !strings.Contains(string(src), "int main") {
+		t.Error(".c companion does not look like a program")
+	}
+	if string(src) != rep["source"] {
+		t.Error(".c companion does not match the report's source field")
+	}
+}

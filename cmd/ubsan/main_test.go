@@ -1,0 +1,87 @@
+package main_test
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildUbsan(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ubsan")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runUbsan(t *testing.T, bin string, args ...string) (stdout, stderr string, exit int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var ob, eb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &ob, &eb
+	err := cmd.Run()
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("run %v: %v", args, err)
+		}
+		exit = ee.ExitCode()
+	}
+	return ob.String(), eb.String(), exit
+}
+
+// TestUbsanExitCodes pins the exit-status contract: 0 clean, 1 when the
+// program exhibits an unsequenced race (or fails to load), 2 usage.
+func TestUbsanExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI")
+	}
+	bin := buildUbsan(t)
+
+	t.Run("clean-program-is-zero", func(t *testing.T) {
+		stdout, _, exit := runUbsan(t, bin, filepath.Join("testdata", "clean.c"))
+		if exit != 0 {
+			t.Fatalf("exit = %d, want 0\n%s", exit, stdout)
+		}
+		if !strings.Contains(stdout, "clean: no unsequenced races observed") {
+			t.Errorf("missing clean line:\n%s", stdout)
+		}
+		if !strings.Contains(stdout, "checks inserted") {
+			t.Errorf("missing predicate summary:\n%s", stdout)
+		}
+	})
+
+	t.Run("racy-program-is-one", func(t *testing.T) {
+		stdout, _, exit := runUbsan(t, bin, filepath.Join("testdata", "racy.c"))
+		if exit != 1 {
+			t.Fatalf("exit = %d, want 1\n%s", exit, stdout)
+		}
+		if !strings.Contains(stdout, "VIOLATION:") {
+			t.Errorf("missing VIOLATION line:\n%s", stdout)
+		}
+	})
+
+	t.Run("no-args-is-usage", func(t *testing.T) {
+		_, stderr, exit := runUbsan(t, bin)
+		if exit != 2 {
+			t.Fatalf("exit = %d, want 2", exit)
+		}
+		if !strings.Contains(stderr, "usage: ubsan") {
+			t.Errorf("stderr = %q", stderr)
+		}
+	})
+
+	t.Run("missing-file-is-one", func(t *testing.T) {
+		_, stderr, exit := runUbsan(t, bin, filepath.Join("testdata", "no-such-file.c"))
+		if exit != 1 {
+			t.Fatalf("exit = %d, want 1", exit)
+		}
+		if !strings.Contains(stderr, "ubsan:") {
+			t.Errorf("stderr = %q", stderr)
+		}
+	})
+}

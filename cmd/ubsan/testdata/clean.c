@@ -1,0 +1,4 @@
+/* Same kernel with distinct objects: the predicate holds, no report. */
+int run(int *p, int *q) { return (*p = 1) + (*q = 2); }
+int x, y;
+int main() { return run(&x, &y); }

@@ -1,0 +1,6 @@
+/* The paper's motivating shape: the compiler's unseq-aa must-not-alias
+ * predicate p != q is violated at runtime, so the sanitizer reports an
+ * unsequenced write/write race. */
+int run(int *p, int *q) { return (*p = 1) + (*q = 2); }
+int x;
+int main() { return run(&x, &x); }

@@ -79,10 +79,35 @@ func (m *Machine) store(lv lvalue, v Value, acc *access, beta addrSet) error {
 	if acc.R.has(lv.addr) && !beta.has(lv.addr) {
 		return ub("side effect on %#x races with an unsequenced read", lv.addr)
 	}
-	m.mem[lv.cell] = convert(v, lv.typ)
+	m.mem[lv.cell] = narrowTo(lv, v)
 	acc.W.add(lv.addr)
 	acc.G.add(lv.addr)
 	return nil
+}
+
+// narrowTo converts v to lv's type and, for bitfield lvalues, narrows
+// it to the field width (sign- or zero-extended per the declared type).
+// Both the stored cell value and the value an assignment yields go
+// through this — a bitfield assignment's result is the narrowed field.
+func narrowTo(lv lvalue, v Value) Value {
+	cv := convert(v, lv.typ)
+	if lv.bits > 0 && !cv.IsFloat {
+		cv = IntValue(truncToBits(cv.AsInt(), lv.bits, lv.typ != nil && lv.typ.IsUnsigned()))
+	}
+	return cv
+}
+
+// truncToBits narrows v to an n-bit field, zero-extending (unsigned) or
+// sign-extending (signed) the result back to the full value range.
+func truncToBits(v int64, n int, unsigned bool) int64 {
+	if n <= 0 || n >= 64 {
+		return v
+	}
+	v &= 1<<uint(n) - 1
+	if !unsigned && v&(1<<uint(n-1)) != 0 {
+		v -= 1 << uint(n)
+	}
+	return v
 }
 
 // seqClear models a sequence point inside an expression: pending side
@@ -278,7 +303,9 @@ func (m *Machine) evalUnary(x *ast.Unary) (Value, lvalue, bool, access, error) {
 		if v.IsFloat {
 			return FloatValue(-v.F), lvalue{}, false, acc, nil
 		}
-		return IntValue(-v.I), lvalue{}, false, acc, nil
+		// Wrap to the operand type's width so -INT_MIN agrees with the
+		// compiled pipeline's pinned two's-complement wrap.
+		return convert(IntValue(-v.I), x.Type()), lvalue{}, false, acc, nil
 
 	case token.Not:
 		v, acc, err := m.evalRvalue(x.X)
@@ -336,7 +363,7 @@ func (m *Machine) evalIncDec(operand ast.Expr, op token.Kind, post bool) (Value,
 	if post {
 		return old, lvalue{}, false, acc, nil
 	}
-	return convert(nv, lv.typ), lvalue{}, false, acc, nil
+	return narrowTo(lv, nv), lvalue{}, false, acc, nil
 }
 
 // orderedEval evaluates two sub-evaluations in oracle-chosen order and
@@ -427,6 +454,13 @@ func applyBinop(op token.Kind, v1, v2 Value, t1, t2, rt *ctypes.Type) (Value, er
 	}
 
 	useFloat := v1.IsFloat || v2.IsFloat
+	// Unsignedness mirrors irgen: arithmetic takes it from the result
+	// type, comparisons from either decayed operand. For sub-64-bit
+	// types the canonical zero-extended representation already gives
+	// unsigned behaviour; the explicit uint64 paths matter for the
+	// 64-bit unsigned types, whose values occupy the full word.
+	unsignedArith := rt != nil && rt.IsUnsigned()
+	unsignedCmp := d1 != nil && d1.IsUnsigned() || d2 != nil && d2.IsUnsigned()
 	switch op {
 	case token.Plus, token.Minus, token.Star, token.Slash, token.Percent:
 		if useFloat {
@@ -456,10 +490,22 @@ func applyBinop(op token.Kind, v1, v2 Value, t1, t2, rt *ctypes.Type) (Value, er
 			if b == 0 {
 				return Value{}, ub("integer division by zero")
 			}
+			if unsignedArith {
+				return convert(IntValue(int64(uint64(a)/uint64(b))), rt), nil
+			}
+			if b == -1 && signedMin(rt, a) {
+				return Value{}, ub("signed division overflow: %d / -1", a)
+			}
 			return convert(IntValue(a/b), rt), nil
 		case token.Percent:
 			if b == 0 {
 				return Value{}, ub("integer remainder by zero")
+			}
+			if unsignedArith {
+				return convert(IntValue(int64(uint64(a)%uint64(b))), rt), nil
+			}
+			if b == -1 && signedMin(rt, a) {
+				return Value{}, ub("signed remainder overflow: %d %% -1", a)
 			}
 			return convert(IntValue(a%b), rt), nil
 		}
@@ -471,14 +517,14 @@ func applyBinop(op token.Kind, v1, v2 Value, t1, t2, rt *ctypes.Type) (Value, er
 		return convert(IntValue(v1.AsInt()^v2.AsInt()), rt), nil
 	case token.Shl:
 		sh := v2.AsInt()
-		if sh < 0 || sh >= 64 {
-			return Value{}, ub("shift amount %d out of range", sh)
+		if w := int64(bitWidth(rt)); sh < 0 || sh >= w {
+			return Value{}, ub("shift amount %d out of range for %d-bit type", sh, w)
 		}
 		return convert(IntValue(v1.AsInt()<<uint(sh)), rt), nil
 	case token.Shr:
 		sh := v2.AsInt()
-		if sh < 0 || sh >= 64 {
-			return Value{}, ub("shift amount %d out of range", sh)
+		if w := int64(bitWidth(rt)); sh < 0 || sh >= w {
+			return Value{}, ub("shift amount %d out of range for %d-bit type", sh, w)
 		}
 		if t1 != nil && t1.IsUnsigned() {
 			return convert(IntValue(int64(uint64(v1.AsInt())>>uint(sh))), rt), nil
@@ -488,6 +534,22 @@ func applyBinop(op token.Kind, v1, v2 Value, t1, t2, rt *ctypes.Type) (Value, er
 		var b bool
 		if useFloat {
 			a, c := v1.AsFloat(), v2.AsFloat()
+			switch op {
+			case token.Lt:
+				b = a < c
+			case token.Gt:
+				b = a > c
+			case token.Le:
+				b = a <= c
+			case token.Ge:
+				b = a >= c
+			case token.EqEq:
+				b = a == c
+			case token.NotEq:
+				b = a != c
+			}
+		} else if unsignedCmp {
+			a, c := uint64(v1.AsInt()), uint64(v2.AsInt())
 			switch op {
 			case token.Lt:
 				b = a < c
@@ -525,6 +587,25 @@ func applyBinop(op token.Kind, v1, v2 Value, t1, t2, rt *ctypes.Type) (Value, er
 		return IntValue(0), nil
 	}
 	return Value{}, ub("binary operator %s", op)
+}
+
+// bitWidth is the width in bits of an integer type (64 when unknown):
+// the C bound on shift counts is the width of the promoted left operand,
+// not the 64-bit evaluation domain.
+func bitWidth(t *ctypes.Type) int {
+	if t != nil && t.IsInteger() && t.Size() > 0 {
+		return 8 * t.Size()
+	}
+	return 64
+}
+
+// signedMin reports whether a is the most negative value of signed
+// integer type t — the dividend for which /-1 and %-1 overflow (UB).
+func signedMin(t *ctypes.Type, a int64) bool {
+	if t == nil || !t.IsInteger() || t.IsUnsigned() {
+		return false
+	}
+	return a == -1<<(uint(bitWidth(t))-1)
 }
 
 func decayed(t *ctypes.Type) *ctypes.Type {
@@ -594,7 +675,7 @@ func (m *Machine) evalAssign(x *ast.Assign) (Value, lvalue, bool, access, error)
 	if err := m.store(lv, nv, &acc, beta); err != nil {
 		return Value{}, lvalue{}, false, acc, err
 	}
-	return convert(nv, lv.typ), lvalue{}, false, acc, nil
+	return narrowTo(lv, nv), lvalue{}, false, acc, nil
 }
 
 func (m *Machine) evalIndex(x *ast.Index) (Value, lvalue, bool, access, error) {
@@ -666,6 +747,7 @@ func (m *Machine) evalMember(x *ast.Member) (Value, lvalue, bool, access, error)
 		// Bitfields of one storage unit share the race address but get
 		// distinct storage cells (C's "memory location" is the unit).
 		lv.cell = (baseAddr+int64(f.Offset))<<16 | int64(f.BitOff+1)
+		lv.bits = f.BitWidth
 		if _, ok := m.mem[lv.cell]; !ok {
 			m.mem[lv.cell] = IntValue(0)
 		}

@@ -1,0 +1,199 @@
+package csem
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/ast"
+)
+
+// This file implements evaluation-order exploration: instead of the two
+// extreme oracles (LeftFirst/RightFirst) a caller can walk the whole
+// tree of oracle decisions — every interleaving of unsequenced operand
+// evaluations the standard allows — or a bounded sample of it. C17's
+// rule that a program is undefined if ANY allowable order races, and
+// merely unspecified (set-valued) if orders disagree on the result, maps
+// directly onto the ExploreResult fields.
+
+// RandOracle picks uniformly random evaluation orders.
+type RandOracle struct {
+	Rng *rand.Rand
+}
+
+// Choose implements Oracle.
+func (r *RandOracle) Choose(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return r.Rng.Intn(n)
+}
+
+// pathOracle replays a fixed prefix of decisions and extends it with
+// leftmost (0) choices, recording the arity of every decision so the
+// driver can backtrack: incrementing the deepest incrementable decision
+// enumerates the decision tree depth-first.
+type pathOracle struct {
+	choices []int
+	arities []int
+	pos     int
+}
+
+// Choose implements Oracle.
+func (p *pathOracle) Choose(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	var c int
+	if p.pos < len(p.choices) {
+		c = p.choices[p.pos]
+		if c >= n {
+			// Replay divergence (should not happen: same program, same
+			// prefix ⇒ same arities); clamp defensively.
+			c = n - 1
+		}
+		p.arities[p.pos] = n
+	} else {
+		p.choices = append(p.choices, 0)
+		p.arities = append(p.arities, n)
+	}
+	p.pos++
+	return c
+}
+
+// next advances the prefix to the lexicographically next path: bump the
+// deepest decision that has siblings left, drop everything below it.
+// Returns false when the tree is exhausted.
+func (p *pathOracle) next() bool {
+	for i := p.pos - 1; i >= 0; i-- {
+		if p.choices[i]+1 < p.arities[i] {
+			p.choices[i]++
+			p.choices = p.choices[:i+1]
+			p.arities = p.arities[:i+1]
+			p.pos = 0
+			return true
+		}
+	}
+	return false
+}
+
+// reset prepares the oracle for another replay of the current prefix.
+func (p *pathOracle) reset() { p.pos = 0 }
+
+// ExploreOpts bounds an Explore run.
+type ExploreOpts struct {
+	// MaxOrders caps the number of evaluation orders executed by the
+	// depth-first enumeration (0 = DefaultMaxOrders).
+	MaxOrders int
+	// Samples adds random-order executions when the enumeration did not
+	// exhaust the tree within MaxOrders (0 = DefaultSamples).
+	Samples int
+	// Seed seeds the random sampling.
+	Seed int64
+	// MaxSteps overrides the per-run step budget (0 = machine default).
+	MaxSteps int
+}
+
+// Defaults for ExploreOpts zero fields.
+const (
+	DefaultMaxOrders = 64
+	DefaultSamples   = 16
+)
+
+// ExploreResult summarizes the behaviour of a program over the explored
+// evaluation orders.
+type ExploreResult struct {
+	// UB reports that some explored order hit undefined behaviour; per
+	// C17 the whole program is then undefined (exploration stops at the
+	// first such order).
+	UB bool
+	// UBReason is the Undefined reason for the first UB order.
+	UBReason string
+	// Values holds the distinct results observed, sorted ascending. A
+	// defined, deterministic program yields exactly one. More than one
+	// means the result is unspecified (e.g. indeterminately sequenced
+	// calls with different side effects) — every compiled pipeline must
+	// produce a member of this set.
+	Values []int64
+	// Orders is the number of complete executions performed.
+	Orders int
+	// Exhaustive reports that the enumeration covered every allowable
+	// order (so Values and the UB verdict are exact, not sampled).
+	Exhaustive bool
+}
+
+// Explore runs entry under enumerated (and, past the budget, sampled)
+// evaluation orders. A nil error with r.UB set means the program is
+// undefined; a non-nil error means the reference machine itself failed
+// (unsupported construct, step budget, missing entry).
+func Explore(tu *ast.TranslationUnit, entry string, opts ExploreOpts) (*ExploreResult, error) {
+	maxOrders := opts.MaxOrders
+	if maxOrders <= 0 {
+		maxOrders = DefaultMaxOrders
+	}
+	samples := opts.Samples
+	if samples <= 0 {
+		samples = DefaultSamples
+	}
+	res := &ExploreResult{}
+	seen := map[int64]bool{}
+
+	runOne := func(o Oracle) (done bool, err error) {
+		m, err := NewMachine(tu, o)
+		if err == nil {
+			if opts.MaxSteps > 0 {
+				m.MaxSteps = opts.MaxSteps
+			}
+			var v Value
+			v, err = m.Run(entry)
+			if err == nil {
+				res.Orders++
+				if !seen[v.AsInt()] {
+					seen[v.AsInt()] = true
+					res.Values = append(res.Values, v.AsInt())
+				}
+				return false, nil
+			}
+		}
+		if u, ok := err.(*Undefined); ok {
+			res.Orders++
+			res.UB = true
+			res.UBReason = u.Reason
+			return true, nil
+		}
+		return true, err
+	}
+
+	// Depth-first enumeration of the decision tree.
+	po := &pathOracle{}
+	for res.Orders < maxOrders {
+		po.reset()
+		done, err := runOne(po)
+		if err != nil {
+			return nil, err
+		}
+		if done { // UB: verdict is final, no need to keep walking
+			sort.Slice(res.Values, func(i, j int) bool { return res.Values[i] < res.Values[j] })
+			return res, nil
+		}
+		if !po.next() {
+			res.Exhaustive = true
+			break
+		}
+	}
+
+	// Random sampling tops up coverage when the tree was too big.
+	if !res.Exhaustive {
+		rng := rand.New(rand.NewSource(opts.Seed))
+		for i := 0; i < samples; i++ {
+			done, err := runOne(&RandOracle{Rng: rng})
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				break
+			}
+		}
+	}
+	sort.Slice(res.Values, func(i, j int) bool { return res.Values[i] < res.Values[j] })
+	return res, nil
+}

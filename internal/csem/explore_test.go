@@ -1,0 +1,170 @@
+package csem
+
+import (
+	"strings"
+	"testing"
+)
+
+func explore(t *testing.T, src string, opts ExploreOpts) *ExploreResult {
+	t.Helper()
+	res, err := Explore(mustTU(t, src), "main", opts)
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	return res
+}
+
+// TestExploreDeterministic: a side-effect-free program still has choice
+// points (the machine asks the oracle at every binary operand pair), but
+// every order must agree — exhaustive, one value.
+func TestExploreDeterministic(t *testing.T) {
+	res := explore(t, `int main(void) { int x = 3; x = x * 7; return x + 1; }`, ExploreOpts{})
+	if res.UB {
+		t.Fatalf("unexpected UB: %s", res.UBReason)
+	}
+	if !res.Exhaustive {
+		t.Error("pure program's small tree should be exhausted")
+	}
+	if len(res.Values) != 1 || res.Values[0] != 22 {
+		t.Errorf("Values = %v, want [22]", res.Values)
+	}
+}
+
+// TestExploreMiddleOrderRace: three calls in one full expression are
+// indeterminately sequenced with each other, but the operand evaluations
+// around them are unsequenced. The two extreme orders (pure left-first,
+// pure right-first) evaluate f() and h() away from each other; only an
+// interleaving that runs g()'s read of the global BETWEEN the two
+// unsequenced writes... here we construct the simpler canonical case:
+// a program where the extremes agree but a middle interleaving differs,
+// so any two-extreme sampler under-reports the value set.
+func TestExploreMiddleOrderRace(t *testing.T) {
+	// x + y + z parses as (x + y) + z. Left-first and right-first both
+	// produce g=1 before the read or g=2 after both writes... the middle
+	// orders produce the third value. All writes are in distinct calls,
+	// so they are indeterminately sequenced (no UB), but the result is
+	// unspecified with MORE values than the extremes expose.
+	src := `
+int g;
+int a(void) { g = g + 1; return 0; }
+int b(void) { g = g * 10; return 0; }
+int c(void) { return g; }
+int main(void) { return a() + b() + c(); }
+`
+	res := explore(t, src, ExploreOpts{MaxOrders: 256})
+	if res.UB {
+		t.Fatalf("indeterminately sequenced calls misreported as UB: %s", res.UBReason)
+	}
+	if !res.Exhaustive {
+		t.Fatalf("small tree should be exhausted (orders=%d)", res.Orders)
+	}
+	// Orders: a,b,c → (0+1)*10=10; a,c,b → c sees 1; b,a,c → 0*10+1=1;
+	// b,c,a → c sees 0; c first → c sees 0. Extremes (left-first: a,b,c;
+	// right-first: c,b,a) expose {10, 0}; the full set adds 1.
+	want := []int64{0, 1, 10}
+	if len(res.Values) != len(want) {
+		t.Fatalf("Values = %v, want %v", res.Values, want)
+	}
+	for i, v := range want {
+		if res.Values[i] != v {
+			t.Fatalf("Values = %v, want %v", res.Values, want)
+		}
+	}
+
+	// Demonstrate why set-membership matters: the two extreme oracles
+	// alone miss one of the allowed values.
+	extremes := map[int64]bool{}
+	for _, o := range []Oracle{LeftFirst{}, RightFirst{}} {
+		v, err := run(t, src, o)
+		if err != nil {
+			t.Fatalf("extreme order: %v", err)
+		}
+		extremes[v.AsInt()] = true
+	}
+	if len(extremes) >= len(res.Values) {
+		t.Errorf("expected extremes (%v) to under-approximate the full value set %v", extremes, res.Values)
+	}
+}
+
+// TestExploreUnsequencedRaceIsUB: two writes to the same scalar in one
+// full expression are unsequenced — UB no matter which order wins, and
+// Explore must report it rather than a value set.
+func TestExploreUnsequencedRaceIsUB(t *testing.T) {
+	res := explore(t, `int g; int main(void) { return (g = 1) + (g = 2); }`, ExploreOpts{})
+	if !res.UB {
+		t.Fatalf("unsequenced write/write race not flagged; Values = %v", res.Values)
+	}
+	if !strings.Contains(res.UBReason, "unsequenced") {
+		t.Errorf("UBReason = %q, want mention of unsequenced access", res.UBReason)
+	}
+}
+
+// TestExploreRaceOnlyOnSomeOrder: the race window only opens on one
+// side of a short-circuit — C17 still calls the whole program undefined
+// if ANY allowable order races, and Explore stops at the first such
+// order rather than averaging it away.
+func TestExploreRaceOnlyOnSomeOrder(t *testing.T) {
+	// (i = 1) + (i = 2) is reached only when t is nonzero; t is set by an
+	// indeterminately sequenced call, so some orders race and some don't.
+	src := `
+int t;
+int set(void) { t = 1; return 0; }
+int i;
+int main(void) {
+  int r = set() + (t ? (i = 1) + (i = 2) : 0);
+  return r + i;
+}
+`
+	res := explore(t, src, ExploreOpts{MaxOrders: 256})
+	if !res.UB {
+		t.Fatalf("race on a subset of orders must still be UB; Values = %v (orders=%d)", res.Values, res.Orders)
+	}
+}
+
+// TestExploreSetValuedCall: an indeterminately sequenced write in a call
+// operand is legal but leaves the result unspecified — Explore returns
+// both values and marks the tree exhausted.
+func TestExploreSetValuedCall(t *testing.T) {
+	src := `
+int g;
+int bump(void) { g = 5; return 1; }
+int main(void) { return g + bump(); }
+`
+	res := explore(t, src, ExploreOpts{})
+	if res.UB {
+		t.Fatalf("unexpected UB: %s", res.UBReason)
+	}
+	if !res.Exhaustive {
+		t.Error("two-order tree should be exhausted")
+	}
+	want := []int64{1, 6}
+	if len(res.Values) != 2 || res.Values[0] != want[0] || res.Values[1] != want[1] {
+		t.Errorf("Values = %v, want %v", res.Values, want)
+	}
+}
+
+// TestExploreBudgetSampling: when the decision tree is larger than
+// MaxOrders, Explore must fall back to sampling (not silently truncate
+// the verdict) and report Exhaustive=false.
+func TestExploreBudgetSampling(t *testing.T) {
+	// Ten independent two-way choices → 2^10 orders.
+	var b strings.Builder
+	b.WriteString("int g0,g1,g2,g3,g4,g5,g6,g7,g8,g9;\nint id(int x){return x;}\nint main(void){int s=0;\n")
+	for i := 0; i < 10; i++ {
+		b.WriteString("  s += id(1) + id(2);\n")
+	}
+	b.WriteString("  return s;\n}\n")
+	res := explore(t, b.String(), ExploreOpts{MaxOrders: 8, Samples: 4})
+	if res.UB {
+		t.Fatalf("unexpected UB: %s", res.UBReason)
+	}
+	if res.Exhaustive {
+		t.Error("budget of 8 orders cannot exhaust 2^10 interleavings")
+	}
+	if res.Orders < 9 {
+		t.Errorf("Orders = %d, want enumeration budget plus samples", res.Orders)
+	}
+	if len(res.Values) != 1 || res.Values[0] != 30 {
+		t.Errorf("Values = %v, want [30]", res.Values)
+	}
+}

@@ -122,6 +122,9 @@ type lvalue struct {
 	addr int64
 	cell int64
 	typ  *ctypes.Type
+	// bits is the field width for bitfield members (0 otherwise):
+	// stores narrow the value to this many bits.
+	bits int
 }
 
 func plainLV(addr int64, t *ctypes.Type) lvalue { return lvalue{addr: addr, cell: addr, typ: t} }

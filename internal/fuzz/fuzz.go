@@ -1,0 +1,112 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"repro/internal/csem"
+)
+
+// RunOpts configures a fuzzing campaign.
+type RunOpts struct {
+	// N is the number of programs to generate and check.
+	N int
+	// Seed is the base seed; program i uses Seed+i.
+	Seed int64
+	// Config shapes the generator.
+	Config Config
+	// Reduce runs the delta-reducer on each crashing program.
+	Reduce bool
+	// Strict promotes sanitizer misses to findings.
+	Strict bool
+	// Explore bounds the reference-order exploration per program.
+	Explore csem.ExploreOpts
+	// Progress, if set, receives one line per event worth narrating.
+	Progress func(string)
+	// Stop, if set, is polled between programs; returning true ends the
+	// campaign early with the stats gathered so far (time-boxed CI runs
+	// flush their crash reports this way instead of dying mid-sweep).
+	Stop func() bool
+	// OnCrash, if set, is called with each crash report as it is found,
+	// before the campaign continues — so an interrupted run has already
+	// persisted everything it discovered.
+	OnCrash func(*CrashReport) error
+}
+
+// RunStats summarizes a campaign.
+type RunStats struct {
+	Programs  int `json:"programs"`
+	UBFree    int `json:"ub_free"`
+	UBRacy    int `json:"ub_racy"`
+	SanCaught int `json:"san_caught"`
+	SanMissed int `json:"san_missed"`
+	// Crashes holds one report per program with findings.
+	Crashes []*CrashReport `json:"crashes,omitempty"`
+}
+
+// Run executes a fuzzing campaign: generate, check, and (optionally)
+// reduce each finding. Deterministic for a given (Seed, N, Config).
+func Run(opts RunOpts) *RunStats {
+	stats := &RunStats{}
+	say := opts.Progress
+	if say == nil {
+		say = func(string) {}
+	}
+	hopts := HarnessOpts{Explore: opts.Explore, Strict: opts.Strict}
+	for i := 0; i < opts.N; i++ {
+		if opts.Stop != nil && opts.Stop() {
+			say(fmt.Sprintf("stopped after %d programs", stats.Programs))
+			break
+		}
+		seed := opts.Seed + int64(i)
+		p := Generate(seed, opts.Config)
+		out := Check(p, hopts)
+		stats.Programs++
+		if out.UB {
+			stats.UBRacy++
+			if out.SanCaught {
+				stats.SanCaught++
+			} else {
+				stats.SanMissed++
+			}
+		} else if len(out.Findings) == 0 || out.Findings[0].Kind != KindCompileError {
+			stats.UBFree++
+		}
+		if len(out.Findings) == 0 {
+			continue
+		}
+		r := NewCrashReport(p, out)
+		if opts.Reduce {
+			say(fmt.Sprintf("seed %d: %s — reducing", seed, r.Kind))
+			r.Reduced = ReduceOutcome(p, hopts, r.Kind)
+		} else {
+			say(fmt.Sprintf("seed %d: %s", seed, r.Kind))
+		}
+		stats.Crashes = append(stats.Crashes, r)
+		if opts.OnCrash != nil {
+			if err := opts.OnCrash(r); err != nil {
+				say(fmt.Sprintf("seed %d: persisting report: %v", seed, err))
+			}
+		}
+	}
+	return stats
+}
+
+// ReduceOutcome shrinks p.Source while the harness still reports a
+// finding of the same kind.
+func ReduceOutcome(p Program, hopts HarnessOpts, kind string) string {
+	probe := func(src string) bool {
+		out := Check(Program{Seed: p.Seed, Source: src, Racy: p.Racy}, hopts)
+		for _, f := range out.Findings {
+			if f.Kind == kind {
+				return true
+			}
+		}
+		return false
+	}
+	if !probe(p.Source) {
+		// Non-reproducible (e.g. sampling nondeterminism) — keep the
+		// original rather than shrink to an unrelated program.
+		return ""
+	}
+	return Reduce(p.Source, probe)
+}

@@ -1,0 +1,85 @@
+package fuzz
+
+import "strings"
+
+// Reduce shrinks src with line-granular delta debugging (ddmin): it
+// repeatedly removes chunks of lines, keeping a candidate whenever
+// interesting(candidate) still holds. interesting must return true for
+// src itself; the returned program always satisfies it.
+//
+// The predicate owns validity: a candidate that no longer parses simply
+// reports false and is discarded, so the reducer needs no C knowledge.
+func Reduce(src string, interesting func(string) bool) string {
+	lines := splitLines(src)
+	n := 2
+	for len(lines) >= 2 {
+		chunk := (len(lines) + n - 1) / n
+		reduced := false
+		// Try deleting each chunk (complement testing — the variant of
+		// ddmin that converges fastest on programs).
+		for start := 0; start < len(lines); start += chunk {
+			end := start + chunk
+			if end > len(lines) {
+				end = len(lines)
+			}
+			cand := make([]string, 0, len(lines)-(end-start))
+			cand = append(cand, lines[:start]...)
+			cand = append(cand, lines[end:]...)
+			if interesting(joinLines(cand)) {
+				lines = cand
+				n = max2(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(lines) {
+				break
+			}
+			n = min2(n*2, len(lines))
+		}
+	}
+	// Final sweep: single-line removals until a fixpoint, catching lines
+	// ddmin's chunk boundaries straddled.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(lines); i++ {
+			cand := make([]string, 0, len(lines)-1)
+			cand = append(cand, lines[:i]...)
+			cand = append(cand, lines[i+1:]...)
+			if interesting(joinLines(cand)) {
+				lines = cand
+				changed = true
+				i--
+			}
+		}
+	}
+	return joinLines(lines)
+}
+
+func splitLines(s string) []string {
+	raw := strings.Split(s, "\n")
+	out := raw[:0]
+	for _, l := range raw {
+		if strings.TrimSpace(l) != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func joinLines(ls []string) string { return strings.Join(ls, "\n") + "\n" }
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,82 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CrashReport is the machine-readable record written for every program
+// with at least one finding. The schema is stable: cmd/ooefuzz tests
+// and CI artifact consumers parse it.
+type CrashReport struct {
+	Seed       int64       `json:"seed"`
+	Kind       string      `json:"kind"` // most severe finding kind
+	Findings   []Finding   `json:"findings"`
+	Racy       bool        `json:"racy"`
+	UB         bool        `json:"ub"`
+	UBReason   string      `json:"ub_reason,omitempty"`
+	RefValues  []int64     `json:"ref_values,omitempty"`
+	Orders     int         `json:"orders"`
+	Exhaustive bool        `json:"exhaustive"`
+	Legs       []LegResult `json:"legs,omitempty"`
+	Source     string      `json:"source"`
+	Reduced    string      `json:"reduced,omitempty"`
+}
+
+// severity orders finding kinds for the report's headline Kind.
+var severity = map[string]int{
+	KindDivergence:    6,
+	KindJobsMismatch:  5,
+	KindSanitizerFP:   4,
+	KindCompileError:  3,
+	KindRunError:      3,
+	KindCsemError:     2,
+	KindSanitizerMiss: 1,
+}
+
+// NewCrashReport builds the report for an outcome with findings.
+func NewCrashReport(p Program, out *Outcome) *CrashReport {
+	r := &CrashReport{
+		Seed:       p.Seed,
+		Racy:       p.Racy,
+		UB:         out.UB,
+		UBReason:   out.UBReason,
+		RefValues:  out.RefValues,
+		Orders:     out.Orders,
+		Exhaustive: out.Exhaustive,
+		Legs:       out.Legs,
+		Findings:   out.Findings,
+		Source:     p.Source,
+	}
+	for _, f := range out.Findings {
+		if severity[f.Kind] > severity[r.Kind] {
+			r.Kind = f.Kind
+		}
+	}
+	return r
+}
+
+// Write stores the report (and .c companions for the raw and reduced
+// sources) under dir, named by seed.
+func (r *CrashReport) Write(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	base := fmt.Sprintf("crash-seed%d", r.Seed)
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, base+".json"), append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, base+".c"), []byte(r.Source), 0o644); err != nil {
+		return err
+	}
+	if r.Reduced != "" {
+		return os.WriteFile(filepath.Join(dir, base+".reduced.c"), []byte(r.Reduced), 0o644)
+	}
+	return nil
+}

@@ -406,13 +406,15 @@ func (m *Machine) execBlock(f *ir.Func, b *ir.Block, regs map[ir.Value]val,
 			if a.fl {
 				regs[in] = fv(-a.f)
 			} else {
-				regs[in] = iv(-a.i)
+				// Truncate to the class width so negation overflow wraps
+				// (matching constant folding and the csem wrap choice).
+				regs[in] = iv(truncFor(in.Cls, -a.i, in.Unsigned))
 			}
 
 		case ir.OpNot:
 			a := get(in.Args[0])
 			m.Cycles += m.costs.ALU
-			regs[in] = iv(^a.asInt())
+			regs[in] = iv(truncFor(in.Cls, ^a.asInt(), in.Unsigned))
 
 		case ir.OpCmp:
 			a, c := get(in.Args[0]), get(in.Args[1])

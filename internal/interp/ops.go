@@ -24,82 +24,14 @@ func scalarBin(op ir.Op, cls ir.Class, a, b val, unsigned bool) val {
 		}
 		// Bitwise on floats should not happen; fall through to ints.
 	}
-	x, y := a.asInt(), b.asInt()
-	var r int64
-	switch op {
-	case ir.OpAdd:
-		r = x + y
-	case ir.OpSub:
-		r = x - y
-	case ir.OpMul:
-		r = x * y
-	case ir.OpDiv:
-		if y == 0 {
-			return iv(0)
-		}
-		if unsigned {
-			r = int64(uint64(x) / uint64(y))
-		} else {
-			r = x / y
-		}
-	case ir.OpRem:
-		if y == 0 {
-			return iv(0)
-		}
-		if unsigned {
-			r = int64(uint64(x) % uint64(y))
-		} else {
-			r = x % y
-		}
-	case ir.OpAnd:
-		r = x & y
-	case ir.OpOr:
-		r = x | y
-	case ir.OpXor:
-		r = x ^ y
-	case ir.OpShl:
-		r = x << (uint64(y) & 63)
-	case ir.OpShr:
-		if unsigned {
-			r = int64(maskFor(cls, x) >> (uint64(y) & 63))
-		} else {
-			r = x >> (uint64(y) & 63)
-		}
-	}
-	return iv(truncFor(cls, r, unsigned))
-}
-
-func maskFor(cls ir.Class, x int64) uint64 {
-	switch cls {
-	case ir.I8:
-		return uint64(uint8(x))
-	case ir.I16:
-		return uint64(uint16(x))
-	case ir.I32:
-		return uint64(uint32(x))
-	}
-	return uint64(x)
+	// Integer arithmetic routes through the canonical kernel shared with
+	// constant folding (ir.FoldInt), so folded and runtime-computed
+	// values are bit-identical by construction.
+	return iv(ir.FoldInt(op, cls, a.asInt(), b.asInt(), unsigned))
 }
 
 func truncFor(cls ir.Class, x int64, unsigned bool) int64 {
-	switch cls {
-	case ir.I8:
-		if unsigned {
-			return int64(uint8(x))
-		}
-		return int64(int8(x))
-	case ir.I16:
-		if unsigned {
-			return int64(uint16(x))
-		}
-		return int64(int16(x))
-	case ir.I32:
-		if unsigned {
-			return int64(uint32(x))
-		}
-		return int64(int32(x))
-	}
-	return x
+	return ir.TruncInt(cls, x, unsigned)
 }
 
 func compare(p ir.Pred, a, b val, unsigned bool) bool {

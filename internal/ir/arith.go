@@ -1,0 +1,99 @@
+package ir
+
+// Canonical scalar integer arithmetic, shared by the interpreter and by
+// constant folding so the two cannot drift: a folded constant must be
+// bit-identical to what the runtime would have computed. The pinned
+// choices for C-level UB that the IR layer must still totalize
+// (reference semantics in csem traps these as Undefined, so they are
+// unobservable in defined programs, but every pipeline stage has to
+// agree on SOME value for them):
+//
+//   - division/remainder by zero  → 0
+//   - most-negative / -1          → wraps (two's complement, Go's rule)
+//   - shift counts                → masked to [0,64), result truncated
+//     to the class width
+//   - signed overflow             → wraps (as if -fwrapv)
+
+// TruncInt truncates x to cls's width: sign-extending for signed
+// classes, zero-extending for unsigned, so every value is kept in the
+// canonical 64-bit representation of its class.
+func TruncInt(cls Class, x int64, unsigned bool) int64 {
+	switch cls {
+	case I8:
+		if unsigned {
+			return int64(uint8(x))
+		}
+		return int64(int8(x))
+	case I16:
+		if unsigned {
+			return int64(uint16(x))
+		}
+		return int64(int16(x))
+	case I32:
+		if unsigned {
+			return int64(uint32(x))
+		}
+		return int64(int32(x))
+	}
+	return x
+}
+
+// ZeroExt reinterprets x as an unsigned value of cls's width.
+func ZeroExt(cls Class, x int64) uint64 {
+	switch cls {
+	case I8:
+		return uint64(uint8(x))
+	case I16:
+		return uint64(uint16(x))
+	case I32:
+		return uint64(uint32(x))
+	}
+	return uint64(x)
+}
+
+// FoldInt applies an integer binary opcode with the pinned edge-case
+// semantics above; the result is truncated to cls.
+func FoldInt(op Op, cls Class, a, b int64, unsigned bool) int64 {
+	var r int64
+	switch op {
+	case OpAdd:
+		r = a + b
+	case OpSub:
+		r = a - b
+	case OpMul:
+		r = a * b
+	case OpDiv:
+		if b == 0 {
+			return 0
+		}
+		if unsigned {
+			r = int64(ZeroExt(cls, a) / ZeroExt(cls, b))
+		} else {
+			r = a / b // MinInt64 / -1 wraps to MinInt64 per the Go spec
+		}
+	case OpRem:
+		if b == 0 {
+			return 0
+		}
+		if unsigned {
+			r = int64(ZeroExt(cls, a) % ZeroExt(cls, b))
+		} else {
+			r = a % b
+		}
+	case OpAnd:
+		r = a & b
+	case OpOr:
+		r = a | b
+	case OpXor:
+		r = a ^ b
+	case OpShl:
+		r = a << (uint64(b) & 63)
+	case OpShr:
+		if unsigned {
+			r = int64(ZeroExt(cls, a) >> (uint64(b) & 63))
+		} else {
+			r = a >> (uint64(b) & 63)
+		}
+	}
+	return TruncInt(cls, r, unsigned)
+}

@@ -66,14 +66,83 @@ func (g *Generator) genExpr(e ast.Expr) ir.Value {
 			return g.genAddr(e)
 		}
 		ptr := g.genAddr(e)
-		return g.emit(&ir.Instr{Op: ir.OpLoad, Cls: classOf(e.Type()),
-			Unsigned: isUnsignedType(e.Type()), Args: []ir.Value{ptr}})
+		return g.loadLV(e, ptr)
 	}
 	g.errorf("irgen: cannot lower expression %s", ast.ExprString(e))
 	return ir.ConstInt(ir.I64, 0)
 }
 
 func isArrayType(t *ctypes.Type) bool { return t != nil && t.Kind == ctypes.Array }
+
+// bitfieldOf returns the field descriptor when e designates a bitfield
+// member, nil otherwise.
+func bitfieldOf(e ast.Expr) *ctypes.Field {
+	if m, ok := sema.Strip(e).(*ast.Member); ok && m.Field.BitField {
+		return &m.Field
+	}
+	return nil
+}
+
+// loadLV loads the value of lvalue e through ptr. Bitfields load their
+// storage unit and extract the field (shift up, then down, so the top
+// shift-in provides the sign or zero extension).
+func (g *Generator) loadLV(e ast.Expr, ptr ir.Value) ir.Value {
+	cls := classOf(e.Type())
+	uns := isUnsignedType(e.Type())
+	ld := g.emit(&ir.Instr{Op: ir.OpLoad, Cls: cls, Unsigned: uns, Args: []ir.Value{ptr}})
+	f := bitfieldOf(e)
+	if f == nil {
+		return ld
+	}
+	return g.extractBits(ld, f, cls, uns)
+}
+
+func (g *Generator) extractBits(unit ir.Value, f *ctypes.Field, cls ir.Class, uns bool) ir.Value {
+	unitBits := 8 * f.Type.Size()
+	if f.BitWidth >= unitBits {
+		return unit
+	}
+	v := unit
+	if up := unitBits - f.BitOff - f.BitWidth; up > 0 {
+		v = g.emit(&ir.Instr{Op: ir.OpShl, Cls: cls, Unsigned: uns,
+			Args: []ir.Value{v, ir.ConstInt(cls, int64(up))}})
+	}
+	return g.emit(&ir.Instr{Op: ir.OpShr, Cls: cls, Unsigned: uns,
+		Args: []ir.Value{v, ir.ConstInt(cls, int64(unitBits-f.BitWidth))}})
+}
+
+// storeLV stores v into lvalue e through ptr and returns the value the
+// assignment yields. Bitfields are a read-modify-write of their storage
+// unit: clear the field's bits, OR in the shifted value, store the unit
+// back — adjacent fields in the unit must be preserved.
+func (g *Generator) storeLV(e ast.Expr, ptr ir.Value, v ir.Value) ir.Value {
+	f := bitfieldOf(e)
+	if f == nil {
+		g.emit(&ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{ptr, v}})
+		return v
+	}
+	cls := classOf(e.Type())
+	uns := isUnsignedType(e.Type())
+	unitBits := 8 * f.Type.Size()
+	if f.BitWidth >= unitBits {
+		g.emit(&ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{ptr, v}})
+		return v
+	}
+	mask := int64(1)<<uint(f.BitWidth) - 1
+	unit := g.emit(&ir.Instr{Op: ir.OpLoad, Cls: cls, Unsigned: uns, Args: []ir.Value{ptr}})
+	cleared := g.emit(&ir.Instr{Op: ir.OpAnd, Cls: cls, Unsigned: uns,
+		Args: []ir.Value{unit, ir.ConstInt(cls, ^(mask << uint(f.BitOff)))}})
+	vm := g.emit(&ir.Instr{Op: ir.OpAnd, Cls: cls, Unsigned: uns,
+		Args: []ir.Value{v, ir.ConstInt(cls, mask)}})
+	vs := vm
+	if f.BitOff > 0 {
+		vs = g.emit(&ir.Instr{Op: ir.OpShl, Cls: cls, Unsigned: uns,
+			Args: []ir.Value{vm, ir.ConstInt(cls, int64(f.BitOff))}})
+	}
+	nu := g.emit(&ir.Instr{Op: ir.OpOr, Cls: cls, Unsigned: uns, Args: []ir.Value{cleared, vs}})
+	g.emit(&ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{ptr, nu}})
+	return g.extractBits(nu, f, cls, uns)
+}
 
 // genAddr lowers e to a pointer to its object and records the mapping for
 // predicate emission.
@@ -162,26 +231,22 @@ func (g *Generator) genAssign(x *ast.Assign) ir.Value {
 		rv := g.genExpr(x.R)
 		ptr := g.genAddr(x.L)
 		rv = g.convertTo(rv, classOf(x.L.Type()))
-		g.emit(&ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{ptr, rv}})
-		return rv
+		return g.storeLV(x.L, ptr, rv)
 	}
 	// Compound: address once, load-modify-store.
 	ptr := g.genAddr(x.L)
 	rv := g.genExpr(x.R)
 	lcls := classOf(x.L.Type())
-	old := g.emit(&ir.Instr{Op: ir.OpLoad, Cls: lcls,
-		Unsigned: isUnsignedType(x.L.Type()), Args: []ir.Value{ptr}})
+	old := g.loadLV(x.L, ptr)
 	nv := g.arith(x.Op.CompoundBase(), old, rv, x.L.Type(), x.R.Type(), x.L.Type())
 	nv = g.convertTo(nv, lcls)
-	g.emit(&ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{ptr, nv}})
-	return nv
+	return g.storeLV(x.L, ptr, nv)
 }
 
 func (g *Generator) genIncDec(operand ast.Expr, op token.Kind, post bool) ir.Value {
 	ptr := g.genAddr(operand)
 	cls := classOf(operand.Type())
-	old := g.emit(&ir.Instr{Op: ir.OpLoad, Cls: cls,
-		Unsigned: isUnsignedType(operand.Type()), Args: []ir.Value{ptr}})
+	old := g.loadLV(operand, ptr)
 	var delta ir.Value
 	t := operand.Type()
 	step := int64(1)
@@ -200,12 +265,13 @@ func (g *Generator) genIncDec(operand ast.Expr, op token.Kind, post bool) ir.Val
 	if op == token.Dec {
 		aop = ir.OpSub
 	}
-	nv := g.emit(&ir.Instr{Op: aop, Cls: cls, Args: []ir.Value{old, delta}})
-	g.emit(&ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{ptr, nv}})
+	nv := g.emit(&ir.Instr{Op: aop, Cls: cls, Unsigned: isUnsignedType(t),
+		Args: []ir.Value{old, delta}})
+	stored := g.storeLV(operand, ptr, nv)
 	if post {
 		return old
 	}
-	return nv
+	return stored
 }
 
 func (g *Generator) genUnary(x *ast.Unary) ir.Value {
@@ -362,15 +428,19 @@ func (g *Generator) genCond(x *ast.Cond) ir.Value {
 	c := g.truthy(g.genExpr(x.C), x.C.Type())
 	g.emit(&ir.Instr{Op: ir.OpCondBr, Cls: ir.Void, Args: []ir.Value{c}, Then: thenB, Else: elseB})
 	g.blk = thenB
-	tv := g.convertTo(g.genExpr(x.T), cls)
+	tv := g.convertToType(g.genExpr(x.T), x.Type())
 	g.emit(&ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{res, tv}})
 	g.branchTo(doneB)
 	g.blk = elseB
-	fv := g.convertTo(g.genExpr(x.F), cls)
+	fv := g.convertToType(g.genExpr(x.F), x.Type())
 	g.emit(&ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{res, fv}})
 	g.branchTo(doneB)
 	g.blk = doneB
-	return g.emit(&ir.Instr{Op: ir.OpLoad, Cls: cls, Args: []ir.Value{res}})
+	// The load's signedness must follow the conditional's result type:
+	// an int arm stored into an unsigned-result slot re-extends unsigned
+	// (the usual-arithmetic-conversions value change).
+	return g.emit(&ir.Instr{Op: ir.OpLoad, Cls: cls,
+		Unsigned: isUnsignedType(x.Type()), Args: []ir.Value{res}})
 }
 
 func (g *Generator) genCall(x *ast.Call) ir.Value {

@@ -82,15 +82,27 @@ func earlyCSE(mod *ir.Module, f *ir.Func, mgr *aa.Manager, tel *telemetry.Sessio
 			case in.Op == ir.OpLoad && !in.Volatile:
 				ptr := in.Args[0]
 				if e, ok := stored[ptr]; ok && e.val.Class() == in.Cls {
-					// Store-to-load forwarding.
-					replaceUses(f, in, e.val)
-					removeAt(b, i)
-					i--
+					// Store-to-load forwarding. The slot narrows the value to
+					// the load width and the load re-extends per its own
+					// signedness; a stored value in a different canonical form
+					// (e.g. sign-extended, reloaded unsigned) cannot be
+					// substituted directly — rewrite the load into the convert
+					// that replays that round-trip instead.
+					if v, exact := canonicalFor(e.val, in.Cls, in.Unsigned); exact {
+						replaceUses(f, in, v)
+						removeAt(b, i)
+						i--
+					} else {
+						in.Op = ir.OpConvert
+						in.Args = []ir.Value{e.val}
+					}
 					removed++
 					memRemark("StoreForwarded", e)
 					continue
 				}
-				if e, ok := loads[ptr]; ok && e.load.Cls == in.Cls {
+				if e, ok := loads[ptr]; ok && e.load.Cls == in.Cls &&
+					(e.load.Unsigned == in.Unsigned || in.Cls == ir.I64 ||
+						in.Cls == ir.Ptr || in.Cls.IsFloat()) {
 					replaceUses(f, in, e.load)
 					removeAt(b, i)
 					i--
@@ -273,8 +285,14 @@ func simplify(in *ir.Instr) ir.Value {
 				return ir.ConstInt(in.Cls, 0)
 			}
 		}
-	case ir.OpDiv:
-		if ok1 && !k1.Cls.IsFloat() && k1.I == 1 {
+	case ir.OpDiv, ir.OpRem:
+		// The interpreter traps integer division by zero at runtime, so a
+		// zero divisor must never be folded away — the instruction stays
+		// and the trap is preserved at every optimization level.
+		if ok0 && ok1 && !in.Cls.IsFloat() && !k0.Cls.IsFloat() && !k1.Cls.IsFloat() && k1.I != 0 {
+			return ir.ConstInt(in.Cls, ir.FoldInt(in.Op, in.Cls, k0.I, k1.I, in.Unsigned))
+		}
+		if in.Op == ir.OpDiv && ok1 && !k1.Cls.IsFloat() && k1.I == 1 {
 			return in.Args[0]
 		}
 	case ir.OpNeg:
@@ -282,29 +300,42 @@ func simplify(in *ir.Instr) ir.Value {
 			if k0.Cls.IsFloat() {
 				return ir.ConstFloat(in.Cls, -k0.F)
 			}
-			return ir.ConstInt(in.Cls, -k0.I)
+			return ir.ConstInt(in.Cls, ir.TruncInt(in.Cls, -k0.I, in.Unsigned))
 		}
 	case ir.OpNot:
 		if ok0 && !k0.Cls.IsFloat() {
-			return ir.ConstInt(in.Cls, ^k0.I)
+			return ir.ConstInt(in.Cls, ir.TruncInt(in.Cls, ^k0.I, in.Unsigned))
 		}
 	case ir.OpCmp:
 		if ok0 && ok1 && !k0.Cls.IsFloat() && !k1.Cls.IsFloat() {
+			// Mirror the interpreter's compare exactly: the Unsigned flag
+			// switches Lt/Le/Gt/Ge to unsigned semantics, and the U-preds
+			// are unsigned regardless.
 			var r bool
 			a, b2 := k0.I, k1.I
+			ua, ub := uint64(a), uint64(b2)
+			unsigned := in.Unsigned
 			switch in.Pred {
 			case ir.Eq:
 				r = a == b2
 			case ir.Ne:
 				r = a != b2
 			case ir.Lt:
-				r = a < b2
+				r = a < b2 && !unsigned || unsigned && ua < ub
 			case ir.Le:
-				r = a <= b2
+				r = a <= b2 && !unsigned || unsigned && ua <= ub
 			case ir.Gt:
-				r = a > b2
+				r = a > b2 && !unsigned || unsigned && ua > ub
 			case ir.Ge:
-				r = a >= b2
+				r = a >= b2 && !unsigned || unsigned && ua >= ub
+			case ir.ULt:
+				r = ua < ub
+			case ir.ULe:
+				r = ua <= ub
+			case ir.UGt:
+				r = ua > ub
+			case ir.UGe:
+				r = ua >= ub
 			}
 			if r {
 				return ir.ConstInt(ir.I32, 1)
@@ -320,13 +351,18 @@ func simplify(in *ir.Instr) ir.Value {
 				return ir.ConstFloat(in.Cls, float64(k0.I))
 			}
 			if k0.Cls.IsFloat() {
-				return ir.ConstInt(in.Cls, int64(k0.F))
+				return ir.ConstInt(in.Cls, ir.TruncInt(in.Cls, int64(k0.F), in.Unsigned))
 			}
-			return ir.ConstInt(in.Cls, k0.I)
+			return ir.ConstInt(in.Cls, ir.TruncInt(in.Cls, k0.I, in.Unsigned))
 		}
-		// convert to the same class is a copy.
+		// A same-class convert is a copy only when the operand is already
+		// in this (class, signedness) canonical form — an i32 value in
+		// unsigned form converted to signed i32 really does change the
+		// register contents (re-extension of the low 32 bits).
 		if in.Args[0].Class() == in.Cls {
-			return in.Args[0]
+			if v, exact := canonicalFor(in.Args[0], in.Cls, in.Unsigned); exact {
+				return v
+			}
 		}
 	case ir.OpSelect:
 		if ok0 && !k0.Cls.IsFloat() {
@@ -344,29 +380,9 @@ func simplify(in *ir.Instr) ir.Value {
 	return nil
 }
 
+// foldInt delegates to the canonical kernel shared with the interpreter
+// (ir.FoldInt): a folded constant must be bit-identical to the value the
+// runtime would compute, including truncation to the class width.
 func foldInt(op ir.Op, a, b int64, cls ir.Class, unsigned bool) int64 {
-	var r int64
-	switch op {
-	case ir.OpAdd:
-		r = a + b
-	case ir.OpSub:
-		r = a - b
-	case ir.OpMul:
-		r = a * b
-	case ir.OpAnd:
-		r = a & b
-	case ir.OpOr:
-		r = a | b
-	case ir.OpXor:
-		r = a ^ b
-	case ir.OpShl:
-		r = a << (uint64(b) & 63)
-	case ir.OpShr:
-		if unsigned {
-			r = int64(uint64(a) >> (uint64(b) & 63))
-		} else {
-			r = a >> (uint64(b) & 63)
-		}
-	}
-	return r
+	return ir.FoldInt(op, cls, a, b, unsigned)
 }

@@ -69,12 +69,19 @@ func mem2reg(f *ir.Func) int {
 					continue
 				}
 				v := store.Args[1]
-				for _, ld := range loads {
-					replaceUses(f, ld, v)
-				}
 				del := map[*ir.Instr]bool{in: true, store: true}
 				for _, ld := range loads {
-					del[ld] = true
+					// The slot truncates the stored value to the load width
+					// and the load re-extends it per its signedness; when v's
+					// canonical form differs, the load becomes the convert
+					// that replays that round-trip instead of vanishing.
+					if cv, exact := canonicalFor(v, ld.Cls, ld.Unsigned); exact {
+						replaceUses(f, ld, cv)
+						del[ld] = true
+					} else {
+						ld.Op = ir.OpConvert
+						ld.Args = []ir.Value{v}
+					}
 				}
 				for _, mi := range deadIntrinsics {
 					del[mi] = true

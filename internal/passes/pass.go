@@ -319,6 +319,37 @@ func removeAt(b *ir.Block, i int) {
 	b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
 }
 
+// canonicalFor reports whether v already holds the canonical register
+// representation a load with (cls, unsigned) would produce — i.e.
+// whether the memory round-trip (truncate to the slot width, re-extend
+// per the load's signedness) is the identity on v. Constants are folded
+// to the canonical value and returned. When it reports false the caller
+// must not substitute v for the load directly; it has to replay the
+// round-trip with an explicit convert or leave the load in place.
+func canonicalFor(v ir.Value, cls ir.Class, unsigned bool) (ir.Value, bool) {
+	if cls == ir.I64 || cls == ir.Ptr || cls.IsFloat() {
+		return v, true // full-width: the round-trip is always the identity
+	}
+	switch x := v.(type) {
+	case *ir.Const:
+		return ir.ConstInt(cls, ir.TruncInt(cls, x.I, unsigned)), true
+	case *ir.Instr:
+		if x.Cls != cls || x.Unsigned != unsigned {
+			return v, false
+		}
+		// Only ops that truncate their result per (Cls, Unsigned) at
+		// runtime are guaranteed canonical; calls, selects, and vector
+		// ops pass values through untouched.
+		switch x.Op {
+		case ir.OpLoad, ir.OpConvert, ir.OpAdd, ir.OpSub, ir.OpMul,
+			ir.OpDiv, ir.OpRem, ir.OpAnd, ir.OpOr, ir.OpXor,
+			ir.OpShl, ir.OpShr, ir.OpNeg, ir.OpNot, ir.OpCmp:
+			return v, true
+		}
+	}
+	return v, false
+}
+
 // isPureValueOp reports whether in computes a value without touching
 // memory or control flow.
 func isPureValueOp(in *ir.Instr) bool {

@@ -1,0 +1,6 @@
+struct S { int a; int b : 5; int c : 7; };
+struct S gs;
+int main(void) {
+  gs.b ^= 1;
+  return gs.c;
+}

@@ -1,0 +1,13 @@
+/* Reduced from fuzz seeds 139/274/438: a store into a narrow signed
+ * bitfield must wrap to the field width. 30 does not fit in int:5, so
+ * gs.b reads back as -2; the reference semantics used to keep the full
+ * 30 while every compiled leg (correctly) wrapped. */
+struct S { int b : 5; int c : 7; };
+struct S gs;
+int main(void) {
+  gs.b = 30;
+  gs.c = gs.b + 1;
+  if (gs.b != -2) return 1;
+  if (gs.c != -1) return 2;
+  return 0;
+}

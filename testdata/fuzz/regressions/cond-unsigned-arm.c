@@ -1,0 +1,7 @@
+unsigned gu;
+int f(void) { return -18; }
+int main(void) {
+  long t = 7;
+  t += (gu ? 1u : f());
+  return (int)(t % 100003);
+}

@@ -1,0 +1,6 @@
+int main(void) {
+  int x = 2147483647;
+  x = x + 1;
+  if (x < 0) return 1;
+  return 0;
+}

@@ -1,0 +1,6 @@
+int main(void) {
+  unsigned long a = 0;
+  a = a - 1;
+  if (a > 0) return 1;
+  return 0;
+}

@@ -1,0 +1,6 @@
+int main(void) {
+  unsigned long a = 0;
+  a = a - 9;
+  a = a / 5;
+  return a > 1000;
+}

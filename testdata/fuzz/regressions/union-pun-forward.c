@@ -1,0 +1,7 @@
+union U { int i; unsigned u; };
+union U gu;
+int main(void) {
+  --gu.u;
+  long h = gu.i;
+  return (int)(h % 100003);
+}

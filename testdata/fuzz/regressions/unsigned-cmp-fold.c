@@ -1,0 +1,7 @@
+int main(void) {
+  unsigned a = 1;
+  unsigned b = 0;
+  b = b - 2;
+  if (b > a) return 1;
+  return 0;
+}

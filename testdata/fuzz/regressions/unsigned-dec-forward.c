@@ -1,0 +1,6 @@
+unsigned g;
+int main(void) {
+  --g;
+  long h = g;
+  return (int)(h % 100003);
+}
