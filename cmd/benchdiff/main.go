@@ -3,6 +3,7 @@
 // past a tolerance, so CI can gate on cost-model performance:
 //
 //	benchdiff [-tolerance pct] baseline.json current.json
+//	benchdiff -metrics [-tolerance pct] baseline-metrics.json current-metrics.json
 //
 // Table 4 rows regress when a kernel's speedup drops more than the
 // tolerance below the baseline's; Table 6 rows regress when a bench's
@@ -10,6 +11,12 @@
 // baseline's. A kernel or bench present in the baseline but missing
 // from the current run is also a failure (a silently dropped benchmark
 // must not pass the gate). Exit status: 0 ok, 1 regression, 2 usage.
+//
+// With -metrics, the inputs are instead two -metrics-json exports (from
+// any telemetry-carrying CLI run with -time-passes) and the diff is over
+// per-span wall-clock timing: a phase or pass span whose total time grew
+// more than the tolerance regresses, and a span present in the baseline
+// but missing from the current run fails the gate.
 package main
 
 import (
@@ -37,10 +44,15 @@ type table6Row struct {
 
 func main() {
 	tol := flag.Float64("tolerance", 10, "allowed regression in percent")
+	metrics := flag.Bool("metrics", false, "diff per-span timing from two -metrics-json files instead of bench tables")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance pct] baseline.json current.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-metrics] [-tolerance pct] baseline.json current.json")
 		os.Exit(2)
+	}
+	if *metrics {
+		diffMetrics(flag.Arg(0), flag.Arg(1), *tol)
+		return
 	}
 	base, err := load(flag.Arg(0))
 	if err != nil {
@@ -97,6 +109,88 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchdiff: all rows within %.1f%% tolerance\n", *tol)
+}
+
+// metricsJSON is the slice of a telemetry -metrics-json export the
+// timing diff consumes (internal/telemetry.WriteJSON's "phases" array).
+type metricsJSON struct {
+	Phases []phaseRow `json:"phases"`
+}
+
+type phaseRow struct {
+	Name    string `json:"name"`
+	Count   int64  `json:"count"`
+	TotalNS int64  `json:"total_ns"`
+}
+
+// diffMetrics compares per-span wall-clock totals between two
+// -metrics-json exports. A span's total growing beyond tol percent is a
+// regression, as is a baseline span missing from the current run.
+func diffMetrics(basePath, curPath string, tol float64) {
+	base, err := loadMetrics(basePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := loadMetrics(curPath)
+	if err != nil {
+		fatal(err)
+	}
+	curBy := map[string]phaseRow{}
+	for _, r := range cur.Phases {
+		curBy[r.Name] = r
+	}
+	regressions := 0
+	for _, b := range base.Phases {
+		c, ok := curBy[b.Name]
+		if !ok {
+			fmt.Printf("span     %-24s MISSING from current run\n", b.Name)
+			regressions++
+			continue
+		}
+		if b.TotalNS <= 0 {
+			continue
+		}
+		delta := 100 * float64(c.TotalNS-b.TotalNS) / float64(b.TotalNS)
+		status := "ok"
+		if delta > tol {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("span     %-24s base=%-12s cur=%-12s delta=%+7.2f%%  %s\n",
+			b.Name, nsString(b.TotalNS), nsString(c.TotalNS), delta, status)
+	}
+	if regressions > 0 {
+		fmt.Printf("benchdiff: %d span regression(s) beyond %.1f%% tolerance\n", regressions, tol)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: all spans within %.1f%% tolerance\n", tol)
+}
+
+func nsString(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3gs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3gms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.3gus", float64(ns)/1e3)
+	}
+	return fmt.Sprintf("%dns", ns)
+}
+
+func loadMetrics(path string) (*metricsJSON, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m metricsJSON
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(m.Phases) == 0 {
+		return nil, fmt.Errorf("%s: no phase spans (was it written with -time-passes -metrics-json?)", path)
+	}
+	return &m, nil
 }
 
 func load(path string) (*benchJSON, error) {

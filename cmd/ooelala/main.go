@@ -18,6 +18,9 @@
 //	-remarks       print optimization remarks with unseq-aa attribution
 //	-metrics-json  write every collected metric as JSON to the given path
 //	-metrics-prom  write metrics in Prometheus text format to the given path
+//	-trace         write a Chrome trace_event JSON timeline (Perfetto-viewable)
+//	-aa-audit      write the alias-query audit log as JSON
+//	-explain       print per-full-expression ω/θ/γ/π sets and π-pair consumption
 //	-j N           per-function compilation parallelism (0 = GOMAXPROCS)
 //	-D name=value  predefine an object-like macro (repeatable)
 package main
@@ -56,6 +59,8 @@ func main() {
 	dumpIR := flag.Bool("dump-ir", false, "print the optimized IR")
 	jobs := flag.Int("j", 0, "per-function compilation parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	tf := telemetry.RegisterFlags(flag.CommandLine)
+	explain := flag.Bool("explain", false,
+		"print per-full-expression ω/θ/γ/π judgement sets with source ranges and which π pairs each optimization consumed")
 	autoAnnotate := flag.Bool("auto-annotate", false,
 		"insert CANT_ALIAS-equivalent annotations algorithmically (validated via the sanitizer)")
 	defines := defineFlags{}
@@ -74,7 +79,15 @@ func main() {
 	}
 
 	driver.SetDefaultJobs(*jobs)
-	tel := tf.Session()
+	telCfg := tf.Config()
+	if *explain {
+		// -explain needs the remark stream and the alias-query audit log
+		// to attribute π-pair consumption, whether or not their export
+		// flags were given.
+		telCfg.Remarks = true
+		telCfg.Audit = true
+	}
+	tel := telemetry.New(telCfg)
 	cfg := driver.Config{
 		OOElala:   !*baseline,
 		NoOpt:     *noOpt,
@@ -125,6 +138,11 @@ func main() {
 		fmt.Printf("aa queries:                        %d\n", c.AAStats.Queries)
 		fmt.Printf("  extra NoAlias from unseq-aa:     %d\n", c.AAStats.UnseqNoAlias)
 		fmt.Printf("passes: %s\n", c.PassStats)
+	}
+	if *explain {
+		if err := driver.Explain(os.Stdout, c, tel.Snapshot()); err != nil {
+			fatal(err)
+		}
 	}
 	if *dumpIR {
 		fmt.Print(c.Module.String())

@@ -5,13 +5,17 @@
 //
 // Usage:
 //
-//	ubsan [-entry name] [telemetry flags] file.c
+//	ubsan [-entry name] [-json report.json] [telemetry flags] file.c
 //
+// -json writes the machine-readable report: predicate statistics plus,
+// for every violation, the violated π pair's provenance id, expression
+// spellings, and the two source ranges — not just the assertion site.
 // The telemetry flags -stats, -time-passes, -remarks, -metrics-json and
 // -metrics-prom report on the instrumented compilation and run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +28,7 @@ import (
 
 func main() {
 	entry := flag.String("entry", "main", "entry function to execute")
+	jsonPath := flag.String("json", "", "write the report (with π-pair provenance per violation) as JSON to `path`")
 	jobs := flag.Int("j", 0, "per-function compilation parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -47,6 +52,16 @@ func main() {
 	fmt.Printf("predicates: %d total, %d with calls (skipped), %d bitfield-dropped, %d checks inserted\n",
 		rep.PredsTotal, rep.PredsWithCalls, rep.BitfieldDropped, rep.ChecksInserted)
 	fmt.Printf("result: %d\n", rep.Result)
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ubsan: json:", err)
+			os.Exit(1)
+		}
+	}
 	if err := tf.Finish(tel, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "ubsan:", err)
 		os.Exit(1)

@@ -2,6 +2,8 @@ package main_test
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -72,6 +74,42 @@ func TestUbsanExitCodes(t *testing.T) {
 		}
 		if !strings.Contains(stderr, "usage: ubsan") {
 			t.Errorf("stderr = %q", stderr)
+		}
+	})
+
+	t.Run("json-report-carries-provenance", func(t *testing.T) {
+		out := filepath.Join(t.TempDir(), "report.json")
+		_, _, exit := runUbsan(t, bin, "-json", out, filepath.Join("testdata", "racy.c"))
+		if exit != 1 {
+			t.Fatalf("exit = %d, want 1", exit)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep struct {
+			ChecksInserted int `json:"checksInserted"`
+			Failures       []struct {
+				Function string `json:"function"`
+				Meta     int    `json:"predicateMeta"`
+				E1       string `json:"piE1"`
+				E2       string `json:"piE2"`
+				Range1   string `json:"piE1Range"`
+				Range2   string `json:"piE2Range"`
+			} `json:"failures"`
+		}
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+		}
+		if rep.ChecksInserted == 0 || len(rep.Failures) == 0 {
+			t.Fatalf("report missing checks or failures:\n%s", data)
+		}
+		f := rep.Failures[0]
+		if f.Meta <= 0 || f.E1 == "" || f.E2 == "" {
+			t.Errorf("violation lacks π-pair provenance: %+v", f)
+		}
+		if !strings.Contains(f.Range1, "racy.c:") || !strings.Contains(f.Range2, "racy.c:") {
+			t.Errorf("violation lacks the pair's two source ranges: %+v", f)
 		}
 	})
 

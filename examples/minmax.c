@@ -1,0 +1,26 @@
+/* The paper's §2 motivating example: the unsequenced full expression
+ * `*a = *b = 0` proves must-not-alias(*a, *b), which lets LICM
+ * register-promote both locations across the loop.
+ *
+ * Try:
+ *   ooelala -explain examples/minmax.c
+ *   ooelala -trace trace.json -aa-audit audit.json -run examples/minmax.c
+ */
+double v[1000];
+
+void minmax(int n, int *a, int *b) {
+  *a = *b = 0;
+  for (int i = 0; i < n; i++) {
+    *a = (v[i] < v[*a]) ? i : *a;
+    *b = (v[i] > v[*b]) ? i : *b;
+  }
+}
+
+int lo, hi;
+
+int main() {
+  for (int i = 0; i < 1000; i++)
+    v[i] = (double)((i * 131 + 47) % 997);
+  minmax(1000, &lo, &hi);
+  return hi * 10000 + lo;
+}

@@ -7,6 +7,7 @@ package aa
 
 import (
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // Result is an alias query response.
@@ -75,6 +76,14 @@ type Manager struct {
 	// queries with ResetWindow/Window to attribute the transform.
 	last   Attribution
 	window Attribution
+
+	// Audit state (nil/zero unless AttachAudit armed it): the session
+	// receiving query records, the module for provenance resolution, the
+	// function being optimized, and the currently-asking pass.
+	tel   *telemetry.Session
+	mod   *ir.Module
+	fname string
+	pass  string
 }
 
 // NewManager builds the default chain: basic-aa, tbaa, and (optionally)
@@ -121,7 +130,14 @@ func (m *Manager) Last() Attribution { return m.last }
 // it to test whether an already-proven fact came from the paper's
 // analysis (the vectorizer's cost-model question).
 func (m *Manager) UnseqDecides(a, b Location) bool {
-	if m.unseq == nil || m.unseq.Alias(a, b) != NoAlias {
+	if m.unseq == nil {
+		return false
+	}
+	r := m.unseq.Alias(a, b)
+	if m.tel != nil {
+		m.unseqDecidesAudited(a, b, r)
+	}
+	if r != NoAlias {
 		return false
 	}
 	if !m.window.UnseqDecided {
@@ -132,6 +148,9 @@ func (m *Manager) UnseqDecides(a, b Location) bool {
 
 // Alias runs the chain on (a, b).
 func (m *Manager) Alias(a, b Location) Result {
+	if m.tel != nil {
+		return m.aliasAudited(a, b)
+	}
 	m.Stats.Queries++
 	m.last = Attribution{}
 	best := MayAlias

@@ -1,0 +1,141 @@
+package aa
+
+import (
+	"strconv"
+
+	"repro/internal/ir"
+	"repro/internal/telemetry"
+)
+
+// AttachAudit arms the manager's alias-query audit log: every chain
+// query is recorded into tel with the asking pass, function, both
+// locations, the full per-provider verdict chain, and — for unseq-aa
+// answers — the π predicate's provenance resolved through mod. A no-op
+// when the session's audit stream is off, so the fast query path keeps
+// its zero-cost shape.
+func (m *Manager) AttachAudit(tel *telemetry.Session, mod *ir.Module, fname string) {
+	if !tel.AuditEnabled() {
+		return
+	}
+	m.tel = tel
+	m.mod = mod
+	m.fname = fname
+}
+
+// SetPass records which optimization pass is currently issuing queries
+// (audit attribution); it returns the previous pass name so callers can
+// restore it on exit.
+func (m *Manager) SetPass(pass string) string {
+	prev := m.pass
+	m.pass = pass
+	return prev
+}
+
+// locString renders a memory location for the audit log.
+func locString(l Location) string {
+	s := ir.ValueName(l.Ptr) + " [" + strconv.Itoa(l.Size) + "B]"
+	if l.Cls != ir.Void {
+		s += " " + l.Cls.String()
+	}
+	return s
+}
+
+// aliasAudited is Alias with the full verdict chain recorded. Unlike
+// the fast path it queries every provider (the chain past the deciding
+// answer is log-only); because unseq-aa sits last in the chain, the
+// stats and attribution updates below are exactly the fast path's.
+func (m *Manager) aliasAudited(a, b Location) Result {
+	m.Stats.Queries++
+	m.last = Attribution{}
+	q := telemetry.AliasQuery{
+		Pass:     m.pass,
+		Function: m.fname,
+		LocA:     locString(a),
+		LocB:     locString(b),
+		Chain:    make([]telemetry.ProviderVerdict, 0, len(m.analyses)),
+	}
+	best := MayAlias
+	othersBest := MayAlias
+	decided := false
+	for _, an := range m.analyses {
+		r := an.Alias(a, b)
+		q.Chain = append(q.Chain, telemetry.ProviderVerdict{Provider: an.Name(), Verdict: r.String()})
+		if decided {
+			continue
+		}
+		if r == NoAlias {
+			if an == Analysis(m.unseq) {
+				q.PredicateMeta = m.unseq.LastMeta()
+				if othersBest == MayAlias {
+					m.Stats.UnseqNoAlias++
+					m.last = Attribution{UnseqDecided: true, PredicateMeta: q.PredicateMeta}
+					if !m.window.UnseqDecided {
+						m.window = m.last
+					}
+					q.UnseqDecided = true
+				}
+			}
+			m.Stats.NoAlias++
+			q.Decider = an.Name()
+			best = NoAlias
+			decided = true
+			continue
+		}
+		if r > best {
+			best = r
+		}
+		if m.unseq == nil || an != Analysis(m.unseq) {
+			if r > othersBest {
+				othersBest = r
+			}
+		}
+	}
+	if !decided {
+		switch best {
+		case MustAlias:
+			m.Stats.MustAlias++
+		case PartialAlias:
+			m.Stats.PartialAlias++
+		default:
+			m.Stats.MayAlias++
+		}
+	}
+	q.Result = best.String()
+	m.resolveProvenance(&q)
+	m.tel.RecordAliasQuery(q)
+	return best
+}
+
+// unseqDecidesAudited records the vectorizer-style direct unseq-aa
+// probe as a single-provider chain entry.
+func (m *Manager) unseqDecidesAudited(a, b Location, r Result) {
+	q := telemetry.AliasQuery{
+		Pass:     m.pass,
+		Function: m.fname,
+		LocA:     locString(a),
+		LocB:     locString(b),
+		Chain:    []telemetry.ProviderVerdict{{Provider: m.unseq.Name(), Verdict: r.String()}},
+		Result:   r.String(),
+	}
+	if r == NoAlias {
+		q.Decider = m.unseq.Name()
+		q.UnseqDecided = true
+		q.PredicateMeta = m.unseq.LastMeta()
+	}
+	m.resolveProvenance(&q)
+	m.tel.RecordAliasQuery(q)
+}
+
+// resolveProvenance fills the π pair's source spellings and ranges from
+// the module provenance table.
+func (m *Manager) resolveProvenance(q *telemetry.AliasQuery) {
+	if q.PredicateMeta <= 0 {
+		return
+	}
+	p := m.mod.FindProvenance(q.PredicateMeta)
+	if p == nil {
+		return
+	}
+	q.PiE1, q.PiE2 = p.E1, p.E2
+	q.PiE1Range, q.PiE2Range = p.Span1.String(), p.Span2.String()
+}

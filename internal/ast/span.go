@@ -1,0 +1,88 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/token"
+)
+
+// Span computes a best-effort source range [start, end) for e. The AST
+// records only start positions, so the end column is reconstructed from
+// leaf token widths (identifier and literal spellings); for composite
+// expressions the range covers the outermost sub-token reached by the
+// walk. Both positions are zero for nil or position-free expressions.
+func Span(e Expr) (start, end token.Pos) {
+	Walk(e, func(x Expr) {
+		p := x.Pos()
+		if !p.IsValid() {
+			return
+		}
+		if !start.IsValid() || posLess(p, start) {
+			start = p
+		}
+		q := p
+		q.Col += nodeWidth(x)
+		if !end.IsValid() || posLess(end, q) {
+			end = q
+		}
+	})
+	return start, end
+}
+
+// SpanString renders a span as "file:line:col-line:col" (or the bare
+// start position when no width was recoverable).
+func SpanString(e Expr) string {
+	start, end := Span(e)
+	if !start.IsValid() {
+		return ""
+	}
+	if !end.IsValid() || end == start {
+		return start.String()
+	}
+	if end.Line == start.Line {
+		return fmt.Sprintf("%s-%d", start, end.Col)
+	}
+	return fmt.Sprintf("%s-%d:%d", start, end.Line, end.Col)
+}
+
+// posLess orders two positions in the same file by (line, col).
+func posLess(a, b token.Pos) bool {
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Col < b.Col
+}
+
+// nodeWidth estimates the source width of the token at a node's own
+// position (leaves have real spellings; operator nodes use the operator
+// spelling the position points at).
+func nodeWidth(e Expr) int {
+	switch x := e.(type) {
+	case *Ident:
+		return len(x.Name)
+	case *IntLit:
+		if x.Text != "" {
+			return len(x.Text)
+		}
+		return len(strconv.FormatInt(x.Value, 10))
+	case *FloatLit:
+		return len(x.Text)
+	case *StringLit:
+		return len(x.Value) + 2
+	case *CharLit:
+		return 3
+	case *Unary:
+		return len(x.Op.String())
+	case *Postfix:
+		return 2
+	case *Member:
+		// pos is the '.'/'->' token; the field name follows it.
+		if x.Arrow {
+			return 2 + len(x.Name)
+		}
+		return 1 + len(x.Name)
+	default:
+		return 1
+	}
+}

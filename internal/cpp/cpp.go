@@ -14,6 +14,7 @@ import (
 	"strconv"
 
 	"repro/internal/lexer"
+	"repro/internal/telemetry"
 	"repro/internal/token"
 )
 
@@ -40,6 +41,12 @@ type Preprocessor struct {
 	macros map[string]*Macro
 	errs   []*Error
 	depth  int
+
+	tel *telemetry.Session
+	// MacroExpansions and Includes count expansion work (always
+	// maintained; exported to telemetry when a session is attached).
+	MacroExpansions int
+	Includes        int
 }
 
 // New returns a Preprocessor that resolves #include "name" against files.
@@ -52,6 +59,10 @@ func New(files map[string]string) *Preprocessor {
 
 // Errors returns accumulated preprocessing errors.
 func (p *Preprocessor) Errors() []*Error { return p.errs }
+
+// SetTelemetry attaches a session: Process brackets preprocessing in a
+// phase/parse/cpp span and exports the expansion counters.
+func (p *Preprocessor) SetTelemetry(tel *telemetry.Session) { p.tel = tel }
 
 // Define installs a macro programmatically (like -D on a compiler command
 // line). body is lexed as C tokens.
@@ -94,11 +105,16 @@ func lexAll(file, src string) ([]lineTok, []*lexer.Error) {
 // Process preprocesses src (named file) and returns the expanded tokens,
 // without the trailing EOF.
 func (p *Preprocessor) Process(file, src string) []token.Token {
+	stop := p.tel.Span("phase/parse/cpp")
 	lts, lerrs := lexAll(file, src)
 	for _, e := range lerrs {
 		p.errorf(e.Pos, "%s", e.Msg)
 	}
-	return p.processTokens(lts)
+	out := p.processTokens(lts)
+	stop()
+	p.tel.Count("cpp/macro_expansions", int64(p.MacroExpansions))
+	p.tel.Count("cpp/includes", int64(p.Includes))
+	return out
 }
 
 // condState tracks one #if nesting level.
@@ -155,6 +171,7 @@ func (p *Preprocessor) processTokens(lts []lineTok) []token.Token {
 			if m, ok := p.macros[lt.tok.Text]; ok {
 				consumed, expansion := p.expandMacro(m, lts, i)
 				if consumed > 0 {
+					p.MacroExpansions++
 					out = append(out, expansion...)
 					i += consumed
 					continue
@@ -476,6 +493,7 @@ func (p *Preprocessor) includeFile(args []token.Token, pos token.Pos) []token.To
 		// ignored so workloads can carry decorative <stdio.h> includes.
 		return nil
 	}
+	p.Includes++
 	lts, lerrs := lexAll(name, src)
 	for _, e := range lerrs {
 		p.errorf(e.Pos, "%s", e.Msg)

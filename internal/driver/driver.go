@@ -100,7 +100,7 @@ func Compile(name, src string, cfg Config) (*Compilation, error) {
 		pre += "#define " + k + " " + v + "\n"
 	}
 	stop := tel.Span("phase/parse")
-	tu, perrs := parser.ParseFile(name, pre+src, files)
+	tu, perrs := parser.ParseFileTimed(name, pre+src, files, tel)
 	stop()
 	if len(perrs) > 0 {
 		return nil, fmt.Errorf("%s: parse: %v", name, perrs[0])

@@ -1,0 +1,215 @@
+package driver_test
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// compileMinmaxExample compiles examples/minmax.c (the paper's §2 case)
+// with the -explain stream configuration (remarks + audit).
+func compileMinmaxExample(t *testing.T, cfg telemetry.Config) (*driver.Compilation, *telemetry.Session) {
+	t.Helper()
+	src, err := os.ReadFile("../../examples/minmax.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New(cfg)
+	c, err := driver.Compile("examples/minmax.c", string(src), driver.Config{
+		OOElala: true, Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, tel
+}
+
+// TestExplainGoldenMinmax is the acceptance golden test: -explain of the
+// paper's minmax example must reproduce the π pair {*a, *b} with source
+// ranges, and the audit log must show LICM queries answered by unseq-aa
+// under the same provenance id the remark stream carries.
+func TestExplainGoldenMinmax(t *testing.T) {
+	c, tel := compileMinmaxExample(t, telemetry.Config{Remarks: true, Audit: true})
+	snap := tel.Snapshot()
+
+	var buf bytes.Buffer
+	if err := driver.Explain(&buf, c, snap); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"== function minmax ==",
+		"ω = ", "θ = ", "γ = ", "π = ",
+		"{*a, *b}",
+		"== π pair consumption ==",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The {*a, *b} predicate must resolve to a provenance entry with both
+	// source ranges and an unseq-decided LICM query in the audit log.
+	meta := 0
+	for _, p := range c.Module.Provenance {
+		if (p.E1 == "*a" && p.E2 == "*b") || (p.E1 == "*b" && p.E2 == "*a") {
+			meta = p.Meta
+			if !p.Span1.IsValid() || !p.Span2.IsValid() {
+				t.Errorf("provenance for {*a, *b} lacks source ranges: %+v", p)
+			}
+		}
+	}
+	if meta == 0 {
+		t.Fatalf("no provenance entry for {*a, *b}; table: %+v", c.Module.Provenance)
+	}
+	if !strings.Contains(out, "examples/minmax.c:") {
+		t.Errorf("explain output carries no source ranges:\n%s", out)
+	}
+
+	licmQueries := 0
+	for _, q := range snap.AliasQueries {
+		if q.Pass == "licm" && q.UnseqDecided && q.PredicateMeta == meta {
+			licmQueries++
+			if q.PiE1Range == "" || q.PiE2Range == "" {
+				t.Errorf("audited licm query lacks π source ranges: %+v", q)
+			}
+			if q.Decider != "unseq-aa" {
+				t.Errorf("unseq-decided query names decider %q", q.Decider)
+			}
+		}
+	}
+	if licmQueries == 0 {
+		t.Fatalf("audit log has no unseq-decided licm query for pred #%d", meta)
+	}
+
+	licmRemark := false
+	for _, r := range snap.Remarks {
+		if r.Pass == "licm" && r.EnabledByUnseqAA && r.PredicateMeta == meta {
+			licmRemark = true
+		}
+	}
+	if !licmRemark {
+		t.Errorf("no licm remark carries pred #%d; remarks: %+v", meta, snap.Remarks)
+	}
+
+	// The consumption section must tie the pair to LICM by name.
+	if !strings.Contains(out, "NoAlias for") || !strings.Contains(out, "licm") {
+		t.Errorf("consumption section does not attribute licm:\n%s", out)
+	}
+}
+
+// TestExplainWithoutAudit pins the degraded mode: with no audit log the
+// consumption section must say so rather than claim "never consumed".
+func TestExplainWithoutAudit(t *testing.T) {
+	c, tel := compileMinmaxExample(t, telemetry.Config{Remarks: true})
+	var buf bytes.Buffer
+	if err := driver.Explain(&buf, c, tel.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no audit log") {
+		t.Errorf("explain without audit should degrade explicitly:\n%s", buf.String())
+	}
+}
+
+// TestAuditVectorizeAttribution checks the second acceptance pass: the
+// gcc-regmove Fig. 2 case study's vectorization queries are answered by
+// unseq-aa, and each audited hit resolves to a real provenance entry
+// whose expressions match the recorded π pair.
+func TestAuditVectorizeAttribution(t *testing.T) {
+	var cs *workload.CaseStudy
+	for i := range workload.Fig2CaseStudies() {
+		if c := workload.Fig2CaseStudies()[i]; c.Name == "gcc-regmove" {
+			cs = &c
+			break
+		}
+	}
+	if cs == nil {
+		t.Fatal("gcc-regmove case study not found")
+	}
+	tel := telemetry.New(telemetry.Config{Audit: true})
+	c, err := driver.Compile(cs.Name, cs.Source, driver.Config{
+		OOElala: true, Files: workload.Files(), Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := 0
+	for _, q := range tel.Snapshot().AliasQueries {
+		if q.Pass != "vectorize" || !q.UnseqDecided {
+			continue
+		}
+		vec++
+		p := c.Module.FindProvenance(q.PredicateMeta)
+		if p == nil {
+			t.Fatalf("vectorize query cites pred #%d with no provenance entry", q.PredicateMeta)
+		}
+		if q.PiE1 != p.E1 || q.PiE2 != p.E2 {
+			t.Errorf("audited π pair {%s, %s} != provenance {%s, %s}", q.PiE1, q.PiE2, p.E1, p.E2)
+		}
+	}
+	if vec == 0 {
+		t.Fatal("no unseq-decided vectorize queries audited for gcc-regmove")
+	}
+}
+
+// TestObservabilityParallelDeterminism is the -j byte-identity gate with
+// every observability stream on: IR, remarks, audit log, and counters
+// must be identical between -j1 and -j4 (trace events differ only in
+// wall-clock timestamps and are compared structurally elsewhere).
+func TestObservabilityParallelDeterminism(t *testing.T) {
+	src, err := os.ReadFile("../../examples/minmax.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := telemetry.Config{Metrics: true, Timing: true, Remarks: true, Trace: true, Audit: true}
+
+	compile := func(jobs int) (string, *telemetry.Snapshot) {
+		tel := telemetry.New(cfg)
+		c, err := driver.Compile("minmax.c", string(src), driver.Config{
+			OOElala: true, Jobs: jobs, Telemetry: tel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Module.String(), tel.Snapshot()
+	}
+	ir1, snap1 := compile(1)
+	ir4, snap4 := compile(4)
+
+	if ir1 != ir4 {
+		t.Error("IR differs between -j1 and -j4 with tracing on")
+	}
+	if !reflect.DeepEqual(snap1.Remarks, snap4.Remarks) {
+		t.Errorf("remarks differ:\n j1: %+v\n j4: %+v", snap1.Remarks, snap4.Remarks)
+	}
+	if !reflect.DeepEqual(snap1.AliasQueries, snap4.AliasQueries) {
+		t.Errorf("audit logs differ:\n j1: %d queries\n j4: %d queries",
+			len(snap1.AliasQueries), len(snap4.AliasQueries))
+	}
+	if !reflect.DeepEqual(snap1.Counters, snap4.Counters) {
+		t.Errorf("counters differ:\n j1: %+v\n j4: %+v", snap1.Counters, snap4.Counters)
+	}
+	// Trace lanes are bounded by the worker count and every event lands
+	// on a declared lane.
+	for _, e := range snap4.Events {
+		if e.Tid < 0 || e.Tid > 4 {
+			t.Errorf("event %q on undeclared lane %d", e.Name, e.Tid)
+		}
+	}
+	names := func(snap *telemetry.Snapshot) map[string]int {
+		m := map[string]int{}
+		for _, e := range snap.Events {
+			m[e.Name]++
+		}
+		return m
+	}
+	if !reflect.DeepEqual(names(snap1), names(snap4)) {
+		t.Errorf("trace event multiset differs:\n j1: %v\n j4: %v", names(snap1), names(snap4))
+	}
+}

@@ -76,7 +76,7 @@ func CompileAll(ctx context.Context, units []Unit, cfg Config) ([]*Compilation, 
 	var wg sync.WaitGroup
 	wg.Add(jobs)
 	for w := 0; w < jobs; w++ {
-		go func() {
+		go func(lane int) {
 			defer wg.Done()
 			for i := range next {
 				if ctx.Err() != nil {
@@ -84,7 +84,7 @@ func CompileAll(ctx context.Context, units []Unit, cfg Config) ([]*Compilation, 
 					continue
 				}
 				ucfg := cfg
-				ucfg.Telemetry = tel.Fork()
+				ucfg.Telemetry = tel.ForkLane(lane)
 				children[i] = ucfg.Telemetry
 				c, err := Compile(units[i].Name, units[i].Source, ucfg)
 				if err != nil {
@@ -94,7 +94,7 @@ func CompileAll(ctx context.Context, units []Unit, cfg Config) ([]*Compilation, 
 				}
 				out[i] = c
 			}
-		}()
+		}(w + 1)
 	}
 	wg.Wait()
 	for i, child := range children {

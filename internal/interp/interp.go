@@ -68,6 +68,9 @@ func DefaultCosts() CostModel {
 type SanitizerFailure struct {
 	Fn   string
 	Addr int64
+	// Meta is the violated predicate's provenance id (indexes the
+	// module's Provenance table; 0 when unknown).
+	Meta int
 }
 
 func (s *SanitizerFailure) Error() string {
@@ -468,7 +471,7 @@ func (m *Machine) execBlock(f *ir.Func, b *ir.Block, regs map[ir.Value]val,
 			p2 := get(in.Args[1]).asInt()
 			m.Cycles += m.costs.ALU // one comparison
 			if p1 == p2 {
-				m.SanFailures = append(m.SanFailures, &SanitizerFailure{Fn: f.Name, Addr: p1})
+				m.SanFailures = append(m.SanFailures, &SanitizerFailure{Fn: f.Name, Addr: p1, Meta: in.Meta})
 			}
 
 		case ir.OpMemset:

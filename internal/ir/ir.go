@@ -404,6 +404,29 @@ type Module struct {
 	Name    string
 	Globals []*Global
 	Funcs   []*Func
+	// Provenance maps mustnotalias/ubcheck Meta ids back to the source
+	// π predicates they came from (index Meta-1; Meta ids are 1-based).
+	Provenance []PredProvenance
+}
+
+// FindProvenance returns the source predicate behind a Meta id, or nil
+// when the id is 0 or unknown.
+func (m *Module) FindProvenance(meta int) *PredProvenance {
+	if m == nil || meta <= 0 || meta > len(m.Provenance) {
+		return nil
+	}
+	p := &m.Provenance[meta-1]
+	if p.Meta != meta {
+		// Defensive: the table is built append-only by irgen so this
+		// should not happen, but fall back to a scan rather than lie.
+		for i := range m.Provenance {
+			if m.Provenance[i].Meta == meta {
+				return &m.Provenance[i]
+			}
+		}
+		return nil
+	}
+	return p
 }
 
 // FindFunc returns the function named name, or nil.

@@ -1,0 +1,65 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/token"
+)
+
+// SrcSpan is a half-open source range [Start, End) in one file. End may
+// be invalid when only a start position was recoverable.
+type SrcSpan struct {
+	Start token.Pos `json:"start"`
+	End   token.Pos `json:"end,omitempty"`
+}
+
+// IsValid reports whether the span has a real start position.
+func (s SrcSpan) IsValid() bool { return s.Start.IsValid() }
+
+func (s SrcSpan) String() string {
+	if !s.Start.IsValid() {
+		return ""
+	}
+	if !s.End.IsValid() || s.End == s.Start {
+		return s.Start.String()
+	}
+	if s.End.Line == s.Start.Line {
+		return fmt.Sprintf("%s-%d", s.Start, s.End.Col)
+	}
+	return fmt.Sprintf("%s-%d:%d", s.Start, s.End.Line, s.End.Col)
+}
+
+// PredProvenance records where a π must-not-alias predicate came from in
+// the source program: the two lvalue spellings, their source ranges, and
+// the full expression the OOE analysis derived the pair from. irgen
+// appends one entry per emitted mustnotalias intrinsic; the intrinsic's
+// Meta id indexes this table (1-based), and clones made by unrolling or
+// inlining keep the Meta id, so optimizations that consume the predicate
+// can always name the original source pair.
+type PredProvenance struct {
+	// Meta is the provenance id carried on the intrinsic (1-based).
+	Meta int `json:"meta"`
+	// Fn is the source function the predicate was derived in.
+	Fn string `json:"fn"`
+	// Root is the AST expression ID of the enclosing full expression.
+	Root int `json:"root"`
+	// E1/E2 are the C spellings of the two may-conflict lvalues.
+	E1 string `json:"e1"`
+	E2 string `json:"e2"`
+	// Span1/Span2 are the lvalues' source ranges; Pos is the predicate's
+	// anchor position (the full expression).
+	Span1 SrcSpan   `json:"span1"`
+	Span2 SrcSpan   `json:"span2"`
+	Pos   token.Pos `json:"pos"`
+}
+
+// ValueName renders a value the way the IR printer does ("%v3", "%p",
+// "@g", constants by value). Exported for diagnostics (audit logs,
+// sanitizer reports) that need stable value spellings outside the
+// package.
+func ValueName(v Value) string {
+	if v == nil {
+		return "<nil>"
+	}
+	return v.vname()
+}

@@ -534,19 +534,47 @@ func (g *Generator) genFullExpr(e ast.Expr) ir.Value {
 			if p1 == nil || p2 == nil {
 				continue // sub-expression on a never-lowered path (?:, &&)
 			}
-			if g.opts.EmitPredicates && !p.ImpureCall {
+			emitPred := g.opts.EmitPredicates && !p.ImpureCall
+			emitCheck := g.opts.Sanitize && len(p.Calls) == 0
+			meta := 0
+			if emitPred || emitCheck {
+				meta = g.recordProvenance(e, p)
+			}
+			if emitPred {
+				// Invariant: with EmitPredicates on, every provenance entry
+				// pairs with exactly one intrinsic, so meta == NumIntrinsics
+				// (the historical 1-based "pred #" numbering).
 				g.NumIntrinsics++
 				g.emit(&ir.Instr{Op: ir.OpMustNotAlias, Cls: ir.Void,
-					Args: []ir.Value{p1, p2}, Meta: g.NumIntrinsics})
+					Args: []ir.Value{p1, p2}, Meta: meta})
 			}
-			if g.opts.Sanitize && len(p.Calls) == 0 {
-				g.emit(&ir.Instr{Op: ir.OpUBCheck, Cls: ir.Void, Args: []ir.Value{p1, p2}})
+			if emitCheck {
+				g.emit(&ir.Instr{Op: ir.OpUBCheck, Cls: ir.Void, Args: []ir.Value{p1, p2}, Meta: meta})
 				g.NumUBChecks++
 			}
 		}
 	}
 	g.lvPtr = nil
 	return v
+}
+
+// recordProvenance appends the source-level description of predicate p
+// to the module provenance table and returns its 1-based Meta id.
+func (g *Generator) recordProvenance(root ast.Expr, p ooe.Predicate) int {
+	meta := len(g.mod.Provenance) + 1
+	s1a, s1b := ast.Span(p.E1)
+	s2a, s2b := ast.Span(p.E2)
+	g.mod.Provenance = append(g.mod.Provenance, ir.PredProvenance{
+		Meta:  meta,
+		Fn:    g.fn.Name,
+		Root:  root.ID(),
+		E1:    ast.ExprString(p.E1),
+		E2:    ast.ExprString(p.E2),
+		Span1: ir.SrcSpan{Start: s1a, End: s1b},
+		Span2: ir.SrcSpan{Start: s2a, End: s2b},
+		Pos:   p.Pos,
+	})
+	return meta
 }
 
 // recordLV associates the AST lvalue expression with its lowered pointer.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/cpp"
 	"repro/internal/ctypes"
+	"repro/internal/telemetry"
 	"repro/internal/token"
 )
 
@@ -78,10 +79,21 @@ func builtinTypedefs() map[string]*ctypes.Type {
 // ParseFile preprocesses src (with extraFiles available to #include and
 // defines applied) and parses it.
 func ParseFile(file, src string, extraFiles map[string]string) (*ast.TranslationUnit, []*Error) {
+	return ParseFileTimed(file, src, extraFiles, nil)
+}
+
+// ParseFileTimed is ParseFile with sub-phase telemetry: preprocessing
+// and syntax analysis record separate spans (phase/parse/cpp and
+// phase/parse/syntax) nested under the driver's phase/parse, plus the
+// preprocessor's expansion counters. tel may be nil.
+func ParseFileTimed(file, src string, extraFiles map[string]string, tel *telemetry.Session) (*ast.TranslationUnit, []*Error) {
 	pp := cpp.New(extraFiles)
+	pp.SetTelemetry(tel)
 	toks := pp.Process(file, src)
+	stop := tel.Span("phase/parse/syntax")
 	p := New(file, toks)
 	tu := p.ParseTranslationUnit()
+	stop()
 	for _, e := range pp.Errors() {
 		p.errs = append(p.errs, &Error{Pos: e.Pos, Msg: e.Msg})
 	}

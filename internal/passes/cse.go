@@ -20,6 +20,51 @@ type availMem struct {
 	meta      int
 }
 
+// memEntry is one memTable slot; deletion tombstones it in place so the
+// insertion order of the live entries is preserved.
+type memEntry struct {
+	ptr  ir.Value
+	e    *availMem
+	dead bool
+}
+
+// memTable is an insertion-ordered ptr -> availMem map. The invalidation
+// walk iterates it issuing alias queries, and the audit log must observe
+// those queries in a deterministic order — a plain map's random range
+// order would make the -aa-audit artifact differ run to run.
+type memTable struct {
+	entries []*memEntry
+	byPtr   map[ir.Value]*memEntry // live entries only
+}
+
+func newMemTable() *memTable {
+	return &memTable{byPtr: map[ir.Value]*memEntry{}}
+}
+
+func (t *memTable) get(p ir.Value) (*availMem, bool) {
+	if en, ok := t.byPtr[p]; ok {
+		return en.e, true
+	}
+	return nil, false
+}
+
+func (t *memTable) put(p ir.Value, e *availMem) {
+	if en, ok := t.byPtr[p]; ok {
+		en.e = e
+		return
+	}
+	en := &memEntry{ptr: p, e: e}
+	t.byPtr[p] = en
+	t.entries = append(t.entries, en)
+}
+
+func (t *memTable) del(p ir.Value) {
+	if en, ok := t.byPtr[p]; ok {
+		en.dead = true
+		delete(t.byPtr, p)
+	}
+}
+
 // earlyCSE performs block-local common-subexpression elimination and
 // redundant-load elimination (the GVN analog LLVM credits in the paper's
 // perlbench statistics). Identical pure instructions are unified —
@@ -28,32 +73,31 @@ type availMem struct {
 // both. Loads are reused when no intervening instruction may write the
 // location; stores forward their value to subsequent loads.
 func earlyCSE(mod *ir.Module, f *ir.Func, mgr *aa.Manager, tel *telemetry.Session) int {
+	defer mgr.SetPass(mgr.SetPass("earlycse"))
 	removed := 0
 	for _, b := range f.Blocks {
-		avail := map[string]*ir.Instr{}    // pure value numbering
-		loads := map[ir.Value]*availMem{}  // ptr -> load instr providing value
-		stored := map[ir.Value]*availMem{} // ptr -> last stored value
+		avail := map[string]*ir.Instr{} // pure value numbering
+		loads := newMemTable()          // ptr -> load instr providing value
+		stored := newMemTable()         // ptr -> last stored value
 		seenFacts := map[[2]ir.Value]bool{}
 
+		invalidateTable := func(t *memTable, writePtr ir.Value, size int) {
+			for _, en := range t.entries {
+				if en.dead {
+					continue
+				}
+				if writePtr == nil || mgr.Alias(aa.Location{Ptr: en.ptr, Size: 8},
+					aa.Location{Ptr: writePtr, Size: size}) != aa.NoAlias {
+					t.del(en.ptr)
+				} else if att := mgr.Last(); att.UnseqDecided && !en.e.unseqKept {
+					en.e.unseqKept = true
+					en.e.meta = att.PredicateMeta
+				}
+			}
+		}
 		invalidate := func(writePtr ir.Value, size int) {
-			for ptr, e := range loads {
-				if writePtr == nil || mgr.Alias(aa.Location{Ptr: ptr, Size: 8},
-					aa.Location{Ptr: writePtr, Size: size}) != aa.NoAlias {
-					delete(loads, ptr)
-				} else if att := mgr.Last(); att.UnseqDecided && !e.unseqKept {
-					e.unseqKept = true
-					e.meta = att.PredicateMeta
-				}
-			}
-			for ptr, e := range stored {
-				if writePtr == nil || mgr.Alias(aa.Location{Ptr: ptr, Size: 8},
-					aa.Location{Ptr: writePtr, Size: size}) != aa.NoAlias {
-					delete(stored, ptr)
-				} else if att := mgr.Last(); att.UnseqDecided && !e.unseqKept {
-					e.unseqKept = true
-					e.meta = att.PredicateMeta
-				}
-			}
+			invalidateTable(loads, writePtr, size)
+			invalidateTable(stored, writePtr, size)
 		}
 
 		memRemark := func(kind string, e *availMem) {
@@ -81,7 +125,7 @@ func earlyCSE(mod *ir.Module, f *ir.Func, mgr *aa.Manager, tel *telemetry.Sessio
 
 			case in.Op == ir.OpLoad && !in.Volatile:
 				ptr := in.Args[0]
-				if e, ok := stored[ptr]; ok && e.val.Class() == in.Cls {
+				if e, ok := stored.get(ptr); ok && e.val.Class() == in.Cls {
 					// Store-to-load forwarding. The slot narrows the value to
 					// the load width and the load re-extends per its own
 					// signedness; a stored value in a different canonical form
@@ -100,7 +144,7 @@ func earlyCSE(mod *ir.Module, f *ir.Func, mgr *aa.Manager, tel *telemetry.Sessio
 					memRemark("StoreForwarded", e)
 					continue
 				}
-				if e, ok := loads[ptr]; ok && e.load.Cls == in.Cls &&
+				if e, ok := loads.get(ptr); ok && e.load.Cls == in.Cls &&
 					(e.load.Unsigned == in.Unsigned || in.Cls == ir.I64 ||
 						in.Cls == ir.Ptr || in.Cls.IsFloat()) {
 					replaceUses(f, in, e.load)
@@ -110,13 +154,13 @@ func earlyCSE(mod *ir.Module, f *ir.Func, mgr *aa.Manager, tel *telemetry.Sessio
 					memRemark("LoadEliminated", e)
 					continue
 				}
-				loads[ptr] = &availMem{load: in}
+				loads.put(ptr, &availMem{load: in})
 
 			case in.Op == ir.OpStore && !in.Volatile:
 				ptr := in.Args[0]
 				invalidate(ptr, accessSize(in))
-				stored[ptr] = &availMem{val: in.Args[1]}
-				delete(loads, ptr)
+				stored.put(ptr, &availMem{val: in.Args[1]})
+				loads.del(ptr)
 
 			case in.Op == ir.OpVecStore || in.Op == ir.OpMemset || in.Op == ir.OpMemcpy:
 				ptr, size := memLoc(in)

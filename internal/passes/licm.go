@@ -16,6 +16,7 @@ import (
 // omega.c, toke.c, and delta_encoder.c case studies. Both steps hinge on
 // NoAlias answers from the AA chain.
 func licm(mod *ir.Module, f *ir.Func, mgr *aa.Manager, tel *telemetry.Session) (hoisted, promoted int) {
+	defer mgr.SetPass(mgr.SetPass("licm"))
 	dt := ir.ComputeDom(f)
 	loops := ir.FindLoops(f, dt)
 	// Process inner loops first so promotions compose outward.

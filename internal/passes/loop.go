@@ -153,6 +153,7 @@ func unrollLoops(f *ir.Func, mgr *aa.Manager, factor int, tel *telemetry.Session
 	if factor < 2 {
 		return 0
 	}
+	defer mgr.SetPass(mgr.SetPass("unroll"))
 	dt := ir.ComputeDom(f)
 	loops := ir.FindLoops(f, dt)
 	unrolled := 0

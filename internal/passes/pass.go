@@ -204,7 +204,13 @@ func timed(tel *telemetry.Session, name string, pass func()) {
 func runFunc(mod *ir.Module, f *ir.Func, opts Options, aaStats *aa.Stats, resolve func(string) *ir.Func) Stats {
 	var st Stats
 	tel := opts.Telemetry
+	if tel.TraceEnabled() {
+		// Per-function span (trace-only: too high-cardinality for the
+		// -time-passes accumulator); nests the per-pass spans under it.
+		defer tel.TraceSpan("func/" + f.Name)()
+	}
 	mgr := aa.NewManager(f, opts.UseUnseqAA)
+	mgr.AttachAudit(tel, mod, f.Name)
 	pipeline := func() {
 		timed(tel, "pass/simplifycfg", func() { st.BlocksMerged += simplifyCFG(f) })
 		timed(tel, "pass/mem2reg", func() { mem2reg(f) })

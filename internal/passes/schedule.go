@@ -106,11 +106,11 @@ func runFuncs(mod *ir.Module, opts Options, aaStats *aa.Stats) Stats {
 	var wg sync.WaitGroup
 	wg.Add(jobs)
 	for w := 0; w < jobs; w++ {
-		go func() {
+		go func(lane int) {
 			defer wg.Done()
 			for i := range ready {
 				o := opts
-				o.Telemetry = tel.Fork()
+				o.Telemetry = tel.ForkLane(lane)
 				r := &results[i]
 				r.stats = runFunc(mod, mod.Funcs[i], o, &r.aa, resolveFor(i))
 				r.tel = o.Telemetry
@@ -123,7 +123,7 @@ func runFuncs(mod *ir.Module, opts Options, aaStats *aa.Stats) Stats {
 					close(ready)
 				}
 			}
-		}()
+		}(w + 1)
 	}
 	wg.Wait()
 

@@ -36,6 +36,7 @@ func vectorizeLoopsOpt(mod *ir.Module, f *ir.Func, mgr *aa.Manager, width, memch
 	if width < 2 {
 		return 0
 	}
+	defer mgr.SetPass(mgr.SetPass("vectorize"))
 	dt := ir.ComputeDom(f)
 	loops := ir.FindLoops(f, dt)
 	count := 0

@@ -12,33 +12,50 @@ import (
 	"repro/internal/ast"
 	"repro/internal/driver"
 	"repro/internal/interp"
+	"repro/internal/ir"
 	"repro/internal/telemetry"
 )
 
-// Failure is one runtime must-not-alias violation.
+// Failure is one runtime must-not-alias violation. Beyond the assertion
+// site (Fn/Addr), it carries the violated π pair's provenance when the
+// module recorded it: the predicate id, the two expression spellings,
+// and their source ranges.
 type Failure struct {
-	Fn   string
-	Addr int64
+	Fn   string `json:"function"`
+	Addr int64  `json:"address"`
+	// Meta is the violated predicate's provenance id (matches the
+	// "pred #N" numbering of -explain and the audit log; 0 = unknown).
+	Meta int `json:"predicateMeta,omitempty"`
+	// E1/E2 are the π pair's expression spellings; Range1/Range2 their
+	// source ranges.
+	E1     string `json:"piE1,omitempty"`
+	E2     string `json:"piE2,omitempty"`
+	Range1 string `json:"piE1Range,omitempty"`
+	Range2 string `json:"piE2Range,omitempty"`
 }
 
 func (f Failure) String() string {
-	return fmt.Sprintf("unsequenced race: two accesses to %#x in %s", f.Addr, f.Fn)
+	s := fmt.Sprintf("unsequenced race: two accesses to %#x in %s", f.Addr, f.Fn)
+	if f.Meta > 0 {
+		s += fmt.Sprintf(" (pred #%d {%s, %s} at %s, %s)", f.Meta, f.E1, f.E2, f.Range1, f.Range2)
+	}
+	return s
 }
 
 // Report summarizes one sanitized run.
 type Report struct {
 	// ChecksInserted counts ubcheck instructions emitted.
-	ChecksInserted int
+	ChecksInserted int `json:"checksInserted"`
 	// PredsTotal / PredsWithCalls reproduce the §4.1 statistic that the
 	// sanitizer conservatively skips call-containing predicates.
-	PredsTotal     int
-	PredsWithCalls int
+	PredsTotal     int `json:"predsTotal"`
+	PredsWithCalls int `json:"predsWithCalls"`
 	// BitfieldDropped counts predicates dropped by the §4.2.3 filter.
-	BitfieldDropped int
+	BitfieldDropped int `json:"bitfieldDropped"`
 	// Failures are the violations observed at runtime (empty = clean).
-	Failures []Failure
+	Failures []Failure `json:"failures"`
 	// Result is the program's exit value.
-	Result int64
+	Result int64 `json:"result"`
 }
 
 // CallFreeFraction returns the fraction of predicates without calls
@@ -96,14 +113,20 @@ func CheckWith(name, src string, files map[string]string, entry string,
 		return rep, err
 	}
 	rep.Result = res
-	rep.Failures = convertFailures(m.SanFailures)
+	rep.Failures = convertFailures(m.SanFailures, c.Module)
 	return rep, nil
 }
 
-func convertFailures(fs []*interp.SanitizerFailure) []Failure {
+func convertFailures(fs []*interp.SanitizerFailure, mod *ir.Module) []Failure {
 	out := make([]Failure, 0, len(fs))
 	for _, f := range fs {
-		out = append(out, Failure{Fn: f.Fn, Addr: f.Addr})
+		fail := Failure{Fn: f.Fn, Addr: f.Addr}
+		if p := mod.FindProvenance(f.Meta); p != nil {
+			fail.Meta = p.Meta
+			fail.E1, fail.E2 = p.E1, p.E2
+			fail.Range1, fail.Range2 = p.Span1.String(), p.Span2.String()
+		}
+		out = append(out, fail)
 	}
 	return out
 }

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ProviderVerdict is one alias-analysis provider's answer inside a
+// query's chain: the chain runs basic-aa → restrict-aa → tbaa →
+// unseq-aa and the first NoAlias decides.
+type ProviderVerdict struct {
+	Provider string `json:"provider"`
+	Verdict  string `json:"verdict"`
+}
+
+// AliasQuery is one audited aa.Manager chain query: who asked, about
+// what, what every provider answered, and — when unseq-aa supplied the
+// deciding NoAlias — which π predicate (by provenance id) backed it,
+// with the predicate's two source-level expressions and ranges.
+type AliasQuery struct {
+	// Pass is the optimization pass that issued the query ("licm",
+	// "vectorize", ...); Function is the function being optimized.
+	Pass     string `json:"pass,omitempty"`
+	Function string `json:"function,omitempty"`
+	// LocA/LocB render the queried IR memory locations (pointer value,
+	// access size, scalar class).
+	LocA string `json:"locA"`
+	LocB string `json:"locB"`
+	// Chain is the per-provider verdict sequence in chain order.
+	Chain []ProviderVerdict `json:"chain,omitempty"`
+	// Result is the chain's final answer; Decider names the provider
+	// that supplied a NoAlias answer (empty otherwise).
+	Result  string `json:"result"`
+	Decider string `json:"decider,omitempty"`
+	// UnseqDecided marks the paper's "additional must-not-alias
+	// responses": unseq-aa said NoAlias while every other provider said
+	// MayAlias.
+	UnseqDecided bool `json:"unseqDecided,omitempty"`
+	// PredicateMeta is the provenance id of the π predicate behind an
+	// unseq-aa NoAlias (0 when unseq-aa did not answer NoAlias).
+	PredicateMeta int `json:"predicateMeta,omitempty"`
+	// PiE1/PiE2 are the π pair's source-level expressions, with their
+	// source ranges, resolved through the module provenance table.
+	PiE1      string `json:"piE1,omitempty"`
+	PiE2      string `json:"piE2,omitempty"`
+	PiE1Range string `json:"piE1Range,omitempty"`
+	PiE2Range string `json:"piE2Range,omitempty"`
+}
+
+// AuditEnabled reports whether the alias-query audit stream is
+// collecting.
+func (s *Session) AuditEnabled() bool { return s != nil && s.cfg.Audit }
+
+// RecordAliasQuery appends q to the bounded audit ring. When the ring
+// is full the oldest entry is overwritten; the total recorded count is
+// preserved so exporters can report the drop.
+func (s *Session) RecordAliasQuery(q AliasQuery) {
+	if s == nil || !s.cfg.Audit {
+		return
+	}
+	s.mu.Lock()
+	s.recordAliasQueryLocked(q)
+	s.mu.Unlock()
+}
+
+// recordAliasQueryLocked is RecordAliasQuery with s.mu held (Merge
+// replays child rings under its own locking).
+func (s *Session) recordAliasQueryLocked(q AliasQuery) {
+	s.auditTotal++
+	if len(s.audit) < s.cfg.AuditCap {
+		s.audit = append(s.audit, q)
+		return
+	}
+	s.audit[s.auditHead] = q
+	s.auditHead++
+	if s.auditHead == len(s.audit) {
+		s.auditHead = 0
+	}
+}
+
+// auditInOrder unrolls the ring oldest-first. Callers hold s.mu.
+func (s *Session) auditInOrder() []AliasQuery {
+	if len(s.audit) == 0 {
+		return nil
+	}
+	out := make([]AliasQuery, 0, len(s.audit))
+	out = append(out, s.audit[s.auditHead:]...)
+	out = append(out, s.audit[:s.auditHead]...)
+	return out
+}
+
+// auditJSON is the -aa-audit artifact schema.
+type auditJSON struct {
+	// Queries is the ring content, oldest first.
+	Queries []AliasQuery `json:"queries"`
+	// Total counts every query recorded; Dropped = Total - len(Queries)
+	// is how many overflowed the bounded ring.
+	Total   int64 `json:"total"`
+	Dropped int64 `json:"dropped"`
+}
+
+// WriteAuditJSON renders the snapshot's alias-query audit log as the
+// machine-readable -aa-audit artifact.
+func WriteAuditJSON(w io.Writer, snap *Snapshot) error {
+	out := auditJSON{Queries: []AliasQuery{}}
+	if snap != nil {
+		out.Queries = append(out.Queries, snap.AliasQueries...)
+		out.Total = snap.AliasQueriesTotal
+		out.Dropped = snap.AliasQueriesDropped()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

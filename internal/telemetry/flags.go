@@ -23,6 +23,12 @@ type Flags struct {
 	// PromPath, if non-empty, writes the snapshot in Prometheus text
 	// exposition format (-metrics-prom). Implies all three streams.
 	PromPath string
+	// TracePath, if non-empty, writes a Chrome trace_event JSON file
+	// (-trace) viewable in Perfetto / chrome://tracing.
+	TracePath string
+	// AuditPath, if non-empty, writes the alias-query audit log as JSON
+	// (-aa-audit).
+	AuditPath string
 }
 
 // RegisterFlags binds the telemetry flags onto fs (use
@@ -34,6 +40,8 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 	fs.BoolVar(&f.Remarks, "remarks", false, "print optimization remarks with unseq-aa attribution")
 	fs.StringVar(&f.JSONPath, "metrics-json", "", "write all collected metrics as JSON to `path`")
 	fs.StringVar(&f.PromPath, "metrics-prom", "", "write all collected metrics in Prometheus text format to `path`")
+	fs.StringVar(&f.TracePath, "trace", "", "write a Chrome trace_event JSON timeline (Perfetto-viewable) to `path`")
+	fs.StringVar(&f.AuditPath, "aa-audit", "", "write the alias-query audit log as JSON to `path`")
 	return f
 }
 
@@ -45,6 +53,8 @@ func (f *Flags) Config() Config {
 		Metrics: f.Stats || exportAll,
 		Timing:  f.TimePasses || exportAll,
 		Remarks: f.Remarks || exportAll,
+		Trace:   f.TracePath != "",
+		Audit:   f.AuditPath != "",
 	}
 }
 
@@ -73,6 +83,16 @@ func (f *Flags) Finish(s *Session, w io.Writer) error {
 	if f.PromPath != "" {
 		if err := writeFile(f.PromPath, snap, WritePrometheus); err != nil {
 			return fmt.Errorf("metrics-prom: %w", err)
+		}
+	}
+	if f.TracePath != "" {
+		if err := writeFile(f.TracePath, snap, WriteChromeTrace); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	if f.AuditPath != "" {
+		if err := writeFile(f.AuditPath, snap, WriteAuditJSON); err != nil {
+			return fmt.Errorf("aa-audit: %w", err)
 		}
 	}
 	return nil

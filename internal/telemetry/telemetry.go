@@ -25,10 +25,25 @@ type Config struct {
 	Timing bool
 	// Remarks enables the optimization-remark stream (-remarks).
 	Remarks bool
+	// Trace enables hierarchical trace events: every span additionally
+	// records a Chrome trace_event "complete" entry with begin timestamp
+	// and duration on the session's lane (-trace).
+	Trace bool
+	// Audit enables the alias-query audit log: a bounded ring buffer of
+	// AliasQuery records the aa.Manager fills per chain query (-aa-audit).
+	Audit bool
+	// AuditCap bounds the audit ring buffer (0 = DefaultAuditCap).
+	// Overflow drops the oldest entries; the total asked is still counted.
+	AuditCap int
 }
 
+// DefaultAuditCap is the audit ring capacity when Config.AuditCap is 0.
+const DefaultAuditCap = 8192
+
 // Enabled reports whether any stream is on.
-func (c Config) Enabled() bool { return c.Metrics || c.Timing || c.Remarks }
+func (c Config) Enabled() bool {
+	return c.Metrics || c.Timing || c.Remarks || c.Trace || c.Audit
+}
 
 // Remark is one structured optimization remark: a single transform a
 // pass performed, with enough context to attribute it. When the
@@ -81,6 +96,13 @@ type durStat struct {
 type Session struct {
 	cfg Config
 
+	// traceRef is the time-zero every trace event timestamp is relative
+	// to; forks inherit it from the root so lanes share one timeline.
+	traceRef time.Time
+	// lane is the Chrome trace tid events on this session carry: 0 is
+	// the root (main) lane, forked workers get 1..jobs (ForkLane).
+	lane int
+
 	mu           sync.Mutex
 	counters     map[string]int64
 	counterOrder []string
@@ -89,6 +111,14 @@ type Session struct {
 	durs         map[string]*durStat
 	durOrder     []string
 	remarks      []Remark
+	events       []TraceEvent
+
+	// Alias-query audit ring buffer: when full, the oldest entry is
+	// overwritten (auditHead marks it) and auditTotal keeps the true
+	// number of queries recorded.
+	audit      []AliasQuery
+	auditHead  int
+	auditTotal int64
 }
 
 // New builds a session collecting the configured streams. If nothing
@@ -97,12 +127,19 @@ func New(cfg Config) *Session {
 	if !cfg.Enabled() {
 		return nil
 	}
-	return &Session{
+	if cfg.Audit && cfg.AuditCap <= 0 {
+		cfg.AuditCap = DefaultAuditCap
+	}
+	s := &Session{
 		cfg:      cfg,
 		counters: make(map[string]int64),
 		gauges:   make(map[string]float64),
 		durs:     make(map[string]*durStat),
 	}
+	if cfg.Trace {
+		s.traceRef = time.Now()
+	}
+	return s
 }
 
 // noopStop is the pre-allocated stop function returned by disabled
@@ -117,6 +154,9 @@ func (s *Session) TimingEnabled() bool { return s != nil && s.cfg.Timing }
 
 // RemarksEnabled reports whether the remark stream is collecting.
 func (s *Session) RemarksEnabled() bool { return s != nil && s.cfg.Remarks }
+
+// TraceEnabled reports whether the trace-event stream is collecting.
+func (s *Session) TraceEnabled() bool { return s != nil && s.cfg.Trace }
 
 // Count adds delta to the named counter.
 func (s *Session) Count(name string, delta int64) {
@@ -161,26 +201,50 @@ func (s *Session) AddGauge(name string, v float64) {
 // Span starts a timed phase and returns its stop function. Durations
 // for the same name accumulate (count/total/max + histogram), so
 // repeated pass invocations fold into one line of -time-passes output.
+// With tracing enabled the stop additionally records a trace event, so
+// nested Span calls on one goroutine render as a flame in Perfetto.
 func (s *Session) Span(name string) func() {
-	if s == nil || !s.cfg.Timing {
+	if s == nil || (!s.cfg.Timing && !s.cfg.Trace) {
 		return noopStop
 	}
 	start := time.Now()
 	return func() {
 		d := time.Since(start)
 		s.mu.Lock()
-		st := s.durs[name]
-		if st == nil {
-			st = &durStat{}
-			s.durs[name] = st
-			s.durOrder = append(s.durOrder, name)
+		if s.cfg.Timing {
+			st := s.durs[name]
+			if st == nil {
+				st = &durStat{}
+				s.durs[name] = st
+				s.durOrder = append(s.durOrder, name)
+			}
+			st.count++
+			st.total += d
+			if d > st.max {
+				st.max = d
+			}
+			st.buckets[bucketFor(d)]++
 		}
-		st.count++
-		st.total += d
-		if d > st.max {
-			st.max = d
+		if s.cfg.Trace {
+			s.events = append(s.events, s.traceEvent(name, start, d))
 		}
-		st.buckets[bucketFor(d)]++
+		s.mu.Unlock()
+	}
+}
+
+// TraceSpan is Span restricted to the trace stream: it never creates a
+// -time-passes duration accumulator, so high-cardinality hierarchy-only
+// spans (one per function under -j) can be traced without polluting the
+// aggregate phase report.
+func (s *Session) TraceSpan(name string) func() {
+	if s == nil || !s.cfg.Trace {
+		return noopStop
+	}
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		s.mu.Lock()
+		s.events = append(s.events, s.traceEvent(name, start, d))
 		s.mu.Unlock()
 	}
 }
@@ -222,11 +286,26 @@ func (s *Session) Remark(r Remark) {
 // merges the forks back in a deterministic order (Merge), so the
 // combined stream is byte-stable regardless of goroutine scheduling.
 // Forking a nil session returns nil (the no-op default propagates).
+// The fork inherits the parent's trace lane and time reference.
 func (s *Session) Fork() *Session {
 	if s == nil {
 		return nil
 	}
-	return New(s.cfg)
+	return s.ForkLane(s.lane)
+}
+
+// ForkLane is Fork with an explicit trace lane: events the child records
+// carry tid = lane, which is how a worker pool's scheduling becomes
+// visible as parallel tracks in Perfetto. Lane 0 is the root session's
+// (main) lane; worker pools use 1..jobs.
+func (s *Session) ForkLane(lane int) *Session {
+	if s == nil {
+		return nil
+	}
+	child := New(s.cfg)
+	child.traceRef = s.traceRef
+	child.lane = lane
+	return child
 }
 
 // Merge folds everything child collected into s: counters and gauges
@@ -274,6 +353,14 @@ func (s *Session) Merge(child *Session) {
 		}
 	}
 	s.remarks = append(s.remarks, child.remarks...)
+	s.events = append(s.events, child.events...)
+	// Replay the child's audit ring through the parent's (preserving its
+	// internal order); entries the child already dropped stay counted.
+	dropped := child.auditTotal - int64(len(child.audit))
+	s.auditTotal += dropped
+	for _, q := range child.auditInOrder() {
+		s.recordAliasQueryLocked(q)
+	}
 }
 
 // ---------- snapshots ----------
@@ -303,12 +390,24 @@ type DurationStat struct {
 func (d DurationStat) Total() time.Duration { return time.Duration(d.TotalNS) }
 
 // Snapshot is a point-in-time copy of everything a session collected,
-// in first-seen order (deterministic output).
+// in first-seen order (deterministic output). Trace events and the
+// alias-query audit log only appear when their streams were enabled.
 type Snapshot struct {
 	Counters  []Counter      `json:"counters"`
 	Gauges    []Gauge        `json:"gauges"`
 	Durations []DurationStat `json:"phases"`
 	Remarks   []Remark       `json:"remarks"`
+	Events    []TraceEvent   `json:"traceEvents,omitempty"`
+	// AliasQueries is the audit ring content, oldest first.
+	AliasQueries []AliasQuery `json:"aliasQueries,omitempty"`
+	// AliasQueriesTotal counts every query recorded, including ones the
+	// bounded ring has since dropped.
+	AliasQueriesTotal int64 `json:"aliasQueriesTotal,omitempty"`
+}
+
+// AliasQueriesDropped returns how many audit entries overflowed the ring.
+func (s *Snapshot) AliasQueriesDropped() int64 {
+	return s.AliasQueriesTotal - int64(len(s.AliasQueries))
 }
 
 // Snapshot copies the session's current state. Safe on nil (returns an
@@ -334,6 +433,9 @@ func (s *Session) Snapshot() *Snapshot {
 		})
 	}
 	snap.Remarks = append(snap.Remarks, s.remarks...)
+	snap.Events = append(snap.Events, s.events...)
+	snap.AliasQueries = append(snap.AliasQueries, s.auditInOrder()...)
+	snap.AliasQueriesTotal = s.auditTotal
 	return snap
 }
 
@@ -385,5 +487,15 @@ func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
 	if len(s.Remarks) > len(prev.Remarks) {
 		out.Remarks = append(out.Remarks, s.Remarks[len(prev.Remarks):]...)
 	}
+	if len(s.Events) > len(prev.Events) {
+		out.Events = append(out.Events, s.Events[len(prev.Events):]...)
+	}
+	// Audit entries appended since prev (exact while the ring has not
+	// wrapped; after a wrap the suffix is best-effort but never invents
+	// entries). The total delta is always exact.
+	if len(s.AliasQueries) > len(prev.AliasQueries) {
+		out.AliasQueries = append(out.AliasQueries, s.AliasQueries[len(prev.AliasQueries):]...)
+	}
+	out.AliasQueriesTotal = s.AliasQueriesTotal - prev.AliasQueriesTotal
 	return out
 }

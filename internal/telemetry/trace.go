@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// TraceEvent is one Chrome trace_event entry in the "complete" form
+// (ph "X"): a named span with an absolute begin timestamp and duration,
+// both in microseconds. Perfetto and chrome://tracing reconstruct the
+// span hierarchy from timestamp containment per (pid, tid), so nested
+// Span/TraceSpan calls on one lane render as a flame graph and the
+// worker-pool lanes of the parallel middle-end render as parallel
+// tracks.
+type TraceEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Ph   string `json:"ph"`
+	// Ts is microseconds since the session's time reference; Dur is the
+	// span length in microseconds. Both keep nanosecond precision in the
+	// fraction so containment of nested spans is exact.
+	Ts  float64 `json:"ts"`
+	Dur float64 `json:"dur"`
+	Pid int     `json:"pid"`
+	Tid int     `json:"tid"`
+	// Args carries event metadata (thread_name records); span events
+	// leave it nil so the hot path stays allocation-lean.
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceEvent builds the complete event for a span that just stopped.
+// Callers hold s.mu.
+func (s *Session) traceEvent(name string, start time.Time, d time.Duration) TraceEvent {
+	return TraceEvent{
+		Name: name,
+		Cat:  traceCategory(name),
+		Ph:   "X",
+		Ts:   float64(start.Sub(s.traceRef).Nanoseconds()) / 1e3,
+		Dur:  float64(d.Nanoseconds()) / 1e3,
+		Pid:  1,
+		Tid:  s.lane,
+	}
+}
+
+// traceCategory derives the event category from the span-name namespace
+// (the prefix up to the first '/'), e.g. "phase/opt" -> "phase".
+func traceCategory(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' {
+			return name[:i]
+		}
+	}
+	return "span"
+}
+
+// chromeTrace is the JSON-object form of the Chrome trace_event format,
+// the shape Perfetto's legacy importer accepts directly.
+type chromeTrace struct {
+	TraceEvents     []TraceEvent      `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	Metadata        map[string]string `json:"metadata,omitempty"`
+}
+
+// laneName labels a trace lane for the thread_name metadata events.
+func laneName(tid int) string {
+	if tid == 0 {
+		return "main"
+	}
+	return "worker-" + strconv.Itoa(tid)
+}
+
+// WriteChromeTrace renders the snapshot's trace events as Chrome
+// trace_event JSON (Perfetto-loadable). Events are sorted by (tid, ts,
+// -dur) so enclosing spans precede their children, and each lane gets a
+// thread_name metadata record ("main", "worker-1", ...).
+func WriteChromeTrace(w io.Writer, snap *Snapshot) error {
+	out := chromeTrace{
+		TraceEvents:     []TraceEvent{},
+		DisplayTimeUnit: "ms",
+		Metadata:        map[string]string{"tool": "ooelala"},
+	}
+	if snap != nil {
+		events := append([]TraceEvent(nil), snap.Events...)
+		sort.SliceStable(events, func(i, j int) bool {
+			if events[i].Tid != events[j].Tid {
+				return events[i].Tid < events[j].Tid
+			}
+			if events[i].Ts != events[j].Ts {
+				return events[i].Ts < events[j].Ts
+			}
+			return events[i].Dur > events[j].Dur
+		})
+		lanes := map[int]bool{}
+		for _, e := range events {
+			if !lanes[e.Tid] {
+				lanes[e.Tid] = true
+			}
+		}
+		laneOrder := make([]int, 0, len(lanes))
+		for tid := range lanes {
+			laneOrder = append(laneOrder, tid)
+		}
+		sort.Ints(laneOrder)
+		for _, tid := range laneOrder {
+			out.TraceEvents = append(out.TraceEvents, TraceEvent{
+				Name: "thread_name",
+				Cat:  "__metadata",
+				Ph:   "M",
+				Pid:  1,
+				Tid:  tid,
+				Args: map[string]string{"name": laneName(tid)},
+			})
+		}
+		out.TraceEvents = append(out.TraceEvents, events...)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

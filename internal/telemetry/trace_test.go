@@ -1,0 +1,253 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestChromeTraceSchema is the golden schema test for the -trace
+// artifact: the exporter's output must be a Chrome trace_event JSON
+// object Perfetto's legacy importer accepts — a traceEvents array of
+// ph "X" complete events preceded by ph "M" thread_name metadata, with
+// displayTimeUnit set.
+func TestChromeTraceSchema(t *testing.T) {
+	s := New(Config{Trace: true})
+	outer := s.Span("phase/opt")
+	inner := s.TraceSpan("func/minmax")
+	time.Sleep(time.Millisecond)
+	inner()
+	outer()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, s.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Cat  string            `json:"cat"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Pid  int               `json:"pid"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		Metadata        map[string]string `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", out.DisplayTimeUnit)
+	}
+	if out.Metadata["tool"] != "ooelala" {
+		t.Errorf("metadata.tool = %q", out.Metadata["tool"])
+	}
+	if len(out.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3 (thread_name + 2 spans):\n%s",
+			len(out.TraceEvents), buf.String())
+	}
+	meta := out.TraceEvents[0]
+	if meta.Ph != "M" || meta.Name != "thread_name" || meta.Cat != "__metadata" ||
+		meta.Args["name"] != "main" {
+		t.Errorf("first event is not the main-lane thread_name record: %+v", meta)
+	}
+	// Enclosing span sorts before its child and contains it in time.
+	parent, child := out.TraceEvents[1], out.TraceEvents[2]
+	if parent.Name != "phase/opt" || child.Name != "func/minmax" {
+		t.Fatalf("span order wrong: %q then %q", parent.Name, child.Name)
+	}
+	for _, ev := range out.TraceEvents[1:] {
+		if ev.Ph != "X" || ev.Pid != 1 || ev.Tid != 0 || ev.Dur <= 0 {
+			t.Errorf("span event malformed: %+v", ev)
+		}
+	}
+	if parent.Ts > child.Ts || parent.Ts+parent.Dur < child.Ts+child.Dur {
+		t.Errorf("nesting broken: parent [%f, %f] does not contain child [%f, %f]",
+			parent.Ts, parent.Ts+parent.Dur, child.Ts, child.Ts+child.Dur)
+	}
+	if parent.Cat != "phase" || child.Cat != "func" {
+		t.Errorf("categories wrong: %q, %q", parent.Cat, child.Cat)
+	}
+}
+
+// TestTraceForkMergeLanes pins the worker-pool lane mapping: ForkLane(n)
+// children stamp tid = n on their events, Merge folds them back, and the
+// exporter emits one thread_name record per lane in ascending tid order.
+// This is what makes a -j4 run render as parallel tracks in Perfetto.
+func TestTraceForkMergeLanes(t *testing.T) {
+	root := New(Config{Trace: true})
+	rootStop := root.Span("phase/opt")
+
+	const jobs = 4
+	children := make([]*Session, jobs)
+	for w := 0; w < jobs; w++ {
+		children[w] = root.ForkLane(w + 1)
+		stop := children[w].TraceSpan("func/f")
+		stop()
+	}
+	rootStop()
+	for _, c := range children {
+		root.Merge(c)
+	}
+
+	snap := root.Snapshot()
+	tids := map[int]int{}
+	for _, e := range snap.Events {
+		tids[e.Tid]++
+	}
+	for want := 0; want <= jobs; want++ {
+		if tids[want] != 1 {
+			t.Errorf("lane %d has %d events, want 1 (lanes: %v)", want, tids[want], tids)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	var out chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range out.TraceEvents {
+		if e.Ph == "M" {
+			names = append(names, e.Args["name"])
+		}
+	}
+	want := []string{"main", "worker-1", "worker-2", "worker-3", "worker-4"}
+	if len(names) != len(want) {
+		t.Fatalf("thread_name records = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("thread_name records = %v, want %v", names, want)
+		}
+	}
+}
+
+// TestTraceSpanBypassesDurations pins TraceSpan's contract: it records a
+// trace event but never a -time-passes accumulator, so per-function
+// hierarchy spans cannot pollute the aggregate phase report.
+func TestTraceSpanBypassesDurations(t *testing.T) {
+	s := New(Config{Timing: true, Trace: true})
+	s.TraceSpan("func/hot")()
+	s.Span("phase/opt")()
+	snap := s.Snapshot()
+	if len(snap.Durations) != 1 || snap.Durations[0].Name != "phase/opt" {
+		t.Fatalf("durations = %+v, want only phase/opt", snap.Durations)
+	}
+	if len(snap.Events) != 2 {
+		t.Fatalf("events = %+v, want both spans", snap.Events)
+	}
+}
+
+// TestAuditRingBounds exercises the bounded ring: overflow drops the
+// oldest entries, keeps the newest, and preserves the true total.
+func TestAuditRingBounds(t *testing.T) {
+	s := New(Config{Audit: true, AuditCap: 3})
+	for i := 1; i <= 5; i++ {
+		s.RecordAliasQuery(AliasQuery{LocA: string(rune('a' + i - 1)), Result: "MayAlias"})
+	}
+	snap := s.Snapshot()
+	if snap.AliasQueriesTotal != 5 || snap.AliasQueriesDropped() != 2 {
+		t.Fatalf("total=%d dropped=%d, want 5/2", snap.AliasQueriesTotal, snap.AliasQueriesDropped())
+	}
+	got := ""
+	for _, q := range snap.AliasQueries {
+		got += q.LocA
+	}
+	if got != "cde" {
+		t.Fatalf("ring content = %q, want cde (oldest dropped, order kept)", got)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteAuditJSON(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Queries []AliasQuery `json:"queries"`
+		Total   int64        `json:"total"`
+		Dropped int64        `json:"dropped"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("audit artifact not valid JSON: %v", err)
+	}
+	if len(out.Queries) != 3 || out.Total != 5 || out.Dropped != 2 {
+		t.Fatalf("audit artifact wrong: %+v", out)
+	}
+}
+
+// TestAuditMergePreservesOrderAndDrops verifies Merge replays child
+// rings oldest-first and accounts for entries the child itself dropped.
+func TestAuditMergePreservesOrderAndDrops(t *testing.T) {
+	root := New(Config{Audit: true, AuditCap: 10})
+	child := root.ForkLane(1)
+	child.cfg.AuditCap = 2 // fork inherits cfg; shrink to force a drop
+	for _, l := range []string{"x", "y", "z"} {
+		child.RecordAliasQuery(AliasQuery{LocA: l, Result: "NoAlias"})
+	}
+	root.RecordAliasQuery(AliasQuery{LocA: "r", Result: "MayAlias"})
+	root.Merge(child)
+
+	snap := root.Snapshot()
+	got := ""
+	for _, q := range snap.AliasQueries {
+		got += q.LocA
+	}
+	if got != "ryz" {
+		t.Fatalf("merged ring = %q, want ryz", got)
+	}
+	if snap.AliasQueriesTotal != 4 {
+		t.Fatalf("total = %d, want 4 (child's dropped entry still counted)",
+			snap.AliasQueriesTotal)
+	}
+}
+
+// TestNoopTraceAuditNoAllocs extends the zero-overhead acceptance gate
+// to the new streams: with telemetry off, TraceSpan and the audit path
+// must not allocate.
+func TestNoopTraceAuditNoAllocs(t *testing.T) {
+	var s *Session
+	allocs := testing.AllocsPerRun(1000, func() {
+		stop := s.TraceSpan("func/f")
+		if s.AuditEnabled() {
+			s.RecordAliasQuery(AliasQuery{})
+		}
+		if s.TraceEnabled() {
+			t.Fatal("nil session reports tracing enabled")
+		}
+		stop()
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op trace/audit allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+// Disabled trace/audit streams on a live session must also be free.
+func TestDisabledTraceAuditNoAllocs(t *testing.T) {
+	s := New(Config{Metrics: true})
+	allocs := testing.AllocsPerRun(1000, func() {
+		stop := s.TraceSpan("func/f")
+		s.RecordAliasQuery(AliasQuery{LocA: "a", LocB: "b"})
+		stop()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled trace/audit allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+func BenchmarkNoopTraceSpanAndAudit(b *testing.B) {
+	var s *Session
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		stop := s.TraceSpan("func/f")
+		s.RecordAliasQuery(AliasQuery{})
+		stop()
+	}
+}
