@@ -73,10 +73,15 @@ func main() {
 	all := flag.Bool("all", false, "run everything")
 	jsonOut := flag.Bool("json", false, "write table rows to BENCH_ooebench.json")
 	jobs := flag.Int("j", 0, "per-function compilation parallelism (0 = GOMAXPROCS, 1 = sequential)")
+	pf := driver.RegisterPassFlags(flag.CommandLine)
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	driver.SetDefaultJobs(*jobs)
+	if err := pf.Apply(); err != nil {
+		fmt.Fprintln(os.Stderr, "ooebench:", err)
+		os.Exit(1)
+	}
 	tel = tf.Session()
 	any := false
 	run := func(enabled bool, f func() error) {

@@ -23,6 +23,9 @@
 //	-explain       print per-full-expression ω/θ/γ/π sets and π-pair consumption
 //	-j N           per-function compilation parallelism (0 = GOMAXPROCS)
 //	-D name=value  predefine an object-like macro (repeatable)
+//	-passes        comma-separated middle-end pass pipeline (default: the O3 sequence)
+//	-verify-each   run the IR verifier after every pass
+//	-print-changed print a function's IR after every pass that changed it (forces -j 1)
 package main
 
 import (
@@ -58,6 +61,7 @@ func main() {
 	compare := flag.Bool("compare", false, "run under both configurations and report the speedup")
 	dumpIR := flag.Bool("dump-ir", false, "print the optimized IR")
 	jobs := flag.Int("j", 0, "per-function compilation parallelism (0 = GOMAXPROCS, 1 = sequential)")
+	pf := driver.RegisterPassFlags(flag.CommandLine)
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	explain := flag.Bool("explain", false,
 		"print per-full-expression ω/θ/γ/π judgement sets with source ranges and which π pairs each optimization consumed")
@@ -79,6 +83,9 @@ func main() {
 	}
 
 	driver.SetDefaultJobs(*jobs)
+	if err := pf.Apply(); err != nil {
+		fatal(err)
+	}
 	telCfg := tf.Config()
 	if *explain {
 		// -explain needs the remark stream and the alias-query audit log

@@ -30,9 +30,14 @@ func main() {
 	entry := flag.String("entry", "main", "entry function to execute")
 	jsonPath := flag.String("json", "", "write the report (with π-pair provenance per violation) as JSON to `path`")
 	jobs := flag.Int("j", 0, "per-function compilation parallelism (0 = GOMAXPROCS, 1 = sequential)")
+	pf := driver.RegisterPassFlags(flag.CommandLine)
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	driver.SetDefaultJobs(*jobs)
+	if err := pf.Apply(); err != nil {
+		fmt.Fprintln(os.Stderr, "ubsan:", err)
+		os.Exit(1)
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ubsan [-entry name] file.c")
 		os.Exit(2)

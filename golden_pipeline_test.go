@@ -1,0 +1,114 @@
+package repro_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// -update regenerates the golden pipeline artifacts from the current
+// compiler. The committed files were produced by the pre-pass-manager
+// pipeline, so a clean diff against them is the behaviour-preservation
+// proof the refactor must supply.
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden artifacts")
+
+// goldenPrograms is every committed program the equivalence gate covers:
+// the minimized fuzzer regressions plus the paper's §2 example.
+func goldenPrograms(t *testing.T) []string {
+	t.Helper()
+	progs, err := filepath.Glob("testdata/fuzz/regressions/*.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(progs)
+	return append(progs, "examples/minmax.c")
+}
+
+// pipelineArtifact renders everything the acceptance criteria require to
+// be byte-identical across the refactor and across -j values: the
+// optimized IR, the pass/AA statistics, the optimization remarks, and
+// the alias-query audit log. Wall-clock data is deliberately excluded.
+func pipelineArtifact(t *testing.T, path string, jobs int) string {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New(telemetry.Config{Metrics: true, Remarks: true, Audit: true})
+	c, err := driver.Compile(path, string(src), driver.Config{
+		OOElala:   true,
+		Files:     workload.Files(),
+		Jobs:      jobs,
+		Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	snap := tel.Snapshot()
+
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "== ir ==\n%s", c.Module.String())
+	fmt.Fprintf(&buf, "== stats ==\npasses: %s\n", c.PassStats)
+	fmt.Fprintf(&buf, "aa: queries=%d noalias=%d mayalias=%d mustalias=%d partial=%d unseq=%d\n",
+		c.AAStats.Queries, c.AAStats.NoAlias, c.AAStats.MayAlias,
+		c.AAStats.MustAlias, c.AAStats.PartialAlias, c.AAStats.UnseqNoAlias)
+	fmt.Fprintf(&buf, "preds: final=%d unique=%d\n", c.FinalPreds, c.UniqueFinalPreds)
+	fmt.Fprintf(&buf, "== remarks ==\n")
+	enc := json.NewEncoder(&buf)
+	for _, r := range snap.Remarks {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fmt.Fprintf(&buf, "== audit ==\n")
+	if err := telemetry.WriteAuditJSON(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func goldenPath(prog string) string {
+	base := filepath.Base(prog)
+	return filepath.Join("testdata", "golden", base[:len(base)-len(".c")]+".golden")
+}
+
+// TestGoldenDefaultPipeline compares the default pipeline's full
+// observable output (IR, stats, remarks, audit) against the committed
+// pre-refactor artifacts, at -j1 and -j4.
+func TestGoldenDefaultPipeline(t *testing.T) {
+	for _, prog := range goldenPrograms(t) {
+		prog := prog
+		t.Run(filepath.Base(prog), func(t *testing.T) {
+			got := pipelineArtifact(t, prog, 1)
+			gp := goldenPath(prog)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(gp), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(gp, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(gp)
+			if err != nil {
+				t.Fatalf("missing golden (run go test -run TestGoldenDefaultPipeline -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("pipeline output for %s diverges from the committed golden (j=1)", prog)
+			}
+			if got4 := pipelineArtifact(t, prog, 4); got4 != string(want) {
+				t.Errorf("pipeline output for %s diverges from the committed golden (j=4)", prog)
+			}
+		})
+	}
+}

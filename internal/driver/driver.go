@@ -158,6 +158,7 @@ func Compile(name, src string, cfg Config) (*Compilation, error) {
 	if cfg.PassOptions != nil {
 		popts = *cfg.PassOptions
 	}
+	applyDefaultPassConfig(&popts)
 	popts.UseUnseqAA = cfg.OOElala
 	if popts.Telemetry == nil {
 		popts.Telemetry = tel
@@ -170,8 +171,12 @@ func Compile(name, src string, cfg Config) (*Compilation, error) {
 		popts.OptLevel = 0
 	}
 	stop = tel.Span("phase/opt")
-	c.PassStats = passes.RunModule(mod, popts, &c.AAStats)
+	pstats, perr := passes.RunModule(mod, popts, &c.AAStats)
+	c.PassStats = pstats
 	stop()
+	if perr != nil {
+		return nil, fmt.Errorf("%s: %w", name, perr)
+	}
 
 	stop = tel.Span("phase/verify")
 	problems := mod.Verify()

@@ -1,0 +1,87 @@
+package driver
+
+import (
+	"flag"
+	"io"
+	"os"
+	"sync/atomic"
+
+	"repro/internal/passes"
+)
+
+// passDefaults is the process-wide pipeline configuration (the
+// -passes / -verify-each / -print-changed flags). Like SetDefaultJobs,
+// it applies to every compilation the process triggers — including ones
+// constructed deep inside the workload and sanitizer helpers — unless
+// the caller supplied an explicit Config.PassOptions value for the
+// corresponding field.
+type passDefaults struct {
+	pipeline     *passes.Pipeline
+	verifyEach   bool
+	printChanged io.Writer
+}
+
+var defaultPassCfg atomic.Pointer[passDefaults]
+
+// SetDefaultPassConfig installs process-wide pipeline defaults. Call it
+// once, before compiling. A nil pipeline leaves the built-in default;
+// a nil printChanged leaves the mode off.
+func SetDefaultPassConfig(pipeline *passes.Pipeline, verifyEach bool, printChanged io.Writer) {
+	defaultPassCfg.Store(&passDefaults{
+		pipeline:     pipeline,
+		verifyEach:   verifyEach,
+		printChanged: printChanged,
+	})
+}
+
+// applyDefaultPassConfig merges the process-wide defaults into opts,
+// without overriding fields an explicit Config.PassOptions already set.
+func applyDefaultPassConfig(opts *passes.Options) {
+	d := defaultPassCfg.Load()
+	if d == nil {
+		return
+	}
+	if opts.Pipeline == nil {
+		opts.Pipeline = d.pipeline
+	}
+	if d.verifyEach {
+		opts.VerifyEach = true
+	}
+	if opts.PrintChanged == nil {
+		opts.PrintChanged = d.printChanged
+	}
+}
+
+// PassFlags carries the shared middle-end pipeline flags each CLI
+// registers: -passes, -verify-each, -print-changed.
+type PassFlags struct {
+	Spec         string
+	VerifyEach   bool
+	PrintChanged bool
+}
+
+// RegisterPassFlags registers the pipeline flags on fs.
+func RegisterPassFlags(fs *flag.FlagSet) *PassFlags {
+	pf := &PassFlags{}
+	fs.StringVar(&pf.Spec, "passes", passes.DefaultPipelineSpec,
+		"comma-separated middle-end pass pipeline (one fixpoint iteration)")
+	fs.BoolVar(&pf.VerifyEach, "verify-each", false,
+		"run the IR verifier after every pass; fail at the first broken invariant")
+	fs.BoolVar(&pf.PrintChanged, "print-changed", false,
+		"print a function's IR after every pass that changed it (forces -j 1)")
+	return pf
+}
+
+// Apply parses the spec and installs the process-wide defaults.
+func (pf *PassFlags) Apply() error {
+	pipe, err := passes.ParsePipeline(pf.Spec)
+	if err != nil {
+		return err
+	}
+	var w io.Writer
+	if pf.PrintChanged {
+		w = os.Stderr
+	}
+	SetDefaultPassConfig(pipe, pf.VerifyEach, w)
+	return nil
+}

@@ -24,7 +24,6 @@ type pendingStore struct {
 // index is unsequenced with the surrounding accesses, so unseq-aa lets
 // the intermediate stores die.
 func dse(mod *ir.Module, f *ir.Func, mgr *aa.Manager, tel *telemetry.Session) int {
-	defer mgr.SetPass(mgr.SetPass("dse"))
 	deleted := 0
 	for _, b := range f.Blocks {
 		var pending []pendingStore

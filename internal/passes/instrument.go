@@ -1,0 +1,61 @@
+package passes
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ir"
+	"repro/internal/telemetry"
+)
+
+// PassInstrumentation brackets every pass invocation with the cross-
+// cutting concerns the pipeline used to thread by hand: a telemetry
+// span ("pass/<name>"), audit attribution (aa.Manager.SetPass, so every
+// alias query issued while the pass runs is tagged with its name), the
+// preserved-analyses invalidation, and the -verify-each / -print-changed
+// debug modes.
+type PassInstrumentation struct {
+	// Tel receives the per-pass spans; nil is the no-op session.
+	Tel *telemetry.Session
+	// VerifyEach runs the IR verifier after every pass and fails the
+	// pipeline at the first broken invariant.
+	VerifyEach bool
+	// PrintChanged, when non-nil, receives the function's IR after every
+	// pass that changed it.
+	PrintChanged io.Writer
+}
+
+// instrumentationFor builds the hook from the pipeline options.
+func instrumentationFor(opts *Options) *PassInstrumentation {
+	return &PassInstrumentation{
+		Tel:          opts.Telemetry,
+		VerifyEach:   opts.VerifyEach,
+		PrintChanged: opts.PrintChanged,
+	}
+}
+
+// Run executes one pass under instrumentation and applies its Preserved
+// set to the analysis manager.
+func (pi *PassInstrumentation) Run(p Pass, f *ir.Func, am *AnalysisManager) (Stats, error) {
+	var before string
+	if pi.PrintChanged != nil {
+		before = f.String()
+	}
+	stop := pi.Tel.Span("pass/" + p.Name())
+	prev := am.mgr.SetPass(p.Name())
+	st, preserved := p.Run(f, am)
+	am.mgr.SetPass(prev)
+	stop()
+	am.Invalidate(preserved)
+	if pi.PrintChanged != nil {
+		if after := f.String(); after != before {
+			fmt.Fprintf(pi.PrintChanged, "; IR after %s on %s\n%s", p.Name(), f.Name, after)
+		}
+	}
+	if pi.VerifyEach {
+		if problems := f.Verify(); len(problems) > 0 {
+			return st, fmt.Errorf("verify-each: after %s on %s: %s", p.Name(), f.Name, problems[0])
+		}
+	}
+	return st, nil
+}

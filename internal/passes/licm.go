@@ -15,10 +15,12 @@ import (
 // promoteLoopAccessesToScalars, the transform behind the paper's minmax,
 // omega.c, toke.c, and delta_encoder.c case studies. Both steps hinge on
 // NoAlias answers from the AA chain.
-func licm(mod *ir.Module, f *ir.Func, mgr *aa.Manager, tel *telemetry.Session) (hoisted, promoted int) {
-	defer mgr.SetPass(mgr.SetPass("licm"))
-	dt := ir.ComputeDom(f)
-	loops := ir.FindLoops(f, dt)
+func licm(f *ir.Func, am *AnalysisManager) (hoisted, promoted int) {
+	mod := am.Module()
+	tel := am.Telemetry()
+	mgr := am.AA()
+	dt := am.Dom()
+	loops := am.Loops()
 	// Process inner loops first so promotions compose outward.
 	ordered := make([]*ir.Loop, 0, len(loops))
 	for depth := 8; depth >= 1; depth-- {

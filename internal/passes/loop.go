@@ -1,9 +1,7 @@
 package passes
 
 import (
-	"repro/internal/aa"
 	"repro/internal/ir"
-	"repro/internal/telemetry"
 )
 
 // canonLoop is the canonical counted-loop shape produced by our
@@ -149,13 +147,12 @@ func cloneInto(dst *ir.Block, body *ir.Block, remap map[ir.Value]ir.Value) {
 // keeping the original loop as the remainder. The mustnotalias
 // intrinsics of the body are re-cloned per copy (this is why the paper's
 // "# final preds" can exceed "# initial preds").
-func unrollLoops(f *ir.Func, mgr *aa.Manager, factor int, tel *telemetry.Session) int {
+func unrollLoops(f *ir.Func, am *AnalysisManager, factor int) int {
 	if factor < 2 {
 		return 0
 	}
-	defer mgr.SetPass(mgr.SetPass("unroll"))
-	dt := ir.ComputeDom(f)
-	loops := ir.FindLoops(f, dt)
+	tel := am.Telemetry()
+	loops := am.Loops()
 	unrolled := 0
 	for _, l := range loops {
 		if !l.IsInnermost(loops) {

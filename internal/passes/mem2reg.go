@@ -14,18 +14,33 @@ import (
 // Allocas referenced by ubcheck instructions are left alone (the
 // sanitizer needs real addresses); mustnotalias intrinsics over a
 // promoted slot become meaningless and are deleted.
-func mem2reg(f *ir.Func) int {
+//
+// The use map comes from the analysis manager and is rebuilt once per
+// round, not once per promotion: every eligible alloca in a round is
+// promoted against the same map, and the dead instructions of the whole
+// round are swept from the blocks in a single filter pass. Staleness
+// within a round is benign — a promotion retires its own
+// alloca/store/loads (which no other alloca's use list references,
+// since a load or store of slot C appears only in uses[C] and uses[its
+// value operand]) plus shared mustnotalias intrinsics (retiring an
+// already-retired instruction is a no-op), and any alloca whose address
+// flowed into a retired instruction was already rejected by the escape
+// check (the use list still carries the instruction), so it just
+// retries next round against a fresh map. The final round makes no
+// changes, leaving the cached map exact — which is why the pass can
+// preserve AnalysisUses.
+func mem2reg(f *ir.Func, am *AnalysisManager) int {
 	promoted := 0
 	entry := f.Entry()
 	if entry == nil {
 		return 0
 	}
 	for {
-		uses := buildUses(f)
-		changed := false
+		uses := am.Uses()
+		del := map[*ir.Instr]bool{}
 		for _, b := range f.Blocks {
 			for _, in := range b.Instrs {
-				if in.Op != ir.OpAlloca || in.AllocSz > 8 {
+				if in.Op != ir.OpAlloca || in.AllocSz > 8 || del[in] {
 					continue
 				}
 				var store *ir.Instr
@@ -69,7 +84,8 @@ func mem2reg(f *ir.Func) int {
 					continue
 				}
 				v := store.Args[1]
-				del := map[*ir.Instr]bool{in: true, store: true}
+				del[in] = true
+				del[store] = true
 				for _, ld := range loads {
 					// The slot truncates the stored value to the load width
 					// and the load re-extends it per its signedness; when v's
@@ -86,25 +102,22 @@ func mem2reg(f *ir.Func) int {
 				for _, mi := range deadIntrinsics {
 					del[mi] = true
 				}
-				for _, bb := range f.Blocks {
-					var out []*ir.Instr
-					for _, x := range bb.Instrs {
-						if !del[x] {
-							out = append(out, x)
-						}
-					}
-					bb.Instrs = out
-				}
 				promoted++
-				changed = true
-			}
-			if changed {
-				break
 			}
 		}
-		if !changed {
+		if len(del) == 0 {
 			break
 		}
+		for _, bb := range f.Blocks {
+			var out []*ir.Instr
+			for _, x := range bb.Instrs {
+				if !del[x] {
+					out = append(out, x)
+				}
+			}
+			bb.Instrs = out
+		}
+		am.InvalidateUses()
 	}
 	return promoted
 }

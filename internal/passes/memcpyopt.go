@@ -12,7 +12,6 @@ import (
 // becomes one 16-byte memset). A run must be contiguous in the block with
 // no intervening instruction that may read or write the covered range.
 func memcpyOpt(mod *ir.Module, f *ir.Func, mgr *aa.Manager, tel *telemetry.Session) int {
-	defer mgr.SetPass(mgr.SetPass("memcpyopt"))
 	formed := 0
 	for _, b := range f.Blocks {
 		for i := 0; i < len(b.Instrs); i++ {

@@ -9,6 +9,7 @@ package passes
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/aa"
 	"repro/internal/ir"
@@ -111,6 +112,17 @@ type Options struct {
 	// Telemetry receives per-pass spans and optimization remarks. Nil
 	// (the default) is a zero-overhead no-op sink.
 	Telemetry *telemetry.Session
+	// Pipeline overrides the pass sequence (nil = DefaultPipeline, the
+	// parsed DefaultPipelineSpec). Parse custom sequences with
+	// ParsePipeline (the -passes CLI flag).
+	Pipeline *Pipeline
+	// VerifyEach runs the IR verifier after every pass and fails the
+	// compilation at the first broken invariant (-verify-each).
+	VerifyEach bool
+	// PrintChanged, when non-nil, receives a function's IR after every
+	// pass that changed it (-print-changed). Forces Jobs to 1 so the
+	// dump order matches the sequential pipeline.
+	PrintChanged io.Writer
 }
 
 // DefaultOptions is -O3.
@@ -126,26 +138,54 @@ func DefaultOptions() Options {
 	}
 }
 
-// RunModule optimizes every function with the O3-like pipeline and
-// returns aggregate statistics. AA query statistics accumulate into
-// aaStats if non-nil. The per-function pipeline is sharded across
-// opts.Jobs workers (see Options.Jobs); results merge in original
-// function order, so the output is independent of scheduling.
-func RunModule(mod *ir.Module, opts Options, aaStats *aa.Stats) Stats {
+// RunModule optimizes every function with the configured pipeline
+// (opts.Pipeline, default DefaultPipeline) and returns aggregate
+// statistics. AA query statistics accumulate into aaStats if non-nil.
+// The per-function pipeline is sharded across opts.Jobs workers (see
+// Options.Jobs); results merge in original function order, so the
+// output is independent of scheduling. The only error source is
+// opts.VerifyEach: a pass leaving the IR inconsistent aborts the run.
+func RunModule(mod *ir.Module, opts Options, aaStats *aa.Stats) (Stats, error) {
 	var total Stats
 	if opts.OptLevel == 0 {
-		return total
+		return total, nil
 	}
 	if opts.MaxIterations <= 0 {
 		opts.MaxIterations = 1
+	}
+	if opts.Pipeline == nil {
+		opts.Pipeline = DefaultPipeline()
+	}
+	if opts.PrintChanged != nil {
+		// Interleaved worker dumps would be useless; match the
+		// sequential pipeline's order instead.
+		opts.Jobs = 1
 	}
 	sizes := map[string]int{}
 	for _, f := range mod.Funcs {
 		sizes[f.Name] = f.NumInstrs()
 	}
-	total = runFuncs(mod, opts, aaStats)
-	// Delete now-uncalled static-like functions (all call sites inlined),
-	// keeping main and anything address-taken.
+	total, err := runFuncs(mod, opts, aaStats)
+	if err != nil {
+		return total, err
+	}
+	total.FuncsDeleted = removeDeadFuncs(mod, sizes, total.CallsInlined > 0)
+	return total, nil
+}
+
+// removeDeadFuncs deletes now-uncalled functions after inlining and
+// returns how many were removed. The heuristic: a function is deleted
+// only when (a) at least one call was inlined somewhere in the module
+// (inlined=false is the conservative no-op — external harnesses call
+// functions by name), (b) no remaining call site or function reference
+// names it, (c) it is not main, and (d) its pre-optimization size was
+// within the inline threshold's reach (<= 40 instructions) — a small
+// function that lost all its callers to inlining, not a large entry
+// point an external harness may still want.
+func removeDeadFuncs(mod *ir.Module, sizes map[string]int, inlined bool) int {
+	if !inlined {
+		return 0
+	}
 	called := map[string]bool{"main": true}
 	for _, f := range mod.Funcs {
 		for _, b := range f.Blocks {
@@ -162,46 +202,22 @@ func RunModule(mod *ir.Module, opts Options, aaStats *aa.Stats) Stats {
 		}
 	}
 	var kept []*ir.Func
+	deleted := 0
 	for _, f := range mod.Funcs {
-		if called[f.Name] || f.Name == "main" {
+		if called[f.Name] || sizes[f.Name] > 40 {
 			kept = append(kept, f)
 		} else {
-			total.FuncsDeleted++
+			deleted++
 		}
 	}
-	// Only delete when something was inlined (conservative: external
-	// harnesses call functions by name).
-	if total.CallsInlined > 0 && len(kept) < len(mod.Funcs) {
-		// Keep functions that external harnesses may invoke: heuristic —
-		// only delete functions that were fully inlined AND small.
-		var really []*ir.Func
-		deleted := 0
-		for _, f := range mod.Funcs {
-			if called[f.Name] || sizes[f.Name] > 40 {
-				really = append(really, f)
-			} else {
-				deleted++
-			}
-		}
-		mod.Funcs = really
-		total.FuncsDeleted = deleted
-	} else {
-		total.FuncsDeleted = 0
-	}
-	return total
-}
-
-// timed brackets one pass invocation with a telemetry span.
-func timed(tel *telemetry.Session, name string, pass func()) {
-	stop := tel.Span(name)
-	pass()
-	stop()
+	mod.Funcs = kept
+	return deleted
 }
 
 // runFunc runs the pipeline on one function. resolve supplies callee
 // bodies for inlining (nil = the live module; the parallel scheduler
 // passes a snapshot-aware resolver).
-func runFunc(mod *ir.Module, f *ir.Func, opts Options, aaStats *aa.Stats, resolve func(string) *ir.Func) Stats {
+func runFunc(mod *ir.Module, f *ir.Func, opts Options, aaStats *aa.Stats, resolve func(string) *ir.Func) (Stats, error) {
 	var st Stats
 	tel := opts.Telemetry
 	if tel.TraceEnabled() {
@@ -209,46 +225,21 @@ func runFunc(mod *ir.Module, f *ir.Func, opts Options, aaStats *aa.Stats, resolv
 		// -time-passes accumulator); nests the per-pass spans under it.
 		defer tel.TraceSpan("func/" + f.Name)()
 	}
-	mgr := aa.NewManager(f, opts.UseUnseqAA)
-	mgr.AttachAudit(tel, mod, f.Name)
-	pipeline := func() {
-		timed(tel, "pass/simplifycfg", func() { st.BlocksMerged += simplifyCFG(f) })
-		timed(tel, "pass/mem2reg", func() { mem2reg(f) })
-		mgr.Refresh(f)
-		timed(tel, "pass/earlycse", func() { st.CSESimplified += earlyCSE(mod, f, mgr, tel) })
-		timed(tel, "pass/instcombine", func() { st.NodesCombined += instCombine(f) })
-		timed(tel, "pass/inline", func() { st.CallsInlined += inlineCalls(mod, resolve, f, opts.InlineThreshold, tel) })
-		timed(tel, "pass/simplifycfg", func() { st.BlocksMerged += simplifyCFG(f) })
-		timed(tel, "pass/mem2reg", func() { mem2reg(f) })
-		mgr.Refresh(f)
-		timed(tel, "pass/earlycse", func() { st.CSESimplified += earlyCSE(mod, f, mgr, tel) })
-		timed(tel, "pass/licm", func() {
-			h, p := licm(mod, f, mgr, tel)
-			st.LICMHoisted += h
-			st.LICMPromoted += p
-		})
-		timed(tel, "pass/dce", func() { st.DCERemoved += dce(f) }) // clear dead slots before loop planning
-		mgr.Refresh(f)
-		budget := 0
-		if opts.UseUnseqAA {
-			budget = opts.MemcheckThreshold
-		}
-		timed(tel, "pass/vectorize", func() {
-			st.LoopsVectorized += vectorizeLoopsOpt(mod, f, mgr, opts.VectorWidth, budget, tel)
-		})
-		mgr.Refresh(f)
-		timed(tel, "pass/unroll", func() { st.LoopsUnrolled += unrollLoops(f, mgr, opts.UnrollFactor, tel) })
-		mgr.Refresh(f)
-		timed(tel, "pass/earlycse", func() { st.CSESimplified += earlyCSE(mod, f, mgr, tel) })
-		timed(tel, "pass/dse", func() { st.StoresDeleted += dse(mod, f, mgr, tel) })
-		timed(tel, "pass/memcpyopt", func() { st.MemsetsFormed += memcpyOpt(mod, f, mgr, tel) })
-		timed(tel, "pass/dce", func() { st.DCERemoved += dce(f) })
-		timed(tel, "pass/simplifycfg", func() { st.BlocksMerged += simplifyCFG(f) })
-		mgr.Refresh(f)
+	pipe := opts.Pipeline
+	if pipe == nil {
+		pipe = DefaultPipeline()
 	}
+	am := newAnalysisManager(mod, f, &opts, resolve)
+	inst := instrumentationFor(&opts)
 	for i := 0; i < opts.MaxIterations; i++ {
 		before := f.NumInstrs()
-		pipeline()
+		for _, p := range pipe.Passes() {
+			pst, err := inst.Run(p, f, am)
+			st.Add(pst)
+			if err != nil {
+				return st, err
+			}
+		}
 		if f.NumInstrs() == before {
 			break
 		}
@@ -261,15 +252,16 @@ func runFunc(mod *ir.Module, f *ir.Func, opts Options, aaStats *aa.Stats, resolv
 			}
 		}
 	}
+	am.record()
 	if aaStats != nil {
-		aaStats.Queries += mgr.Stats.Queries
-		aaStats.NoAlias += mgr.Stats.NoAlias
-		aaStats.MayAlias += mgr.Stats.MayAlias
-		aaStats.MustAlias += mgr.Stats.MustAlias
-		aaStats.PartialAlias += mgr.Stats.PartialAlias
-		aaStats.UnseqNoAlias += mgr.Stats.UnseqNoAlias
+		aaStats.Queries += am.mgr.Stats.Queries
+		aaStats.NoAlias += am.mgr.Stats.NoAlias
+		aaStats.MayAlias += am.mgr.Stats.MayAlias
+		aaStats.MustAlias += am.mgr.Stats.MustAlias
+		aaStats.PartialAlias += am.mgr.Stats.PartialAlias
+		aaStats.UnseqNoAlias += am.mgr.Stats.UnseqNoAlias
 	}
-	return st
+	return st, nil
 }
 
 // ---------- shared utilities ----------

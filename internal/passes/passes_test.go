@@ -28,7 +28,10 @@ func build(t *testing.T, src string, emitPreds bool, opts Options) (*ir.Module, 
 	for _, e := range errs {
 		t.Fatalf("irgen: %v", e)
 	}
-	st := RunModule(mod, opts, nil)
+	st, rerr := RunModule(mod, opts, nil)
+	if rerr != nil {
+		t.Fatalf("RunModule: %v", rerr)
+	}
 	if problems := mod.Verify(); len(problems) > 0 {
 		t.Fatalf("verify after passes: %v\n%s", problems[0], mod)
 	}

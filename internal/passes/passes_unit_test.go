@@ -239,7 +239,9 @@ int main() {
 }`
 	mod, _ := build(t, src, true, DefaultOptions())
 	before := run(t, mod)
-	RunModule(mod, DefaultOptions(), nil)
+	if _, err := RunModule(mod, DefaultOptions(), nil); err != nil {
+		t.Fatalf("second RunModule: %v", err)
+	}
 	if problems := mod.Verify(); len(problems) > 0 {
 		t.Fatalf("second pipeline run broke the IR: %v", problems[0])
 	}

@@ -28,17 +28,19 @@ type funcResult struct {
 	stats Stats
 	aa    aa.Stats
 	tel   *telemetry.Session
+	err   error
 }
 
 // runFuncs optimizes every function in mod, fanning out across
 // opts.Jobs workers (0 = GOMAXPROCS). Jobs == 1 runs the plain
 // sequential loop — the differential-testing oracle the parallel path
-// must match byte-for-byte.
-func runFuncs(mod *ir.Module, opts Options, aaStats *aa.Stats) Stats {
+// must match byte-for-byte. An error (only possible with
+// opts.VerifyEach) reports the first failure in function order.
+func runFuncs(mod *ir.Module, opts Options, aaStats *aa.Stats) (Stats, error) {
 	var total Stats
 	n := len(mod.Funcs)
 	if n == 0 {
-		return total
+		return total, nil
 	}
 	jobs := opts.Jobs
 	if jobs <= 0 {
@@ -49,9 +51,13 @@ func runFuncs(mod *ir.Module, opts Options, aaStats *aa.Stats) Stats {
 	}
 	if jobs == 1 || n == 1 {
 		for _, f := range mod.Funcs {
-			total.Add(runFunc(mod, f, opts, aaStats, nil))
+			st, err := runFunc(mod, f, opts, aaStats, nil)
+			total.Add(st)
+			if err != nil {
+				return total, err
+			}
 		}
-		return total
+		return total, nil
 	}
 
 	idx := make(map[string]int, n)
@@ -112,7 +118,7 @@ func runFuncs(mod *ir.Module, opts Options, aaStats *aa.Stats) Stats {
 				o := opts
 				o.Telemetry = tel.ForkLane(lane)
 				r := &results[i]
-				r.stats = runFunc(mod, mod.Funcs[i], o, &r.aa, resolveFor(i))
+				r.stats, r.err = runFunc(mod, mod.Funcs[i], o, &r.aa, resolveFor(i))
 				r.tel = o.Telemetry
 				for _, d := range dependents[i] {
 					if atomic.AddInt32(&depCount[d], -1) == 0 {
@@ -128,7 +134,10 @@ func runFuncs(mod *ir.Module, opts Options, aaStats *aa.Stats) Stats {
 	wg.Wait()
 
 	// Fan-in strictly in original function order: telemetry names
-	// register in the same sequence a sequential run would produce.
+	// register in the same sequence a sequential run would produce, and
+	// the first error reported matches what the sequential loop would
+	// have surfaced.
+	var firstErr error
 	for i := range results {
 		total.Add(results[i].stats)
 		if aaStats != nil {
@@ -140,8 +149,11 @@ func runFuncs(mod *ir.Module, opts Options, aaStats *aa.Stats) Stats {
 			aaStats.UnseqNoAlias += results[i].aa.UnseqNoAlias
 		}
 		tel.Merge(results[i].tel)
+		if firstErr == nil && results[i].err != nil {
+			firstErr = results[i].err
+		}
 	}
-	return total
+	return total, firstErr
 }
 
 // reachability returns, for every function index, the set of function

@@ -3,10 +3,9 @@ package passes
 import (
 	"repro/internal/aa"
 	"repro/internal/ir"
-	"repro/internal/telemetry"
 )
 
-// vectorizeLoops widens canonical innermost loops by W lanes.
+// vectorizeLoopsOpt widens canonical innermost loops by W lanes.
 //
 // Legality model (a simplified LoopAccessAnalysis):
 //
@@ -28,17 +27,13 @@ import (
 // budget-consuming MayAlias checks into free ones, which is exactly the
 // "LoopVectorize uses the extra aliasing information in its cost
 // calculation" mechanism described for gcc's regmove.c.
-func vectorizeLoops(f *ir.Func, mgr *aa.Manager, width int) int {
-	return vectorizeLoopsOpt(nil, f, mgr, width, 0, nil)
-}
-
-func vectorizeLoopsOpt(mod *ir.Module, f *ir.Func, mgr *aa.Manager, width, memcheckBudget int, tel *telemetry.Session) int {
+func vectorizeLoopsOpt(f *ir.Func, am *AnalysisManager, width, memcheckBudget int) int {
 	if width < 2 {
 		return 0
 	}
-	defer mgr.SetPass(mgr.SetPass("vectorize"))
-	dt := ir.ComputeDom(f)
-	loops := ir.FindLoops(f, dt)
+	mgr := am.AA()
+	tel := am.Telemetry()
+	loops := am.Loops()
 	count := 0
 	for _, l := range loops {
 		if !l.IsInnermost(loops) {
@@ -53,11 +48,12 @@ func vectorizeLoopsOpt(mod *ir.Module, f *ir.Func, mgr *aa.Manager, width, memch
 		}
 		// Attribution window for this loop's dependence queries.
 		mgr.ResetWindow()
-		plan, ok := planVectorization(mod, f, cl, mgr, width, memcheckBudget)
+		plan, ok := planVectorization(f, cl, mgr, am.Uses(), width, memcheckBudget)
 		if !ok {
 			continue
 		}
 		emitVectorLoop(f, cl, plan, width)
+		am.InvalidateUses()
 		count++
 		emitRemark(tel, mgr, "vectorize", "LoopVectorized", f.Name, cl.header.Name)
 	}
@@ -154,8 +150,10 @@ func isIndVarLoad(cl *canonLoop, plan *vecPlan, v ir.Value) bool {
 	return plan.secOf(in.Args[0]) != nil
 }
 
-// planVectorization checks legality and collects the transformation plan.
-func planVectorization(mod *ir.Module, f *ir.Func, cl *canonLoop, mgr *aa.Manager, width, budget int) (*vecPlan, bool) {
+// planVectorization checks legality and collects the transformation
+// plan. uses is the function's use map (from the analysis manager; the
+// caller invalidates it after each emitVectorLoop mutation).
+func planVectorization(f *ir.Func, cl *canonLoop, mgr *aa.Manager, uses map[ir.Value][]*ir.Instr, width, budget int) (*vecPlan, bool) {
 	plan := &vecPlan{}
 	l := cl.l
 
@@ -282,7 +280,6 @@ func planVectorization(mod *ir.Module, f *ir.Func, cl *canonLoop, mgr *aa.Manage
 				return nil, false
 			}
 		}
-		_ = mod
 	}
 	if len(plan.stores) == 0 && len(plan.reductions) == 0 && len(plan.memReds) == 0 {
 		return nil, false // nothing to gain
@@ -324,7 +321,6 @@ func planVectorization(mod *ir.Module, f *ir.Func, cl *canonLoop, mgr *aa.Manage
 	// Reduction inputs must not feed anything but the reduction, and the
 	// reduction value must not be used as data elsewhere (its in-loop
 	// value is a vector partial sum, not the scalar running total).
-	uses := buildUses(f)
 	for _, red := range plan.reductions {
 		for _, u := range uses[red.loadIn] {
 			if u != red.combine {
