@@ -25,6 +25,7 @@ import (
 	"repro/internal/passes"
 	"repro/internal/sanitizer"
 	"repro/internal/sema"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -428,6 +429,21 @@ func BenchmarkCompileParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("j%d", jobs), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				c, err := driver.Compile("wide.c", src, driver.Config{OOElala: true, Jobs: jobs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = c
+			}
+		})
+		// The flight-recorder acceptance gate: the always-on crash ring
+		// must cost < 2% against the bare configuration above (compare
+		// j<N> to j<N>-flight with benchstat or benchdiff -metrics).
+		b.Run(fmt.Sprintf("j%d-flight", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tel := telemetry.New(telemetry.Config{Flight: true})
+				c, err := driver.Compile("wide.c", src, driver.Config{
+					OOElala: true, Jobs: jobs, Telemetry: tel,
+				})
 				if err != nil {
 					b.Fatal(err)
 				}

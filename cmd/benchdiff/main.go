@@ -17,6 +17,10 @@
 // per-span wall-clock timing: a phase or pass span whose total time grew
 // more than the tolerance regresses, and a span present in the baseline
 // but missing from the current run fails the gate.
+//
+// The shared observability flags (-obs-addr, -profile-cpu,
+// -profile-mem) are accepted for CLI uniformity; for this short-lived
+// diff they mostly matter when debugging benchdiff itself.
 package main
 
 import (
@@ -24,6 +28,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/obsserver"
 )
 
 type benchJSON struct {
@@ -45,7 +52,15 @@ type table6Row struct {
 func main() {
 	tol := flag.Float64("tolerance", 10, "allowed regression in percent")
 	metrics := flag.Bool("metrics", false, "diff per-span timing from two -metrics-json files instead of bench tables")
+	obs := obsserver.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	var telCfg telemetry.Config
+	obs.Enable(&telCfg)
+	obsHandle, err := obs.Start(telemetry.New(telCfg))
+	if err != nil {
+		fatal(err)
+	}
+	defer obsHandle.Close()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-metrics] [-tolerance pct] baseline.json current.json")
 		os.Exit(2)

@@ -14,7 +14,9 @@
 // Telemetry flags (-stats, -time-passes, -remarks, -metrics-json,
 // -metrics-prom) attach a telemetry session to the OOElala-side
 // compilations and runs; -json writes a BENCH_ooebench.json artifact
-// with the table 4/6 rows.
+// with the table 4/6 rows. The observability flags (-obs-addr,
+// -profile-cpu, -profile-mem, -crash-dir) serve live /metrics and
+// pprof from the same session while the tables run.
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"repro/internal/sanitizer"
 	"repro/internal/sema"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/obsserver"
 	"repro/internal/workload"
 )
 
@@ -75,6 +78,7 @@ func main() {
 	jobs := flag.Int("j", 0, "per-function compilation parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	pf := driver.RegisterPassFlags(flag.CommandLine)
 	tf := telemetry.RegisterFlags(flag.CommandLine)
+	obs := obsserver.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	driver.SetDefaultJobs(*jobs)
@@ -82,7 +86,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ooebench:", err)
 		os.Exit(1)
 	}
-	tel = tf.Session()
+	telCfg := tf.Config()
+	obs.Enable(&telCfg)
+	driver.SetDefaultCrashDir(obs.CrashDir)
+	tel = telemetry.New(telCfg)
+	obsHandle, err := obs.Start(tel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ooebench:", err)
+		os.Exit(1)
+	}
+	defer obsHandle.Close()
 	any := false
 	run := func(enabled bool, f func() error) {
 		if !enabled && !*all {

@@ -4,6 +4,11 @@
 // pipelines (with and without unseq-aa, sequential and parallel), and
 // the sanitizer build, and reports any divergence as a JSON crash
 // report. Exit status: 0 clean, 1 findings (or internal error), 2 usage.
+//
+// Long sweeps can be watched live: -obs-addr serves /metrics,
+// /debug/pprof/, /healthz and /buildinfo while the fuzzer runs, and
+// -crash-dir routes any crash-<unit>.json flight-recorder dumps from
+// pass panics inside the fuzzed compilations.
 package main
 
 import (
@@ -16,7 +21,10 @@ import (
 	"syscall"
 
 	"repro/internal/csem"
+	"repro/internal/driver"
 	"repro/internal/fuzz"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/obsserver"
 )
 
 func main() {
@@ -32,6 +40,7 @@ func main() {
 		jsonOut = flag.Bool("json", false, "print the run summary as JSON")
 		quiet   = flag.Bool("q", false, "suppress per-crash progress lines")
 	)
+	obs := obsserver.RegisterFlags(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ooefuzz [flags]\n")
 		flag.PrintDefaults()
@@ -45,6 +54,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ooefuzz: -n must be positive")
 		os.Exit(2)
 	}
+
+	var telCfg telemetry.Config
+	obs.Enable(&telCfg)
+	driver.SetDefaultCrashDir(obs.CrashDir)
+	obsHandle, err := obs.Start(telemetry.New(telCfg))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ooefuzz:", err)
+		os.Exit(1)
+	}
+	defer obsHandle.Close()
 
 	cfg := fuzz.DefaultConfig()
 	cfg.RacyBias = *racy
@@ -91,6 +110,7 @@ func main() {
 	}
 
 	stats := fuzz.Run(opts)
+	obsHandle.Close() // os.Exit below skips the defer; flush profiles now
 	if writeErr {
 		os.Exit(1)
 	}

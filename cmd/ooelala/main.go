@@ -20,6 +20,10 @@
 //	-metrics-prom  write metrics in Prometheus text format to the given path
 //	-trace         write a Chrome trace_event JSON timeline (Perfetto-viewable)
 //	-aa-audit      write the alias-query audit log as JSON
+//	-obs-addr      serve live /metrics, /debug/pprof/, /healthz, /buildinfo on the given address
+//	-profile-cpu   write a whole-run CPU profile
+//	-profile-mem   write an end-of-run heap profile
+//	-crash-dir     directory for crash-<unit>.json flight-recorder dumps
 //	-explain       print per-full-expression ω/θ/γ/π sets and π-pair consumption
 //	-j N           per-function compilation parallelism (0 = GOMAXPROCS)
 //	-D name=value  predefine an object-like macro (repeatable)
@@ -38,6 +42,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/driver"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/obsserver"
 	"repro/internal/workload"
 )
 
@@ -63,6 +68,7 @@ func main() {
 	jobs := flag.Int("j", 0, "per-function compilation parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	pf := driver.RegisterPassFlags(flag.CommandLine)
 	tf := telemetry.RegisterFlags(flag.CommandLine)
+	obs := obsserver.RegisterFlags(flag.CommandLine)
 	explain := flag.Bool("explain", false,
 		"print per-full-expression ω/θ/γ/π judgement sets with source ranges and which π pairs each optimization consumed")
 	autoAnnotate := flag.Bool("auto-annotate", false,
@@ -94,7 +100,14 @@ func main() {
 		telCfg.Remarks = true
 		telCfg.Audit = true
 	}
+	obs.Enable(&telCfg)
+	driver.SetDefaultCrashDir(obs.CrashDir)
 	tel := telemetry.New(telCfg)
+	obsHandle, err := obs.Start(tel)
+	if err != nil {
+		fatal(err)
+	}
+	defer obsHandle.Close()
 	cfg := driver.Config{
 		OOElala:   !*baseline,
 		NoOpt:     *noOpt,

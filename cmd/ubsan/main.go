@@ -11,7 +11,9 @@
 // for every violation, the violated π pair's provenance id, expression
 // spellings, and the two source ranges — not just the assertion site.
 // The telemetry flags -stats, -time-passes, -remarks, -metrics-json and
-// -metrics-prom report on the instrumented compilation and run.
+// -metrics-prom report on the instrumented compilation and run; the
+// observability flags -obs-addr, -profile-cpu, -profile-mem and
+// -crash-dir serve live /metrics+pprof and route crash dumps.
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/sanitizer"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/obsserver"
 	"repro/internal/workload"
 )
 
@@ -32,6 +35,7 @@ func main() {
 	jobs := flag.Int("j", 0, "per-function compilation parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	pf := driver.RegisterPassFlags(flag.CommandLine)
 	tf := telemetry.RegisterFlags(flag.CommandLine)
+	obs := obsserver.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	driver.SetDefaultJobs(*jobs)
 	if err := pf.Apply(); err != nil {
@@ -48,7 +52,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ubsan:", err)
 		os.Exit(1)
 	}
-	tel := tf.Session()
+	telCfg := tf.Config()
+	obs.Enable(&telCfg)
+	driver.SetDefaultCrashDir(obs.CrashDir)
+	tel := telemetry.New(telCfg)
+	obsHandle, err := obs.Start(tel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ubsan:", err)
+		os.Exit(1)
+	}
+	defer obsHandle.Close()
 	rep, err := sanitizer.CheckWith(path, string(src), workload.Files(), *entry, nil, tel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ubsan:", err)
@@ -78,5 +91,6 @@ func main() {
 	for _, f := range rep.Failures {
 		fmt.Println("VIOLATION:", f)
 	}
+	obsHandle.Close() // os.Exit skips the defer; flush profiles first
 	os.Exit(1)
 }

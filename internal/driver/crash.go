@@ -1,0 +1,101 @@
+package driver
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/ir"
+	"repro/internal/passes"
+	"repro/internal/telemetry"
+)
+
+// The driver half of the crash flight recorder: when the pass pipeline
+// recovers a panic (passes.PanicError), Compile writes a
+// crash-<unit>.json dump carrying the flight ring, the panicking
+// pass/function, the audit-log tail, and the unit's π provenance — the
+// state a mis-speculation post-mortem needs, captured at the moment the
+// process would previously have died.
+
+// defaultCrashDir is the process-wide crash-dump directory (the
+// -crash-dir flag). Empty means the current directory.
+var defaultCrashDir atomic.Pointer[string]
+
+// SetDefaultCrashDir sets where crash-<unit>.json dumps are written
+// when Config.CrashDir is empty. "" restores the current directory.
+func SetDefaultCrashDir(dir string) {
+	defaultCrashDir.Store(&dir)
+}
+
+// crashDir resolves the effective dump directory for a configuration.
+func (c Config) crashDir() string {
+	if c.CrashDir != "" {
+		return c.CrashDir
+	}
+	if p := defaultCrashDir.Load(); p != nil && *p != "" {
+		return *p
+	}
+	return "."
+}
+
+// crashDumpFor assembles the flight-recorder dump for a recovered pass
+// panic. tel may be nil (no telemetry session): the dump then carries
+// the pass/function/stack attribution but an empty flight recording.
+func crashDumpFor(unit string, pe *passes.PanicError, mod *ir.Module, tel *telemetry.Session) *telemetry.CrashDump {
+	d := &telemetry.CrashDump{
+		Schema:      telemetry.CrashSchema,
+		Unit:        unit,
+		Function:    pe.Func,
+		Pass:        pe.PassName(),
+		Panic:       fmt.Sprint(pe.Value),
+		Flight:      tel.Flight().Events(),
+		FlightTotal: tel.Flight().Total(),
+		AuditTail:   tel.AuditTail(64),
+	}
+	if len(pe.Stack) > 0 {
+		d.Stack = strings.Split(strings.TrimRight(string(pe.Stack), "\n"), "\n")
+	}
+	if mod != nil {
+		for _, p := range mod.Provenance {
+			d.Provenance = append(d.Provenance, telemetry.CrashProvenance{
+				Meta: p.Meta, Fn: p.Fn, E1: p.E1, E2: p.E2,
+				Range1: p.Span1.String(), Range2: p.Span2.String(),
+			})
+		}
+	}
+	return d
+}
+
+// crashDumpName maps a unit name onto the crash-<unit>.json filename,
+// flattening path separators so the dump always lands inside the dump
+// directory.
+func crashDumpName(unit string) string {
+	unit = strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ':':
+			return '_'
+		}
+		return r
+	}, unit)
+	if unit == "" {
+		unit = "unknown"
+	}
+	return "crash-" + unit + ".json"
+}
+
+// writeCrashDump persists the dump and returns its path. Failures are
+// reported but never mask the compile error that triggered the dump.
+func writeCrashDump(dir string, d *telemetry.CrashDump) (string, error) {
+	path := filepath.Join(dir, crashDumpName(d.Unit))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := telemetry.WriteCrashJSON(f, d); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}

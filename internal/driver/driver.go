@@ -6,6 +6,7 @@
 package driver
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/aa"
@@ -51,6 +52,10 @@ type Config struct {
 	// Telemetry, if non-nil, receives phase spans, pass/AA counters, and
 	// optimization remarks. The nil default has zero overhead.
 	Telemetry *telemetry.Session
+	// CrashDir is where a crash-<unit>.json flight-recorder dump is
+	// written when a pass panics. Empty uses the process default
+	// (SetDefaultCrashDir, else the current directory).
+	CrashDir string
 }
 
 // FrontendStats are the AST-level analysis counts (Table 5, cols 3-4).
@@ -94,6 +99,7 @@ type Compilation struct {
 // Compile builds src under the configuration.
 func Compile(name, src string, cfg Config) (*Compilation, error) {
 	tel := cfg.Telemetry
+	tel.FlightRecord("unit", name, "")
 	files := cfg.Files
 	pre := ""
 	for k, v := range cfg.Defines {
@@ -175,6 +181,18 @@ func Compile(name, src string, cfg Config) (*Compilation, error) {
 	c.PassStats = pstats
 	stop()
 	if perr != nil {
+		// A recovered pass panic becomes a crash-<unit>.json flight-
+		// recorder dump; the error still propagates so the unit fails,
+		// but sibling units (CompileAll) keep compiling.
+		var pe *passes.PanicError
+		if errors.As(perr, &pe) {
+			tel.Count("crash/pass_panics", 1)
+			path, werr := writeCrashDump(cfg.crashDir(), crashDumpFor(name, pe, mod, tel))
+			if werr != nil {
+				return nil, fmt.Errorf("%s: %w (crash dump failed: %v)", name, perr, werr)
+			}
+			return nil, fmt.Errorf("%s: %w (crash dump: %s)", name, perr, path)
+		}
 		return nil, fmt.Errorf("%s: %w", name, perr)
 	}
 

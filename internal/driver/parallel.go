@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/passes"
 	"repro/internal/telemetry"
 )
 
@@ -89,7 +90,14 @@ func CompileAll(ctx context.Context, units []Unit, cfg Config) ([]*Compilation, 
 				c, err := Compile(units[i].Name, units[i].Source, ucfg)
 				if err != nil {
 					errs[i] = err
-					cancel()
+					// A recovered pass panic is contained to its unit
+					// (the flight recorder already dumped it); the
+					// remaining units keep compiling. Any other failure
+					// cancels the unstarted work as before.
+					var pe *passes.PanicError
+					if !errors.As(err, &pe) {
+						cancel()
+					}
 					continue
 				}
 				out[i] = c

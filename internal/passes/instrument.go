@@ -23,6 +23,11 @@ type PassInstrumentation struct {
 	// PrintChanged, when non-nil, receives the function's IR after every
 	// pass that changed it.
 	PrintChanged io.Writer
+
+	// active is the pass currently executing under this instrumentation
+	// ("" between passes) — the crash-recovery path in runFunc reads it
+	// to attribute a recovered panic.
+	active string
 }
 
 // instrumentationFor builds the hook from the pipeline options.
@@ -41,11 +46,19 @@ func (pi *PassInstrumentation) Run(p Pass, f *ir.Func, am *AnalysisManager) (Sta
 	if pi.PrintChanged != nil {
 		before = f.String()
 	}
+	// Flight-record the pass start and publish it as the lane's active
+	// pass: if p.Run panics, the crash dump names exactly what was
+	// executing. Both calls are no-ops without a telemetry session.
+	pi.active = p.Name()
+	pi.Tel.FlightRecord("pass", p.Name(), f.Name)
+	pi.Tel.SetActivePass(p.Name(), f.Name)
 	stop := pi.Tel.Span("pass/" + p.Name())
 	prev := am.mgr.SetPass(p.Name())
 	st, preserved := p.Run(f, am)
 	am.mgr.SetPass(prev)
 	stop()
+	pi.Tel.SetActivePass("", "")
+	pi.active = ""
 	am.Invalidate(preserved)
 	if pi.PrintChanged != nil {
 		if after := f.String(); after != before {

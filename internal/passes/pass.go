@@ -143,8 +143,10 @@ func DefaultOptions() Options {
 // statistics. AA query statistics accumulate into aaStats if non-nil.
 // The per-function pipeline is sharded across opts.Jobs workers (see
 // Options.Jobs); results merge in original function order, so the
-// output is independent of scheduling. The only error source is
-// opts.VerifyEach: a pass leaving the IR inconsistent aborts the run.
+// output is independent of scheduling. Errors come from opts.VerifyEach
+// findings and from pass panics recovered into *PanicError; failures
+// are contained to their function and aggregate with errors.Join in
+// source order — the remaining functions still run.
 func RunModule(mod *ir.Module, opts Options, aaStats *aa.Stats) (Stats, error) {
 	var total Stats
 	if opts.OptLevel == 0 {
@@ -216,9 +218,11 @@ func removeDeadFuncs(mod *ir.Module, sizes map[string]int, inlined bool) int {
 
 // runFunc runs the pipeline on one function. resolve supplies callee
 // bodies for inlining (nil = the live module; the parallel scheduler
-// passes a snapshot-aware resolver).
-func runFunc(mod *ir.Module, f *ir.Func, opts Options, aaStats *aa.Stats, resolve func(string) *ir.Func) (Stats, error) {
-	var st Stats
+// passes a snapshot-aware resolver). A panic anywhere in the pipeline
+// is recovered into a *PanicError attributing the executing pass and
+// function, so one broken pass fails this function instead of the
+// whole process.
+func runFunc(mod *ir.Module, f *ir.Func, opts Options, aaStats *aa.Stats, resolve func(string) *ir.Func) (st Stats, err error) {
 	tel := opts.Telemetry
 	if tel.TraceEnabled() {
 		// Per-function span (trace-only: too high-cardinality for the
@@ -231,6 +235,13 @@ func runFunc(mod *ir.Module, f *ir.Func, opts Options, aaStats *aa.Stats, resolv
 	}
 	am := newAnalysisManager(mod, f, &opts, resolve)
 	inst := instrumentationFor(&opts)
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError(f.Name, inst.active, r)
+			tel.FlightRecord("panic", inst.active, f.Name)
+			tel.SetActivePass("", "")
+		}
+	}()
 	for i := 0; i < opts.MaxIterations; i++ {
 		before := f.NumInstrs()
 		for _, p := range pipe.Passes() {

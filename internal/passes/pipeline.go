@@ -92,6 +92,14 @@ func ParsePipeline(spec string) (*Pipeline, error) {
 	return p, nil
 }
 
+// NewPipeline builds a pipeline from an explicit pass sequence. It
+// exists for callers that need passes outside the spec registry —
+// chiefly tests injecting synthetic passes (e.g. the crash-recovery
+// tests' deliberately panicking pass).
+func NewPipeline(ps ...Pass) *Pipeline {
+	return &Pipeline{passes: append([]Pass(nil), ps...)}
+}
+
 // DefaultPipeline returns the parsed DefaultPipelineSpec.
 func DefaultPipeline() *Pipeline {
 	p, err := ParsePipeline(DefaultPipelineSpec)

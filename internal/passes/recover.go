@@ -1,0 +1,42 @@
+package passes
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a panic recovered inside one function's pass pipeline.
+// Before the flight recorder, a worker panic tore down the whole
+// RunModule with a bare stack trace; now the panic is contained to the
+// function it hit, attributed to the pass that was executing, and
+// propagated through the same source-ordered error aggregation as every
+// other pipeline failure. The driver additionally turns it into a
+// crash-<unit>.json flight-recorder dump.
+type PanicError struct {
+	// Func is the function whose pipeline panicked; Pass is the pass
+	// that was executing ("" when the panic hit pipeline bookkeeping
+	// between passes).
+	Func string
+	Pass string
+	// Value is the recovered panic value; Stack is the goroutine stack
+	// captured at the recovery point.
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("internal compiler error: panic in pass %s on function %s: %v",
+		e.PassName(), e.Func, e.Value)
+}
+
+// PassName returns the attributed pass, naming the between-passes case.
+func (e *PanicError) PassName() string {
+	if e.Pass == "" {
+		return "<between passes>"
+	}
+	return e.Pass
+}
+
+func newPanicError(fn, pass string, v any) *PanicError {
+	return &PanicError{Func: fn, Pass: pass, Value: v, Stack: debug.Stack()}
+}

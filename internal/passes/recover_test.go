@@ -1,0 +1,133 @@
+package passes
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/ooe"
+	"repro/internal/parser"
+	"repro/internal/sema"
+)
+
+// panicPass blows up on matching functions — the injected fault the
+// crash-recovery machinery must contain to one function.
+type panicPass struct{ prefix string }
+
+func (panicPass) Name() string { return "panicpass" }
+func (p panicPass) Run(f *ir.Func, am *AnalysisManager) (Stats, Preserved) {
+	if strings.HasPrefix(f.Name, p.prefix) {
+		panic("injected failure in " + f.Name)
+	}
+	return Stats{}, PreserveNone
+}
+
+// buildModule lowers src to IR without running the pipeline.
+func buildModule(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	tu, perrs := parser.ParseFile("t.c", src, nil)
+	for _, e := range perrs {
+		t.Fatalf("parse: %v", e)
+	}
+	for _, e := range sema.Check(tu) {
+		t.Fatalf("sema: %v", e)
+	}
+	an := ooe.New(ooe.Config{}, ooe.FuncMap(tu))
+	mod, errs := irgen.Generate(tu, an.AnalyzeUnit(tu), irgen.Options{EmitPredicates: true})
+	for _, e := range errs {
+		t.Fatalf("irgen: %v", e)
+	}
+	return mod
+}
+
+const recoverSrc = `
+int aa_first(int x) { return x + 1; }
+int boom_mid(int x) { return x * 2; }
+int zz_last(int x) { return x - 3; }
+int main() { return aa_first(1) + boom_mid(2) + zz_last(3); }
+`
+
+// withPanicPass appends the injected pass to the default pipeline.
+func withPanicPass(prefix string, jobs int) Options {
+	opts := DefaultOptions()
+	opts.Pipeline = NewPipeline(append(DefaultPipeline().Passes(), panicPass{prefix: prefix})...)
+	opts.Jobs = jobs
+	return opts
+}
+
+func TestPassPanicRecoveredWithAttribution(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		mod := buildModule(t, recoverSrc)
+		_, err := RunModule(mod, withPanicPass("boom_", jobs), nil)
+		if err == nil {
+			t.Fatalf("jobs=%d: panic in pass was swallowed", jobs)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("jobs=%d: error is %T, want *PanicError: %v", jobs, err, err)
+		}
+		if pe.Func != "boom_mid" || pe.PassName() != "panicpass" {
+			t.Fatalf("jobs=%d: attribution = (func %q, pass %q), want (boom_mid, panicpass)",
+				jobs, pe.Func, pe.PassName())
+		}
+		if !strings.Contains(pe.Error(), "internal compiler error") {
+			t.Fatalf("jobs=%d: error text %q lacks ICE marker", jobs, pe.Error())
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("jobs=%d: PanicError carries no stack", jobs)
+		}
+		// The panic must not strand the siblings: every other function
+		// still went through the pipeline and left verifiable IR.
+		if problems := mod.Verify(); len(problems) > 0 {
+			t.Fatalf("jobs=%d: sibling functions left broken IR: %v", jobs, problems[0])
+		}
+	}
+}
+
+// Multiple failures aggregate in source order, identically at -j 1 and
+// -j N — a panic report must not depend on scheduling.
+func TestPassPanicErrorsSourceOrdered(t *testing.T) {
+	src := `
+int boom_a(int x) { return x + 1; }
+int keep(int x) { return x * 2; }
+int boom_b(int x) { return x - 3; }
+int main() { return boom_a(1) + keep(2) + boom_b(3); }
+`
+	var texts []string
+	for _, jobs := range []int{1, 4} {
+		mod := buildModule(t, src)
+		_, err := RunModule(mod, withPanicPass("boom_", jobs), nil)
+		if err == nil {
+			t.Fatalf("jobs=%d: panics swallowed", jobs)
+		}
+		msg := err.Error()
+		ia, ib := strings.Index(msg, "boom_a"), strings.Index(msg, "boom_b")
+		if ia < 0 || ib < 0 || ia > ib {
+			t.Fatalf("jobs=%d: errors not in source order:\n%s", jobs, msg)
+		}
+		texts = append(texts, msg)
+	}
+	// Stacks differ across runs; compare with them stripped.
+	norm := func(s string) string {
+		var keep []string
+		for _, ln := range strings.Split(s, "\n") {
+			if strings.Contains(ln, "internal compiler error") {
+				keep = append(keep, ln)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	if norm(texts[0]) != norm(texts[1]) {
+		t.Fatalf("-j 1 and -j 4 report different failures:\n-- j1 --\n%s\n-- j4 --\n%s",
+			norm(texts[0]), norm(texts[1]))
+	}
+}
+
+func TestPanicErrorBetweenPasses(t *testing.T) {
+	pe := newPanicError("f", "", "boom")
+	if pe.PassName() != "<between passes>" {
+		t.Fatalf("PassName() = %q, want <between passes>", pe.PassName())
+	}
+}

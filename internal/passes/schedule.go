@@ -1,9 +1,11 @@
 package passes
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/aa"
 	"repro/internal/ir"
@@ -34,8 +36,10 @@ type funcResult struct {
 // runFuncs optimizes every function in mod, fanning out across
 // opts.Jobs workers (0 = GOMAXPROCS). Jobs == 1 runs the plain
 // sequential loop — the differential-testing oracle the parallel path
-// must match byte-for-byte. An error (only possible with
-// opts.VerifyEach) reports the first failure in function order.
+// must match byte-for-byte. Failures (verify-each findings and
+// recovered pass panics) do not stop the other functions: every
+// function runs, and the errors aggregate with errors.Join in source
+// order, so -j 1 and -j N report the same failures in the same order.
 func runFuncs(mod *ir.Module, opts Options, aaStats *aa.Stats) (Stats, error) {
 	var total Stats
 	n := len(mod.Funcs)
@@ -50,14 +54,15 @@ func runFuncs(mod *ir.Module, opts Options, aaStats *aa.Stats) (Stats, error) {
 		jobs = n
 	}
 	if jobs == 1 || n == 1 {
+		errs := make([]error, 0, n)
 		for _, f := range mod.Funcs {
+			start := time.Now()
 			st, err := runFunc(mod, f, opts, aaStats, nil)
+			opts.Telemetry.AddLaneBusy(time.Since(start))
 			total.Add(st)
-			if err != nil {
-				return total, err
-			}
+			errs = append(errs, err)
 		}
-		return total, nil
+		return total, errors.Join(errs...)
 	}
 
 	idx := make(map[string]int, n)
@@ -115,11 +120,25 @@ func runFuncs(mod *ir.Module, opts Options, aaStats *aa.Stats) (Stats, error) {
 		go func(lane int) {
 			defer wg.Done()
 			for i := range ready {
-				o := opts
-				o.Telemetry = tel.ForkLane(lane)
 				r := &results[i]
-				r.stats, r.err = runFunc(mod, mod.Funcs[i], o, &r.aa, resolveFor(i))
-				r.tel = o.Telemetry
+				// The per-function work runs inside a recover shield:
+				// runFunc recovers pass panics itself, but a panic in
+				// the scheduling shell (telemetry forks, clone
+				// resolution) must still not take down the pool or
+				// strand dependents waiting on this function.
+				func() {
+					defer func() {
+						if rec := recover(); rec != nil {
+							r.err = newPanicError(mod.Funcs[i].Name, "", rec)
+						}
+					}()
+					o := opts
+					o.Telemetry = tel.ForkLane(lane)
+					r.tel = o.Telemetry
+					start := time.Now()
+					r.stats, r.err = runFunc(mod, mod.Funcs[i], o, &r.aa, resolveFor(i))
+					o.Telemetry.AddLaneBusy(time.Since(start))
+				}()
 				for _, d := range dependents[i] {
 					if atomic.AddInt32(&depCount[d], -1) == 0 {
 						ready <- d
@@ -135,9 +154,8 @@ func runFuncs(mod *ir.Module, opts Options, aaStats *aa.Stats) (Stats, error) {
 
 	// Fan-in strictly in original function order: telemetry names
 	// register in the same sequence a sequential run would produce, and
-	// the first error reported matches what the sequential loop would
-	// have surfaced.
-	var firstErr error
+	// errors aggregate exactly as the sequential loop reports them.
+	errs := make([]error, 0, n)
 	for i := range results {
 		total.Add(results[i].stats)
 		if aaStats != nil {
@@ -149,11 +167,9 @@ func runFuncs(mod *ir.Module, opts Options, aaStats *aa.Stats) (Stats, error) {
 			aaStats.UnseqNoAlias += results[i].aa.UnseqNoAlias
 		}
 		tel.Merge(results[i].tel)
-		if firstErr == nil && results[i].err != nil {
-			firstErr = results[i].err
-		}
+		errs = append(errs, results[i].err)
 	}
-	return total, firstErr
+	return total, errors.Join(errs...)
 }
 
 // reachability returns, for every function index, the set of function

@@ -58,6 +58,10 @@ func (s *Session) RecordAliasQuery(q AliasQuery) {
 	if s == nil || !s.cfg.Audit {
 		return
 	}
+	// Audited chain queries also leave a breadcrumb in the flight ring,
+	// so a crash dump shows the AA traffic interleaved with the pass
+	// events that issued it.
+	s.flight.Record(s.lane, "aa", q.Result, q.Function)
 	s.mu.Lock()
 	s.recordAliasQueryLocked(q)
 	s.mu.Unlock()
@@ -87,6 +91,22 @@ func (s *Session) auditInOrder() []AliasQuery {
 	out = append(out, s.audit[s.auditHead:]...)
 	out = append(out, s.audit[:s.auditHead]...)
 	return out
+}
+
+// AuditTail returns the most recent n audit-ring entries in order
+// (fewer if the ring holds fewer). Crash dumps embed it so the alias
+// answers that preceded a panic are preserved.
+func (s *Session) AuditTail(n int) []AliasQuery {
+	if s == nil || n <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	all := s.auditInOrder()
+	if len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
 }
 
 // auditJSON is the -aa-audit artifact schema.

@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// CrashSchema identifies the crash-dump JSON schema version.
+const CrashSchema = "ooelala-crash/v1"
+
+// CrashProvenance is a π predicate's source provenance embedded in a
+// crash dump — a self-contained rendering of ir.PredProvenance (the
+// telemetry layer stays string-typed so it never depends on the IR).
+type CrashProvenance struct {
+	Meta   int    `json:"meta"`
+	Fn     string `json:"fn"`
+	E1     string `json:"e1"`
+	E2     string `json:"e2"`
+	Range1 string `json:"range1,omitempty"`
+	Range2 string `json:"range2,omitempty"`
+}
+
+// CrashDump is the flight-recorder artifact written as
+// crash-<unit>.json when a pass panics: enough state to attribute the
+// failure (unit, function, pass), replay the approach (flight ring,
+// audit tail), and map any implicated π predicate back to source.
+type CrashDump struct {
+	Schema string `json:"schema"`
+	// Unit is the translation unit being compiled; Function and Pass
+	// attribute the panic to what was executing.
+	Unit     string `json:"unit"`
+	Function string `json:"function"`
+	Pass     string `json:"pass"`
+	// Panic is the recovered panic value's rendering; Stack is the
+	// goroutine stack at recovery, split into lines.
+	Panic string   `json:"panic"`
+	Stack []string `json:"stack,omitempty"`
+	// Flight is the merged per-lane flight recording, in global event
+	// order (sequence numbers); FlightTotal counts every event recorded
+	// including ones the bounded rings dropped.
+	Flight      []FlightEvent `json:"flight"`
+	FlightTotal uint64        `json:"flightTotal"`
+	// AuditTail is the most recent alias-query audit entries (present
+	// when the audit stream was on).
+	AuditTail []AliasQuery `json:"auditTail,omitempty"`
+	// Provenance lists the π predicates of the crashed unit so the
+	// audit tail's predicateMeta ids resolve without the module.
+	Provenance []CrashProvenance `json:"provenance,omitempty"`
+}
+
+// WriteCrashJSON renders the dump as indented JSON.
+func WriteCrashJSON(w io.Writer, d *CrashDump) error {
+	if d.Schema == "" {
+		d.Schema = CrashSchema
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

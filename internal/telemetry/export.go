@@ -102,13 +102,16 @@ func WritePrometheus(w io.Writer, snap *Snapshot) error {
 	}
 	for _, c := range snap.Counters {
 		n := promName(c.Name)
-		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value)
+		fmt.Fprintf(w, "# HELP %s ooelala counter %s\n# TYPE %s counter\n%s %d\n",
+			n, c.Name, n, n, c.Value)
 	}
 	for _, g := range snap.Gauges {
 		n := promName(g.Name)
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, g.Value)
+		fmt.Fprintf(w, "# HELP %s ooelala gauge %s\n# TYPE %s gauge\n%s %g\n",
+			n, g.Name, n, n, g.Value)
 	}
 	if len(snap.Durations) > 0 {
+		fmt.Fprintf(w, "# HELP ooelala_phase_seconds compiler phase/pass wall-clock histogram\n")
 		fmt.Fprintf(w, "# TYPE ooelala_phase_seconds histogram\n")
 		for _, d := range snap.Durations {
 			lbl := promLabel(d.Name)
@@ -131,7 +134,9 @@ func WritePrometheus(w io.Writer, snap *Snapshot) error {
 				unseq++
 			}
 		}
+		fmt.Fprintf(w, "# HELP ooelala_remarks_total optimization remarks emitted\n")
 		fmt.Fprintf(w, "# TYPE ooelala_remarks_total counter\nooelala_remarks_total %d\n", len(snap.Remarks))
+		fmt.Fprintf(w, "# HELP ooelala_remarks_unseq_enabled_total remarks enabled by unsequenced-alias facts\n")
 		fmt.Fprintf(w, "# TYPE ooelala_remarks_unseq_enabled_total counter\nooelala_remarks_unseq_enabled_total %d\n", unseq)
 	}
 	return nil

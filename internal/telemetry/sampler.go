@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// DefaultSampleInterval is the runtime sampler's cadence when the
+// caller passes 0.
+const DefaultSampleInterval = 250 * time.Millisecond
+
+// StartSampler launches the runtime sampler goroutine: every interval
+// it feeds GC, heap, goroutine-count, and per-worker-lane utilization
+// gauges into s, so a live /metrics scrape shows where the process is
+// spending its budget while a compile is still running. The returned
+// stop function halts the goroutine and takes one final sample, so even
+// a run shorter than the interval exports the gauges. Safe on a nil
+// session (returns a no-op stop).
+func StartSampler(s *Session, interval time.Duration) (stop func()) {
+	if s == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		var prevBusy [MaxFlightLanes]int64
+		prevWall := time.Now()
+		for {
+			select {
+			case <-done:
+				sampleRuntime(s)
+				sampleLanes(s, &prevBusy, prevWall, time.Now())
+				return
+			case now := <-t.C:
+				sampleRuntime(s)
+				sampleLanes(s, &prevBusy, prevWall, now)
+				prevWall = now
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}
+
+// sampleRuntime sets the Go-runtime gauges (GC, heap, goroutines).
+func sampleRuntime(s *Session) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.SetGauge("runtime/goroutines", float64(runtime.NumGoroutine()))
+	s.SetGauge("runtime/heap_alloc_bytes", float64(ms.HeapAlloc))
+	s.SetGauge("runtime/heap_sys_bytes", float64(ms.HeapSys))
+	s.SetGauge("runtime/heap_objects", float64(ms.HeapObjects))
+	s.SetGauge("runtime/next_gc_bytes", float64(ms.NextGC))
+	s.SetGauge("runtime/gc_cycles", float64(ms.NumGC))
+	s.SetGauge("runtime/gc_pause_total_seconds", float64(ms.PauseTotalNs)/1e9)
+	if ms.NumGC > 0 {
+		s.SetGauge("runtime/gc_last_pause_seconds",
+			float64(ms.PauseNs[(ms.NumGC+255)%256])/1e9)
+	}
+}
+
+// sampleLanes differentiates the flight recorder's per-lane cumulative
+// busy time into utilization gauges: the fraction of the sampling
+// window each worker lane spent inside runFunc. A saturated -j pool
+// shows every lane near 1.0; a starved one shows the scheduler's
+// tail. The ratio can exceed 1.0 when nested pools (unit-level and
+// function-level) share a lane id — that oversubscription is itself
+// the signal. Lanes that have never been busy are skipped so an idle
+// process exports no dead series.
+func sampleLanes(s *Session, prevBusy *[MaxFlightLanes]int64, from, to time.Time) {
+	fl := s.Flight()
+	if fl == nil {
+		return
+	}
+	wall := to.Sub(from)
+	if wall <= 0 {
+		return
+	}
+	busyLanes := 0
+	for lane := 0; lane < MaxFlightLanes; lane++ {
+		busy := fl.BusyNS(lane)
+		if busy == 0 {
+			continue
+		}
+		ratio := float64(busy-prevBusy[lane]) / float64(wall)
+		if ratio < 0 {
+			ratio = 0
+		}
+		prevBusy[lane] = busy
+		s.SetGauge(fmt.Sprintf("sched/lane%02d_utilization", lane), ratio)
+		if ratio > 0 {
+			busyLanes++
+		}
+	}
+	s.SetGauge("sched/lanes_busy", float64(busyLanes))
+}

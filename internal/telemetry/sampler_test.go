@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSamplerNilSession(t *testing.T) {
+	stop := StartSampler(nil, time.Millisecond)
+	stop() // must be a no-op, not a panic
+}
+
+func TestSamplerExportsRuntimeAndLaneGauges(t *testing.T) {
+	s := New(Config{Metrics: true, Flight: true})
+	s.AddLaneBusy(5 * time.Millisecond) // lane 0 did some work
+	// A huge interval forces the coverage onto the final stop() sample,
+	// proving even runs shorter than one tick export the gauges.
+	stop := StartSampler(s, time.Hour)
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	stop() // idempotent
+
+	got := map[string]float64{}
+	for _, g := range s.Snapshot().Gauges {
+		got[g.Name] = g.Value
+	}
+	for _, name := range []string{
+		"runtime/goroutines", "runtime/heap_alloc_bytes", "runtime/heap_sys_bytes",
+		"runtime/heap_objects", "runtime/next_gc_bytes", "runtime/gc_cycles",
+		"runtime/gc_pause_total_seconds",
+		"sched/lane00_utilization", "sched/lanes_busy",
+	} {
+		if _, ok := got[name]; !ok {
+			t.Errorf("sampler did not export gauge %q (have %v)", name, got)
+		}
+	}
+	if got["runtime/goroutines"] < 1 {
+		t.Errorf("runtime/goroutines = %v, want >= 1", got["runtime/goroutines"])
+	}
+	if got["sched/lane00_utilization"] <= 0 {
+		t.Errorf("lane 0 utilization = %v, want > 0 after AddLaneBusy", got["sched/lane00_utilization"])
+	}
+	if got["sched/lanes_busy"] < 1 {
+		t.Errorf("sched/lanes_busy = %v, want >= 1", got["sched/lanes_busy"])
+	}
+}
+
+func TestSamplerSkipsIdleLanes(t *testing.T) {
+	s := New(Config{Metrics: true, Flight: true})
+	stop := StartSampler(s, time.Hour)
+	stop()
+	for _, g := range s.Snapshot().Gauges {
+		if g.Name == "sched/lane07_utilization" {
+			t.Fatalf("idle lane exported a utilization gauge: %+v", g)
+		}
+	}
+}

@@ -35,6 +35,12 @@ type Config struct {
 	// AuditCap bounds the audit ring buffer (0 = DefaultAuditCap).
 	// Overflow drops the oldest entries; the total asked is still counted.
 	AuditCap int
+	// Flight forces a live session even when no other stream is on, for
+	// callers that only want the always-on flight recorder (every live
+	// session carries one regardless of this field; see FlightRecorder).
+	Flight bool
+	// FlightCap bounds each lane's flight ring (0 = DefaultFlightCap).
+	FlightCap int
 }
 
 // DefaultAuditCap is the audit ring capacity when Config.AuditCap is 0.
@@ -42,7 +48,7 @@ const DefaultAuditCap = 8192
 
 // Enabled reports whether any stream is on.
 func (c Config) Enabled() bool {
-	return c.Metrics || c.Timing || c.Remarks || c.Trace || c.Audit
+	return c.Metrics || c.Timing || c.Remarks || c.Trace || c.Audit || c.Flight
 }
 
 // Remark is one structured optimization remark: a single transform a
@@ -119,6 +125,10 @@ type Session struct {
 	audit      []AliasQuery
 	auditHead  int
 	auditTotal int64
+
+	// flight is the always-on crash flight recorder, shared (same
+	// pointer) by every fork so worker events land live. See flight.go.
+	flight *FlightRecorder
 }
 
 // New builds a session collecting the configured streams. If nothing
@@ -130,16 +140,24 @@ func New(cfg Config) *Session {
 	if cfg.Audit && cfg.AuditCap <= 0 {
 		cfg.AuditCap = DefaultAuditCap
 	}
-	s := &Session{
+	s := newSession(cfg)
+	s.flight = newFlightRecorder(cfg.FlightCap)
+	if cfg.Trace {
+		s.traceRef = time.Now()
+	}
+	return s
+}
+
+// newSession builds the bare per-fork collection state. Forks go
+// through here rather than New so they never allocate a second flight
+// recorder — they share the root's.
+func newSession(cfg Config) *Session {
+	return &Session{
 		cfg:      cfg,
 		counters: make(map[string]int64),
 		gauges:   make(map[string]float64),
 		durs:     make(map[string]*durStat),
 	}
-	if cfg.Trace {
-		s.traceRef = time.Now()
-	}
-	return s
 }
 
 // noopStop is the pre-allocated stop function returned by disabled
@@ -204,7 +222,17 @@ func (s *Session) AddGauge(name string, v float64) {
 // With tracing enabled the stop additionally records a trace event, so
 // nested Span calls on one goroutine render as a flame in Perfetto.
 func (s *Session) Span(name string) func() {
-	if s == nil || (!s.cfg.Timing && !s.cfg.Trace) {
+	if s == nil {
+		return noopStop
+	}
+	// Top-level phases feed the flight recorder regardless of which
+	// streams are on — they are the coarse "where were we" markers a
+	// crash dump needs. Pass-level events are recorded (with function
+	// attribution) by PassInstrumentation, not here.
+	if len(name) > 6 && name[:6] == "phase/" {
+		s.flight.Record(s.lane, "phase", name, "")
+	}
+	if !s.cfg.Timing && !s.cfg.Trace {
 		return noopStop
 	}
 	start := time.Now()
@@ -302,9 +330,10 @@ func (s *Session) ForkLane(lane int) *Session {
 	if s == nil {
 		return nil
 	}
-	child := New(s.cfg)
+	child := newSession(s.cfg)
 	child.traceRef = s.traceRef
 	child.lane = lane
+	child.flight = s.flight
 	return child
 }
 
