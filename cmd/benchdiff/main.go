@@ -4,6 +4,7 @@
 //
 //	benchdiff [-tolerance pct] baseline.json current.json
 //	benchdiff -metrics [-tolerance pct] baseline-metrics.json current-metrics.json
+//	benchdiff -serve [-tolerance pct] [-min-hit-rate pct] [-min-tus n] cold.json warm.json
 //
 // Table 4 rows regress when a kernel's speedup drops more than the
 // tolerance below the baseline's; Table 6 rows regress when a bench's
@@ -18,6 +19,15 @@
 // more than the tolerance regresses, and a span present in the baseline
 // but missing from the current run fails the gate.
 //
+// With -serve, the inputs are two ooeload replay reports (typically a
+// cold run and a warm run against one daemon) and the gate is
+// service-level: the corpus digests must match byte-for-byte (cached
+// artifacts identical to freshly-compiled ones), neither run may have
+// request errors or integrity failures, the current run's throughput
+// must not fall more than the tolerance below the baseline's, and the
+// optional absolute floors -min-hit-rate (percent) and -min-tus
+// (TUs/sec) apply to the current run.
+//
 // The shared observability flags (-obs-addr, -profile-cpu,
 // -profile-mem) are accepted for CLI uniformity; for this short-lived
 // diff they mostly matter when debugging benchdiff itself.
@@ -29,6 +39,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/serve"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/obsserver"
 )
@@ -52,6 +63,9 @@ type table6Row struct {
 func main() {
 	tol := flag.Float64("tolerance", 10, "allowed regression in percent")
 	metrics := flag.Bool("metrics", false, "diff per-span timing from two -metrics-json files instead of bench tables")
+	serveMode := flag.Bool("serve", false, "gate two ooeload replay reports (cold, warm) instead of bench tables")
+	minHitRate := flag.Float64("min-hit-rate", 0, "with -serve: minimum cache hit-rate (percent) for the current run")
+	minTUs := flag.Float64("min-tus", 0, "with -serve: minimum throughput (TUs/sec) for the current run")
 	obs := obsserver.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	var telCfg telemetry.Config
@@ -62,11 +76,15 @@ func main() {
 	}
 	defer obsHandle.Close()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-metrics] [-tolerance pct] baseline.json current.json")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-metrics|-serve] [-tolerance pct] baseline.json current.json")
+		obsserver.Exit(2)
 	}
 	if *metrics {
 		diffMetrics(flag.Arg(0), flag.Arg(1), *tol)
+		return
+	}
+	if *serveMode {
+		diffServe(flag.Arg(0), flag.Arg(1), *tol, *minHitRate, *minTUs)
 		return
 	}
 	base, err := load(flag.Arg(0))
@@ -121,7 +139,7 @@ func main() {
 
 	if regressions > 0 {
 		fmt.Printf("benchdiff: %d regression(s) beyond %.1f%% tolerance\n", regressions, *tol)
-		os.Exit(1)
+		obsserver.Exit(1)
 	}
 	fmt.Printf("benchdiff: all rows within %.1f%% tolerance\n", *tol)
 }
@@ -176,9 +194,75 @@ func diffMetrics(basePath, curPath string, tol float64) {
 	}
 	if regressions > 0 {
 		fmt.Printf("benchdiff: %d span regression(s) beyond %.1f%% tolerance\n", regressions, tol)
-		os.Exit(1)
+		obsserver.Exit(1)
 	}
 	fmt.Printf("benchdiff: all spans within %.1f%% tolerance\n", tol)
+}
+
+// diffServe gates a current ooeload replay report against a baseline
+// one (see the package comment for the rules). Reports are
+// serve.LoadReport JSON as written by `ooeload -report`.
+func diffServe(basePath, curPath string, tol, minHitRate, minTUs float64) {
+	base, err := loadServe(basePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := loadServe(curPath)
+	if err != nil {
+		fatal(err)
+	}
+	regressions := 0
+	check := func(ok bool, format string, args ...any) {
+		status := "ok"
+		if !ok {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("serve    %-44s %s\n", fmt.Sprintf(format, args...), status)
+	}
+	check(base.Errors == 0 && base.IntegrityFailures == 0,
+		"baseline errors=%d integrity=%d", base.Errors, base.IntegrityFailures)
+	check(cur.Errors == 0 && cur.IntegrityFailures == 0,
+		"current errors=%d integrity=%d", cur.Errors, cur.IntegrityFailures)
+	check(base.CorpusDigest != "" && base.CorpusDigest == cur.CorpusDigest,
+		"artifact corpus digests match")
+	if base.TUsPerSec > 0 {
+		delta := 100 * (cur.TUsPerSec - base.TUsPerSec) / base.TUsPerSec
+		check(delta >= -tol, "throughput %.1f -> %.1f TUs/sec (%+.1f%%)",
+			base.TUsPerSec, cur.TUsPerSec, delta)
+	}
+	if minTUs > 0 {
+		check(cur.TUsPerSec >= minTUs, "throughput floor %.1f >= %.1f TUs/sec",
+			cur.TUsPerSec, minTUs)
+	}
+	if minHitRate > 0 {
+		check(100*cur.HitRate >= minHitRate, "hit-rate %.1f%% >= %.1f%%",
+			100*cur.HitRate, minHitRate)
+	}
+	if regressions > 0 {
+		fmt.Printf("benchdiff: %d service-level regression(s)\n", regressions)
+		obsserver.Exit(1)
+	}
+	fmt.Println("benchdiff: service gates clean")
+}
+
+func loadServe(path string) (*serve.LoadReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r serve.LoadReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != serve.LoadReportSchema {
+		return nil, fmt.Errorf("%s: schema %q is not %q (was it written by ooeload -report?)",
+			path, r.Schema, serve.LoadReportSchema)
+	}
+	if r.Requests == 0 {
+		return nil, fmt.Errorf("%s: empty replay report", path)
+	}
+	return &r, nil
 }
 
 func nsString(ns int64) string {
@@ -223,7 +307,9 @@ func load(path string) (*benchJSON, error) {
 	return &b, nil
 }
 
+// fatal exits through obsserver.Exit so a live -obs-addr listener or
+// an in-progress CPU profile is torn down even on error paths.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchdiff:", err)
-	os.Exit(1)
+	obsserver.Exit(1)
 }

@@ -83,8 +83,7 @@ func main() {
 
 	driver.SetDefaultJobs(*jobs)
 	if err := pf.Apply(); err != nil {
-		fmt.Fprintln(os.Stderr, "ooebench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	telCfg := tf.Config()
 	obs.Enable(&telCfg)
@@ -92,8 +91,7 @@ func main() {
 	tel = telemetry.New(telCfg)
 	obsHandle, err := obs.Start(tel)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ooebench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	defer obsHandle.Close()
 	any := false
@@ -103,8 +101,7 @@ func main() {
 		}
 		any = true
 		if err := f(); err != nil {
-			fmt.Fprintln(os.Stderr, "ooebench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Println()
 	}
@@ -120,19 +117,25 @@ func main() {
 
 	if !any {
 		flag.Usage()
-		os.Exit(2)
+		obsserver.Exit(2)
 	}
 	if err := tf.Finish(tel, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "ooebench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if *jsonOut {
 		if err := writeBenchJSON("BENCH_ooebench.json"); err != nil {
-			fmt.Fprintln(os.Stderr, "ooebench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Println("wrote BENCH_ooebench.json")
 	}
+}
+
+// fatal exits through obsserver.Exit so a live -obs-addr listener or an
+// in-progress CPU profile is torn down even on error paths (every
+// os.Exit here skips the deferred Close).
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ooebench:", err)
+	obsserver.Exit(1)
 }
 
 func writeBenchJSON(path string) error {

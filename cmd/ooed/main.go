@@ -1,0 +1,129 @@
+// Command ooed is the OOElala compile daemon: a long-running HTTP
+// service that compiles translation units for many concurrent clients,
+// with a content-addressed result cache so identical requests — same
+// source, include set, defines, pass spec, flags, and compiler build —
+// are served without recompiling (and concurrent identical requests
+// collapse into one in-flight compile).
+//
+// Usage:
+//
+//	ooed [flags]
+//
+//	-addr          compile-API listen address (default localhost:8338):
+//	               POST /compile, POST /batch, GET /cachestats, GET /healthz
+//	-lanes N       concurrent compile lanes (0 = GOMAXPROCS)
+//	-unit-j N      per-compilation worker count (default 1; artifacts are
+//	               byte-identical at every value, so it never splits the cache)
+//	-cache-cap N   result-cache capacity in entries
+//	-passes        default pipeline spec for requests that don't carry one
+//	-obs-addr      live /metrics, /debug/pprof/, /healthz, /buildinfo —
+//	               the serving-side observability plane (cache hit/miss/
+//	               eviction counters, per-phase timings, flight recorder)
+//	-crash-dir     crash-<unit>.json dumps from pass panics in served compiles
+//	-metrics-json / -metrics-prom  write the final session snapshot at shutdown
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: in-flight requests
+// finish, the telemetry snapshot is flushed, profiles close.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/obsserver"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8338", "compile-API listen address")
+	lanes := flag.Int("lanes", 0, "concurrent compile lanes (0 = GOMAXPROCS)")
+	unitJobs := flag.Int("unit-j", 1, "per-compilation worker count")
+	cacheCap := flag.Int("cache-cap", 0, "result-cache capacity in entries (0 = default)")
+	pf := driver.RegisterPassFlags(flag.CommandLine)
+	tf := telemetry.RegisterFlags(flag.CommandLine)
+	obs := obsserver.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "usage: ooed [flags]")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := pf.Apply(); err != nil {
+		fatal(err)
+	}
+
+	telCfg := tf.Config()
+	// A serving session always collects metrics: /cachestats is backed
+	// by the cache itself, but the /metrics story (cache counters next
+	// to aa/pass counters) needs a live registry.
+	telCfg.Metrics = true
+	telCfg.Timing = true
+	obs.Enable(&telCfg)
+	driver.SetDefaultCrashDir(obs.CrashDir)
+	tel := telemetry.New(telCfg)
+	obsHandle, err := obs.Start(tel)
+	if err != nil {
+		fatal(err)
+	}
+	defer obsHandle.Close()
+
+	srv := serve.New(serve.Config{
+		Lanes:         *lanes,
+		UnitJobs:      *unitJobs,
+		CacheCapacity: *cacheCap,
+		PassSpec:      pf.Spec,
+		BaseFiles:     workload.Files(),
+		Telemetry:     tel,
+		CrashDir:      obs.CrashDir,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{
+		Handler:           srv.Mux(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Fprintf(os.Stderr, "ooed: serving /compile /batch /cachestats /healthz on http://%s (build %s)\n",
+		ln.Addr(), serve.BuildID())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "ooed: %v: draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err = hs.Shutdown(ctx)
+		cancel()
+	case err = <-errc:
+	}
+	if err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "ooed: cache at shutdown: %d hits, %d misses, %d evictions (hit-rate %.1f%%)\n",
+		st.Hits, st.Misses, st.Evictions, 100*st.HitRate)
+	if err := tf.Finish(tel, os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ooed:", err)
+	obsserver.Exit(1)
+}

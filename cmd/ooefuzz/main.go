@@ -110,16 +110,16 @@ func main() {
 	}
 
 	stats := fuzz.Run(opts)
-	obsHandle.Close() // os.Exit below skips the defer; flush profiles now
+	obsHandle.Close() // the exit paths below skip the defer; flush profiles now
 	if writeErr {
-		os.Exit(1)
+		obsserver.Exit(1)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(stats); err != nil {
 			fmt.Fprintf(os.Stderr, "ooefuzz: %v\n", err)
-			os.Exit(1)
+			obsserver.Exit(1)
 		}
 	} else {
 		fmt.Printf("ooefuzz: %d programs (%d UB-free, %d racy; sanitizer caught %d, missed %d)\n",
@@ -132,6 +132,6 @@ func main() {
 		}
 	}
 	if len(stats.Crashes) > 0 {
-		os.Exit(1)
+		obsserver.Exit(1)
 	}
 }

@@ -124,7 +124,7 @@ func main() {
 		if !rep.Validated {
 			fmt.Fprintf(os.Stderr, "ooelala: auto-annotations violated at runtime (%d violations); refusing to use them\n",
 				len(rep.Violations))
-			os.Exit(1)
+			obsserver.Exit(1)
 		}
 		fmt.Printf("auto-annotate: %d annotation statements inserted, sanitizer-validated\n", rep.Inserted)
 		cfg.Transform = func(tu *ast.TranslationUnit) { annotate.Unit(tu) }
@@ -183,7 +183,10 @@ func main() {
 	}
 }
 
+// fatal exits through obsserver.Exit so a live -obs-addr listener or
+// an in-progress CPU profile is torn down even on error paths (the
+// deferred Close never runs past os.Exit).
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ooelala:", err)
-	os.Exit(1)
+	obsserver.Exit(1)
 }

@@ -1,0 +1,88 @@
+// Command ooeload replays a recorded multi-client workload against a
+// running ooed compile daemon and reports service-level numbers:
+// throughput (TUs/sec), latency percentiles, cache hit-rate, and a
+// corpus digest over the returned artifacts (equal digests between two
+// runs mean every artifact byte matched — the cold-vs-warm CI gate).
+//
+// Usage:
+//
+//	ooeload [flags]
+//
+//	-addr       daemon address (default localhost:8338)
+//	-clients N  concurrent replay clients (default 8)
+//	-repeat N   passes over the workload mix per run (default 1)
+//	-seed S     request-order shuffle seed (fixed seed = replayable order)
+//	-batch N    send requests via POST /batch in chunks of N (default:
+//	            one POST /compile each)
+//	-report     write the JSON report to `path` (benchdiff -serve input)
+//
+// Exit status: 0 clean, 1 request errors or artifact-integrity
+// failures, 2 usage.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8338", "compile daemon address")
+	clients := flag.Int("clients", 8, "concurrent replay clients")
+	repeat := flag.Int("repeat", 1, "passes over the workload mix")
+	seed := flag.Int64("seed", 1, "request-order shuffle seed")
+	batch := flag.Int("batch", 0, "send via POST /batch in chunks of this size (0/1 = per-request /compile)")
+	report := flag.String("report", "", "write the JSON report to `path`")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "usage: ooeload [flags]")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rep, err := serve.RunLoad(serve.LoadOptions{
+		Addr:      *addr,
+		Clients:   *clients,
+		Repeat:    *repeat,
+		Seed:      *seed,
+		BatchSize: *batch,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ooeload:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("requests  %d over %d client(s), %v\n",
+		rep.Requests, rep.Clients, time.Duration(rep.DurationNS).Round(time.Millisecond))
+	fmt.Printf("throughput %.1f TUs/sec\n", rep.TUsPerSec)
+	fmt.Printf("latency   p50 %v  p99 %v  max %v\n",
+		time.Duration(rep.LatencyP50NS).Round(time.Microsecond),
+		time.Duration(rep.LatencyP99NS).Round(time.Microsecond),
+		time.Duration(rep.LatencyMaxNS).Round(time.Microsecond))
+	fmt.Printf("hit-rate  %.1f%%  (errors %d, integrity failures %d)\n",
+		100*rep.HitRate, rep.Errors, rep.IntegrityFailures)
+	fmt.Printf("digest    %s\n", rep.CorpusDigest)
+	if rep.CacheStats != nil {
+		fmt.Printf("cache     %d entries, %d hits, %d misses, %d evictions, %d single-flight waits\n",
+			rep.CacheStats.Entries, rep.CacheStats.Hits, rep.CacheStats.Misses,
+			rep.CacheStats.Evictions, rep.CacheStats.Waits)
+	}
+
+	if *report != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*report, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ooeload: report:", err)
+			os.Exit(1)
+		}
+	}
+	if rep.Errors > 0 || rep.IntegrityFailures > 0 {
+		os.Exit(1)
+	}
+}

@@ -65,7 +65,7 @@ func main() {
 	rep, err := sanitizer.CheckWith(path, string(src), workload.Files(), *entry, nil, tel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ubsan:", err)
-		os.Exit(1)
+		obsserver.Exit(1)
 	}
 	fmt.Printf("predicates: %d total, %d with calls (skipped), %d bitfield-dropped, %d checks inserted\n",
 		rep.PredsTotal, rep.PredsWithCalls, rep.BitfieldDropped, rep.ChecksInserted)
@@ -77,12 +77,12 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ubsan: json:", err)
-			os.Exit(1)
+			obsserver.Exit(1)
 		}
 	}
 	if err := tf.Finish(tel, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "ubsan:", err)
-		os.Exit(1)
+		obsserver.Exit(1)
 	}
 	if len(rep.Failures) == 0 {
 		fmt.Println("clean: no unsequenced races observed")
@@ -91,6 +91,5 @@ func main() {
 	for _, f := range rep.Failures {
 		fmt.Println("VIOLATION:", f)
 	}
-	obsHandle.Close() // os.Exit skips the defer; flush profiles first
-	os.Exit(1)
+	obsserver.Exit(1) // os.Exit would skip the defer; flush profiles and close the listener first
 }

@@ -1,0 +1,303 @@
+// Package cache is the compile service's content-addressed result
+// store. A cache key is the SHA-256 of every input that can change a
+// compilation's artifacts — the preprocessing inputs (source, include
+// set, predefined macros), the pass-pipeline spec, the configuration
+// flags, and the compiler build identity — so a hit is a proof that the
+// stored artifacts are the ones a fresh compile would produce, not a
+// heuristic (the change-calculus framing: key by exactly the inputs a
+// verdict depends on, and invalidation becomes content addressing).
+//
+// The store is a bounded LRU with single-flight deduplication:
+// concurrent requests for the same key run the compile once and share
+// the result. Hit/miss/eviction counters flow both into an internal
+// Stats snapshot (the /cachestats endpoint) and into a telemetry
+// Session (the /metrics endpoint), so the serving-side observability
+// plane sees cache behaviour live.
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// Key is a content hash addressing one compilation result.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Inputs are the compilation inputs a result depends on. Two Inputs
+// values hash to the same Key exactly when a compile of one would
+// produce byte-identical artifacts to a compile of the other (worker
+// parallelism is deliberately absent: the middle-end is byte-identical
+// across -j, so jobs must not fragment the cache).
+type Inputs struct {
+	// Name is the translation unit name (it appears in the artifacts).
+	Name string
+	// Source is the unit's source text.
+	Source string
+	// Files is the include set the preprocessor resolves against.
+	Files map[string]string
+	// Defines are the predefined object-like macros (-D equivalents).
+	Defines map[string]string
+	// PassSpec is the effective -passes pipeline spec.
+	PassSpec string
+	// Flags is the canonical optimization-flag string (FlagString).
+	Flags string
+	// BuildID identifies the compiler build (BuildID); a recompiled
+	// daemon must never serve artifacts produced by a different binary.
+	BuildID string
+}
+
+// FlagString canonicalizes the optimization flags that select a
+// compiler configuration. Every field that changes output must appear.
+func FlagString(ooelala, noOpt, sanitize bool) string {
+	s := "ooelala="
+	s += boolStr(ooelala) + " noopt=" + boolStr(noOpt) + " sanitize=" + boolStr(sanitize)
+	return s
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// Key hashes the inputs. Every field is length-prefixed and
+// domain-tagged so no two distinct input tuples can collide by
+// concatenation ambiguity; maps hash in sorted key order.
+func (in Inputs) Key() Key {
+	h := sha256.New()
+	field := func(tag, val string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(tag)))
+		h.Write(n[:])
+		h.Write([]byte(tag))
+		binary.LittleEndian.PutUint64(n[:], uint64(len(val)))
+		h.Write(n[:])
+		h.Write([]byte(val))
+	}
+	field("schema", "ooed-cache/v1")
+	field("build", in.BuildID)
+	field("name", in.Name)
+	field("source", in.Source)
+	field("passes", in.PassSpec)
+	field("flags", in.Flags)
+	sortedEach(in.Files, func(k, v string) { field("file:"+k, v) })
+	sortedEach(in.Defines, func(k, v string) { field("define:"+k, v) })
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+func sortedEach(m map[string]string, f func(k, v string)) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		f(k, m[k])
+	}
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts lookups served from the store, including single-flight
+	// waiters that shared a leader's fresh result.
+	Hits int64 `json:"hits"`
+	// Misses counts lookups that ran the compile (single-flight leaders).
+	Misses int64 `json:"misses"`
+	// Evictions counts entries dropped by the LRU capacity bound.
+	Evictions int64 `json:"evictions"`
+	// Waits counts single-flight waiters (a subset of Hits when the
+	// leader succeeded; errors are not cached and waiters share them).
+	Waits int64 `json:"singleFlightWaits"`
+	// Entries / Capacity are the current and maximum entry counts.
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+	// Bytes is the summed size of every stored value.
+	Bytes int64 `json:"bytes"`
+}
+
+// HitRate returns Hits / (Hits + Misses), 0 when idle.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// DefaultCapacity bounds the store when New is given a non-positive
+// capacity.
+const DefaultCapacity = 1024
+
+// Cache is the bounded content-addressed store. All methods are safe
+// for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[Key]*list.Element
+	lru      *list.List // front = most recent
+	inflight map[Key]*flight
+	bytes    int64
+
+	hits, misses, evictions, waits int64
+
+	// tel mirrors the counters into the serving session (nil = off).
+	tel *telemetry.Session
+}
+
+type entry struct {
+	key Key
+	val []byte
+}
+
+// flight is one in-progress compute shared by concurrent identical
+// requests.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// New builds a cache bounded to capacity entries (<= 0 uses
+// DefaultCapacity). Counter deltas mirror into tel when non-nil.
+func New(capacity int, tel *telemetry.Session) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[Key]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[Key]*flight),
+		tel:      tel,
+	}
+}
+
+// GetOrCompute returns the value stored under key, computing and
+// storing it on a miss. Concurrent calls for the same key are
+// deduplicated: one caller (the leader) runs compute, the rest block
+// and share its result. Errors are returned to the leader and every
+// waiter but are never stored, so a transient failure does not poison
+// the key. hit reports whether the value came from the store or a
+// shared flight rather than this caller's own compute.
+func (c *Cache) GetOrCompute(key Key, compute func() ([]byte, error)) (val []byte, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		c.mu.Unlock()
+		c.tel.Count("cache/hits", 1)
+		return el.Value.(*entry).val, true, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.waits++
+		c.mu.Unlock()
+		c.tel.Count("cache/singleflight_waits", 1)
+		<-fl.done
+		if fl.err != nil {
+			return nil, false, fl.err
+		}
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		c.tel.Count("cache/hits", 1)
+		return fl.val, true, nil
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.misses++
+	c.mu.Unlock()
+	c.tel.Count("cache/misses", 1)
+
+	fl.val, fl.err = compute()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if fl.err == nil {
+		c.insertLocked(key, fl.val)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.val, false, fl.err
+}
+
+// Get returns the stored value without computing, counting a hit or a
+// miss.
+func (c *Cache) Get(key Key) ([]byte, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+	if ok {
+		c.tel.Count("cache/hits", 1)
+		return el.Value.(*entry).val, true
+	}
+	c.tel.Count("cache/misses", 1)
+	return nil, false
+}
+
+// insertLocked stores val under key and evicts from the LRU tail until
+// the capacity bound holds. Caller holds c.mu.
+func (c *Cache) insertLocked(key Key, val []byte) {
+	if el, ok := c.entries[key]; ok {
+		// A racing leader already stored it (possible only via future
+		// entry points; GetOrCompute serializes per key). Refresh.
+		c.bytes += int64(len(val)) - int64(len(el.Value.(*entry).val))
+		el.Value.(*entry).val = val
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&entry{key: key, val: val})
+	c.bytes += int64(len(val))
+	evicted := int64(0)
+	for c.lru.Len() > c.capacity {
+		tail := c.lru.Back()
+		e := tail.Value.(*entry)
+		c.lru.Remove(tail)
+		delete(c.entries, e.key)
+		c.bytes -= int64(len(e.val))
+		c.evictions++
+		evicted++
+	}
+	if evicted > 0 {
+		c.tel.Count("cache/evictions", evicted)
+	}
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Waits:     c.waits,
+		Entries:   c.lru.Len(),
+		Capacity:  c.capacity,
+		Bytes:     c.bytes,
+	}
+}

@@ -1,0 +1,212 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func baseInputs() Inputs {
+	return Inputs{
+		Name:     "unit.c",
+		Source:   "int main() { return 0; }",
+		Files:    map[string]string{"ooelala.h": "#define X 1"},
+		Defines:  map[string]string{"N": "64"},
+		PassSpec: "simplifycfg,mem2reg",
+		Flags:    FlagString(true, false, false),
+		BuildID:  "go=go1.24 rev=abc",
+	}
+}
+
+// TestKeySensitivity pins the invalidation contract: every input that
+// can change a compilation's artifacts must change the key, and
+// identical inputs must collide.
+func TestKeySensitivity(t *testing.T) {
+	base := baseInputs().Key()
+	if got := baseInputs().Key(); got != base {
+		t.Fatalf("identical inputs produced different keys: %s vs %s", got, base)
+	}
+
+	perturb := map[string]func(*Inputs){
+		"name":          func(in *Inputs) { in.Name = "other.c" },
+		"source":        func(in *Inputs) { in.Source = "int main() { return 1; }" },
+		"pass spec":     func(in *Inputs) { in.PassSpec = "simplifycfg" },
+		"flags":         func(in *Inputs) { in.Flags = FlagString(false, false, false) },
+		"noopt flag":    func(in *Inputs) { in.Flags = FlagString(true, true, false) },
+		"file content":  func(in *Inputs) { in.Files = map[string]string{"ooelala.h": "#define X 2"} },
+		"file added":    func(in *Inputs) { in.Files = map[string]string{"ooelala.h": "#define X 1", "b.h": ""} },
+		"define value":  func(in *Inputs) { in.Defines = map[string]string{"N": "128"} },
+		"define name":   func(in *Inputs) { in.Defines = map[string]string{"M": "64"} },
+		"define absent": func(in *Inputs) { in.Defines = nil },
+		"build id":      func(in *Inputs) { in.BuildID = "go=go1.24 rev=def" },
+	}
+	for what, mutate := range perturb {
+		in := baseInputs()
+		mutate(&in)
+		if got := in.Key(); got == base {
+			t.Errorf("%s change did not change the key", what)
+		}
+	}
+}
+
+// TestKeyNoConcatenationAmbiguity: moving a byte across a field
+// boundary must change the hash (fields are length-prefixed).
+func TestKeyNoConcatenationAmbiguity(t *testing.T) {
+	a := baseInputs()
+	a.Name, a.Source = "u.c", "x"
+	b := baseInputs()
+	b.Name, b.Source = "u.cx", ""
+	if a.Key() == b.Key() {
+		t.Fatal("field-boundary shift collided")
+	}
+}
+
+func keyOf(i int) Key {
+	in := baseInputs()
+	in.Source = fmt.Sprintf("int main() { return %d; }", i)
+	return in.Key()
+}
+
+func TestLRUEvictionAtCapacity(t *testing.T) {
+	c := New(2, nil)
+	for i := 0; i < 3; i++ {
+		val := []byte{byte(i)}
+		if _, hit, err := c.GetOrCompute(keyOf(i), func() ([]byte, error) { return val, nil }); err != nil || hit {
+			t.Fatalf("insert %d: hit=%v err=%v", i, hit, err)
+		}
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2 (capacity bound)", got)
+	}
+	if _, ok := c.Get(keyOf(0)); ok {
+		t.Error("oldest entry survived past capacity")
+	}
+	for i := 1; i < 3; i++ {
+		if v, ok := c.Get(keyOf(i)); !ok || v[0] != byte(i) {
+			t.Errorf("entry %d missing or wrong after eviction", i)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes != 2 {
+		t.Errorf("Bytes = %d, want 2", st.Bytes)
+	}
+
+	// Recency, not insertion order, decides the victim: touch the
+	// oldest survivor, insert another, and the untouched one must go.
+	c.Get(keyOf(1))
+	c.GetOrCompute(keyOf(3), func() ([]byte, error) { return []byte{3}, nil })
+	if _, ok := c.Get(keyOf(2)); ok {
+		t.Error("least-recently-used entry survived")
+	}
+	if _, ok := c.Get(keyOf(1)); !ok {
+		t.Error("recently-touched entry was evicted")
+	}
+}
+
+// TestSingleFlight: concurrent identical requests must run the compute
+// exactly once and share its result (run under -race in CI).
+func TestSingleFlight(t *testing.T) {
+	c := New(0, nil)
+	const goroutines = 32
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	val := []byte("artifact")
+
+	var wg sync.WaitGroup
+	results := make([][]byte, goroutines)
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], _, errs[g] = c.GetOrCompute(keyOf(0), func() ([]byte, error) {
+				computes.Add(1)
+				<-gate // hold the flight open until every goroutine has joined
+				return val, nil
+			})
+		}(g)
+	}
+	// Let the non-leaders enqueue, then release the leader. The sleep-
+	// free way: wait until waits+hits+1 == goroutines is racy to observe;
+	// closing the gate after all goroutines exist is enough because any
+	// goroutine that arrives late finds the cached entry (also shared).
+	close(gate)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if string(results[g]) != string(val) {
+			t.Fatalf("goroutine %d got %q", g, results[g])
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("Misses = %d, want 1 (the leader)", st.Misses)
+	}
+	if st.Hits != goroutines-1 {
+		t.Errorf("Hits = %d, want %d (everyone but the leader)", st.Hits, goroutines-1)
+	}
+}
+
+// TestErrorsNotCached: a failed compute propagates to the leader and
+// every waiter but must not poison the key.
+func TestErrorsNotCached(t *testing.T) {
+	c := New(0, nil)
+	boom := errors.New("transient")
+	if _, _, err := c.GetOrCompute(keyOf(0), func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	val, hit, err := c.GetOrCompute(keyOf(0), func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || hit || string(val) != "ok" {
+		t.Fatalf("retry after error: val=%q hit=%v err=%v", val, hit, err)
+	}
+	if st := c.Stats(); st.Misses != 2 {
+		t.Errorf("Misses = %d, want 2 (error was not cached)", st.Misses)
+	}
+}
+
+// TestTelemetryMirrors: the hit/miss/eviction counters flow into the
+// serving session so /metrics sees cache behaviour live.
+func TestTelemetryMirrors(t *testing.T) {
+	tel := telemetry.New(telemetry.Config{Metrics: true})
+	c := New(1, tel)
+	c.GetOrCompute(keyOf(0), func() ([]byte, error) { return []byte("a"), nil })
+	c.GetOrCompute(keyOf(0), func() ([]byte, error) { return []byte("a"), nil })
+	c.GetOrCompute(keyOf(1), func() ([]byte, error) { return []byte("b"), nil }) // evicts 0
+
+	want := map[string]int64{
+		"cache/hits":      1,
+		"cache/misses":    2,
+		"cache/evictions": 1,
+	}
+	got := map[string]int64{}
+	for _, ctr := range tel.Snapshot().Counters {
+		got[ctr.Name] = ctr.Value
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %d, want %d", name, got[name], v)
+		}
+	}
+}
+
+func TestStatsHitRate(t *testing.T) {
+	if r := (Stats{}).HitRate(); r != 0 {
+		t.Errorf("idle HitRate = %v, want 0", r)
+	}
+	if r := (Stats{Hits: 9, Misses: 1}).HitRate(); r != 0.9 {
+		t.Errorf("HitRate = %v, want 0.9", r)
+	}
+}

@@ -1,0 +1,374 @@
+// Loadgen is the replay side of the compile service: a deterministic
+// multi-client workload mix (the paper's evaluation corpus plus
+// specgen-style variants) fired at a daemon over HTTP, with a JSON
+// report — throughput, latency percentiles, hit-rate, and a corpus
+// digest over the returned artifacts — that benchdiff -serve gates on.
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// LoadReportSchema identifies the replay report format.
+const LoadReportSchema = "ooeload-report/v1"
+
+// LoadOptions configures a replay run.
+type LoadOptions struct {
+	// Addr is the daemon's compile-API address (host:port or full URL).
+	Addr string
+	// Clients is the number of concurrent replay clients (default 4).
+	Clients int
+	// Repeat replays the whole mix this many times (default 1); the
+	// request order is a seeded shuffle over all repeats, so repeats > 1
+	// interleave duplicate requests across clients and exercise the
+	// cache's single-flight path.
+	Repeat int
+	// Seed drives the request-order shuffle (and nothing else: the mix
+	// content is fixed, so two runs with one seed are byte-comparable).
+	Seed int64
+	// Requests overrides the workload mix (nil = DefaultMix()).
+	Requests []CompileRequest
+	// BatchSize > 1 sends requests through POST /batch in chunks of
+	// this size instead of one POST /compile each.
+	BatchSize int
+	// Client overrides the HTTP client (nil = a 60s-timeout default).
+	Client *http.Client
+}
+
+// LoadReport is the replay result.
+type LoadReport struct {
+	Schema   string `json:"schema"`
+	Addr     string `json:"addr"`
+	Seed     int64  `json:"seed"`
+	Clients  int    `json:"clients"`
+	Requests int    `json:"requests"`
+	// Errors counts failed requests (transport, HTTP, or compile).
+	Errors int `json:"errors"`
+	// IntegrityFailures counts responses whose artifact bytes differed
+	// from an earlier response for the same key — the service returned
+	// two different answers for one content address.
+	IntegrityFailures int     `json:"integrityFailures"`
+	DurationNS        int64   `json:"durationNS"`
+	TUsPerSec         float64 `json:"tusPerSec"`
+	LatencyP50NS      int64   `json:"latencyP50NS"`
+	LatencyP99NS      int64   `json:"latencyP99NS"`
+	LatencyMaxNS      int64   `json:"latencyMaxNS"`
+	// HitRate is the fraction of successful responses served from the
+	// cache (or a deduplicated in-flight compile).
+	HitRate float64 `json:"hitRate"`
+	// CorpusDigest is the SHA-256 over the sorted set of
+	// "key artifact-sha256" lines — equal digests between two runs mean
+	// every artifact byte matched.
+	CorpusDigest string `json:"corpusDigest"`
+	// CacheStats is the daemon's /cachestats snapshot after the run.
+	CacheStats *CacheStats `json:"cacheStats,omitempty"`
+}
+
+// DefaultMix is the recorded workload the replay fires: the evaluation
+// corpus (intro examples, Polybench kernels, Fig. 2 case studies, the
+// restrict/annotation scaling programs), two SPEC-shaped specgen units,
+// and size/flag variants so key sensitivity is exercised under load.
+func DefaultMix() []CompileRequest {
+	var reqs []CompileRequest
+	add := func(p workload.Program) {
+		reqs = append(reqs, CompileRequest{Name: p.Name + ".c", Source: p.Source})
+	}
+	add(workload.IntroMinmax(64))
+	add(workload.IntroImagick(3))
+	for _, p := range workload.PolybenchKernels() {
+		add(p)
+	}
+	for _, p := range workload.ExtraPolybenchKernels() {
+		add(p)
+	}
+	add(workload.RestrictScale())
+	add(workload.AnnotatedScale())
+	add(workload.PartialOverlapKernel())
+	for _, cs := range workload.Fig2CaseStudies() {
+		add(cs.Program)
+	}
+	for _, b := range workload.SpecSuite()[:1] {
+		units := workload.GenerateUnits(b)
+		if len(units) > 2 {
+			units = units[:2]
+		}
+		for _, u := range units {
+			add(u)
+		}
+	}
+	// Variants: different problem sizes hash to different keys (the
+	// specgen-style axis), and a baseline-flag twin of one kernel keeps
+	// the flag dimension of the key hot in every replay.
+	for _, n := range []int{16, 128} {
+		p := workload.IntroMinmax(n)
+		reqs = append(reqs, CompileRequest{
+			Name: fmt.Sprintf("%s-n%d.c", p.Name, n), Source: p.Source,
+		})
+	}
+	bicg := workload.PolybenchKernels()[0]
+	reqs = append(reqs, CompileRequest{
+		Name: bicg.Name + "-baseline.c", Source: bicg.Source, Baseline: true,
+	})
+	return reqs
+}
+
+type loadResult struct {
+	key       string
+	hit       bool
+	artDigest string
+	latency   time.Duration
+	err       error
+}
+
+// RunLoad replays the mix against a daemon and aggregates the report.
+// The run itself is transport-level only — it never compiles locally —
+// so the numbers measure the service, not the client.
+func RunLoad(opts LoadOptions) (*LoadReport, error) {
+	if opts.Clients <= 0 {
+		opts.Clients = 4
+	}
+	if opts.Repeat <= 0 {
+		opts.Repeat = 1
+	}
+	mix := opts.Requests
+	if mix == nil {
+		mix = DefaultMix()
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("ooeload: empty workload mix")
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+	base := strings.TrimSuffix(opts.Addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	// The request stream: Repeat copies of the mix, order shuffled by
+	// the seed. A fixed seed gives an identical stream across runs, so
+	// cold and warm replays are directly comparable.
+	stream := make([]int, 0, len(mix)*opts.Repeat)
+	for r := 0; r < opts.Repeat; r++ {
+		for i := range mix {
+			stream = append(stream, i)
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+
+	results := make([]loadResult, len(stream))
+	next := make(chan int, len(stream))
+	for i := range stream {
+		next <- i
+	}
+	close(next)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(opts.Clients)
+	for c := 0; c < opts.Clients; c++ {
+		go func() {
+			defer wg.Done()
+			if opts.BatchSize > 1 {
+				runBatchClient(client, base, mix, stream, next, results, opts.BatchSize)
+				return
+			}
+			for i := range next {
+				results[i] = doCompile(client, base, mix[stream[i]])
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{
+		Schema:   LoadReportSchema,
+		Addr:     opts.Addr,
+		Seed:     opts.Seed,
+		Clients:  opts.Clients,
+		Requests: len(stream),
+	}
+	rep.DurationNS = int64(elapsed)
+	if elapsed > 0 {
+		rep.TUsPerSec = float64(len(stream)) / elapsed.Seconds()
+	}
+
+	byKey := map[string]string{}
+	var latencies []time.Duration
+	hits := 0
+	ok := 0
+	for _, r := range results {
+		if r.err != nil {
+			rep.Errors++
+			continue
+		}
+		ok++
+		if r.hit {
+			hits++
+		}
+		latencies = append(latencies, r.latency)
+		if prev, seen := byKey[r.key]; seen {
+			if prev != r.artDigest {
+				rep.IntegrityFailures++
+			}
+		} else {
+			byKey[r.key] = r.artDigest
+		}
+	}
+	if ok > 0 {
+		rep.HitRate = float64(hits) / float64(ok)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if n := len(latencies); n > 0 {
+		rep.LatencyP50NS = int64(latencies[n/2])
+		rep.LatencyP99NS = int64(latencies[n*99/100])
+		rep.LatencyMaxNS = int64(latencies[n-1])
+	}
+	rep.CorpusDigest = corpusDigest(byKey)
+
+	if stats, err := fetchCacheStats(client, base); err == nil {
+		rep.CacheStats = stats
+	}
+	return rep, nil
+}
+
+// corpusDigest folds key -> artifact-digest pairs into one stable hash.
+func corpusDigest(byKey map[string]string) string {
+	lines := make([]string, 0, len(byKey))
+	for k, d := range byKey {
+		lines = append(lines, k+" "+d)
+	}
+	sort.Strings(lines)
+	h := sha256.New()
+	for _, l := range lines {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func doCompile(client *http.Client, base string, req CompileRequest) loadResult {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return loadResult{err: err}
+	}
+	start := time.Now()
+	resp, err := client.Post(base+"/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return loadResult{err: err}
+	}
+	defer resp.Body.Close()
+	var cr CompileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return loadResult{err: fmt.Errorf("%s: %w", req.Name, err)}
+	}
+	lat := time.Since(start)
+	if cr.Error != "" {
+		return loadResult{err: fmt.Errorf("%s: %s", req.Name, cr.Error)}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return loadResult{err: fmt.Errorf("%s: HTTP %d", req.Name, resp.StatusCode)}
+	}
+	return loadResult{
+		key:       cr.Key,
+		hit:       cr.CacheHit,
+		artDigest: digest(cr.Artifacts),
+		latency:   lat,
+	}
+}
+
+// runBatchClient drains indices from next in chunks and posts each
+// chunk as one /batch request, attributing the batch latency to every
+// unit in it.
+func runBatchClient(client *http.Client, base string, mix []CompileRequest, stream []int, next chan int, results []loadResult, batchSize int) {
+	for {
+		var idx []int
+		for i := range next {
+			idx = append(idx, i)
+			if len(idx) == batchSize {
+				break
+			}
+		}
+		if len(idx) == 0 {
+			return
+		}
+		br := BatchRequest{Units: make([]CompileRequest, len(idx))}
+		for j, i := range idx {
+			br.Units[j] = mix[stream[i]]
+		}
+		body, err := json.Marshal(br)
+		if err != nil {
+			for _, i := range idx {
+				results[i] = loadResult{err: err}
+			}
+			continue
+		}
+		start := time.Now()
+		resp, err := client.Post(base+"/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			for _, i := range idx {
+				results[i] = loadResult{err: err}
+			}
+			continue
+		}
+		var out BatchResponse
+		decErr := json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		lat := time.Since(start)
+		for j, i := range idx {
+			switch {
+			case decErr != nil:
+				results[i] = loadResult{err: decErr}
+			case j >= len(out.Results):
+				results[i] = loadResult{err: fmt.Errorf("batch: short response")}
+			case out.Results[j].Error != "":
+				results[i] = loadResult{err: fmt.Errorf("%s: %s", out.Results[j].Name, out.Results[j].Error)}
+			default:
+				results[i] = loadResult{
+					key:       out.Results[j].Key,
+					hit:       out.Results[j].CacheHit,
+					artDigest: digest(out.Results[j].Artifacts),
+					latency:   lat,
+				}
+			}
+		}
+		if len(idx) < batchSize {
+			return
+		}
+	}
+}
+
+func fetchCacheStats(client *http.Client, base string) (*CacheStats, error) {
+	resp, err := client.Get(base + "/cachestats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cachestats: HTTP %d", resp.StatusCode)
+	}
+	var st CacheStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func digest(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

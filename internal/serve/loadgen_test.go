@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// smallMix is a fast replay corpus for tests (DefaultMix compiles the
+// full evaluation corpus, which belongs in the CI service job, not in
+// go test).
+func smallMix() []CompileRequest {
+	a := workload.IntroMinmax(8)
+	b := workload.IntroMinmax(16)
+	return []CompileRequest{
+		{Name: a.Name + ".c", Source: a.Source},
+		{Name: b.Name + "-n16.c", Source: b.Source},
+		{Name: a.Name + "-baseline.c", Source: a.Source, Baseline: true},
+	}
+}
+
+// TestRunLoadColdWarm drives the full replay path: a cold run compiles
+// everything, a warm run against the same daemon hits on every request,
+// and the corpus digests match — the exact cold-vs-warm byte-identity
+// contract the CI service job gates on.
+func TestRunLoadColdWarm(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	opts := LoadOptions{
+		Addr:     hs.URL,
+		Clients:  3,
+		Repeat:   2,
+		Seed:     7,
+		Requests: smallMix(),
+	}
+
+	cold, err := RunLoad(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Schema != LoadReportSchema {
+		t.Errorf("schema = %q, want %q", cold.Schema, LoadReportSchema)
+	}
+	if cold.Requests != len(smallMix())*2 {
+		t.Errorf("Requests = %d, want %d", cold.Requests, len(smallMix())*2)
+	}
+	if cold.Errors != 0 || cold.IntegrityFailures != 0 {
+		t.Fatalf("cold run: %d errors, %d integrity failures", cold.Errors, cold.IntegrityFailures)
+	}
+	// Repeat=2 means every unit is requested twice; the second copy is a
+	// hit (stored or single-flight), so the cold hit-rate is already 1/2.
+	if cold.HitRate < 0.5 {
+		t.Errorf("cold HitRate = %v, want >= 0.5 with Repeat=2", cold.HitRate)
+	}
+	if cold.CorpusDigest == "" {
+		t.Error("cold run produced no corpus digest")
+	}
+	if cold.LatencyP50NS <= 0 || cold.LatencyMaxNS < cold.LatencyP99NS {
+		t.Errorf("latency aggregation inconsistent: p50=%d p99=%d max=%d",
+			cold.LatencyP50NS, cold.LatencyP99NS, cold.LatencyMaxNS)
+	}
+	if cold.TUsPerSec <= 0 {
+		t.Errorf("TUsPerSec = %v", cold.TUsPerSec)
+	}
+	if cold.CacheStats == nil {
+		t.Fatal("cold run fetched no /cachestats snapshot")
+	}
+	if cold.CacheStats.Misses != int64(len(smallMix())) {
+		t.Errorf("daemon misses = %d, want %d (one per unique unit)",
+			cold.CacheStats.Misses, len(smallMix()))
+	}
+
+	warm, err := RunLoad(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Errors != 0 || warm.IntegrityFailures != 0 {
+		t.Fatalf("warm run: %d errors, %d integrity failures", warm.Errors, warm.IntegrityFailures)
+	}
+	if warm.HitRate != 1 {
+		t.Errorf("warm HitRate = %v, want 1 (everything cached)", warm.HitRate)
+	}
+	if warm.CorpusDigest != cold.CorpusDigest {
+		t.Errorf("corpus digest changed cold->warm:\n  cold %s\n  warm %s",
+			cold.CorpusDigest, warm.CorpusDigest)
+	}
+}
+
+// TestRunLoadBatch exercises the /batch transport with a chunk size
+// that does not divide the stream evenly.
+func TestRunLoadBatch(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	rep, err := RunLoad(LoadOptions{
+		Addr:      hs.URL,
+		Clients:   2,
+		Repeat:    3,
+		Seed:      11,
+		Requests:  smallMix(),
+		BatchSize: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != len(smallMix())*3 {
+		t.Errorf("Requests = %d, want %d", rep.Requests, len(smallMix())*3)
+	}
+	if rep.Errors != 0 || rep.IntegrityFailures != 0 {
+		t.Fatalf("batch run: %d errors, %d integrity failures", rep.Errors, rep.IntegrityFailures)
+	}
+	if rep.CorpusDigest == "" {
+		t.Error("batch run produced no corpus digest")
+	}
+}
+
+// TestRunLoadSeedDeterminism: one seed must give one request stream —
+// the property that makes cold and warm CI replays comparable.
+func TestRunLoadSeedDeterminism(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	opts := LoadOptions{Addr: hs.URL, Clients: 1, Seed: 42, Requests: smallMix()}
+	a, err := RunLoad(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLoad(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CorpusDigest != b.CorpusDigest {
+		t.Error("same seed, same daemon, different corpus digests")
+	}
+}
+
+// TestRunLoadSurfacesErrors: compile failures count as request errors.
+func TestRunLoadSurfacesErrors(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	rep, err := RunLoad(LoadOptions{
+		Addr:    hs.URL,
+		Clients: 1,
+		Requests: []CompileRequest{
+			{Name: "broken.c", Source: "int main( {"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 1 {
+		t.Errorf("Errors = %d, want 1", rep.Errors)
+	}
+}
+
+// TestDefaultMixShape sanity-checks the recorded workload without
+// compiling it: non-trivial size, unique names, and both key axes
+// (problem-size variants and a baseline-flag twin) present.
+func TestDefaultMixShape(t *testing.T) {
+	mix := DefaultMix()
+	if len(mix) < 15 {
+		t.Fatalf("DefaultMix has %d units, want a real corpus (>= 15)", len(mix))
+	}
+	seen := map[string]bool{}
+	variants, baselines := 0, 0
+	for _, r := range mix {
+		if r.Name == "" || r.Source == "" {
+			t.Errorf("unit %q has empty name or source", r.Name)
+		}
+		if seen[r.Name] {
+			t.Errorf("duplicate unit name %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Baseline {
+			baselines++
+		}
+		if len(r.Name) > 2 && r.Name[len(r.Name)-2:] == ".c" {
+			for _, suffix := range []string{"-n16.c", "-n128.c"} {
+				if len(r.Name) >= len(suffix) && r.Name[len(r.Name)-len(suffix):] == suffix {
+					variants++
+				}
+			}
+		}
+	}
+	if variants != 2 {
+		t.Errorf("mix has %d size variants, want 2", variants)
+	}
+	if baselines != 1 {
+		t.Errorf("mix has %d baseline twins, want 1", baselines)
+	}
+}

@@ -1,0 +1,427 @@
+// Package serve turns the driver into a long-running compile service:
+// an HTTP API (POST /compile for one translation unit, POST /batch for
+// many, GET /cachestats, GET /healthz) over a pool of compile lanes and
+// a content-addressed result cache (internal/serve/cache). Identical
+// requests — same source, include set, defines, pass spec, flags, and
+// compiler build — are served from the cache or deduplicated into one
+// in-flight compile, and the artifacts they return are byte-identical
+// to a fresh compile's, because the cache key covers every input the
+// output depends on.
+//
+// The serving session's observability is the existing plane unchanged:
+// cache and request counters flow into the telemetry Session the server
+// is built with, so -obs-addr /metrics, the flight recorder, and crash
+// dumps all work in serving mode exactly as they do for one-shot CLIs.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+
+	"repro/internal/aa"
+	"repro/internal/driver"
+	"repro/internal/passes"
+	"repro/internal/serve/cache"
+	"repro/internal/telemetry"
+)
+
+// ArtifactsSchema identifies the serialized artifact payload format.
+const ArtifactsSchema = "ooelala-artifacts/v1"
+
+// DefaultAuditTail bounds the per-unit alias-query audit ring that is
+// serialized into artifacts (the most recent entries win, as in a
+// crash dump's audit tail).
+const DefaultAuditTail = 256
+
+// Config configures a compile server.
+type Config struct {
+	// Lanes bounds the number of concurrently running compiles (the
+	// serving analog of -j). 0 = GOMAXPROCS.
+	Lanes int
+	// UnitJobs is the per-compilation worker count (driver.Config.Jobs).
+	// The default 0 resolves to 1: under many concurrent clients one
+	// lane per compile is the throughput-optimal shape, and artifacts
+	// are byte-identical at every value, so it never affects the cache.
+	UnitJobs int
+	// CacheCapacity bounds the result cache in entries (0 =
+	// cache.DefaultCapacity).
+	CacheCapacity int
+	// AuditTail bounds the per-unit audit ring serialized into
+	// artifacts (0 = DefaultAuditTail).
+	AuditTail int
+	// PassSpec is the pipeline spec applied when a request does not
+	// carry its own (empty = passes.DefaultPipelineSpec).
+	PassSpec string
+	// BaseFiles is the server-side include set; request files overlay
+	// it. The compile daemon serves the workload annotation header by
+	// default so clients can send bare kernel sources.
+	BaseFiles map[string]string
+	// Telemetry receives aggregate serving metrics (cache and request
+	// counters, phase durations). Nil is the usual no-op.
+	Telemetry *telemetry.Session
+	// CrashDir routes crash-<unit>.json dumps from pass panics inside
+	// served compilations (empty = process default).
+	CrashDir string
+	// BuildID overrides the compiler build identity in cache keys
+	// (empty = BuildID()). Tests use it to simulate a rebuilt compiler.
+	BuildID string
+}
+
+// Server is a running compile service (the HTTP-independent core; wrap
+// Mux in an http.Server to expose it).
+type Server struct {
+	cfg     Config
+	cache   *cache.Cache
+	lanes   chan int
+	buildID string
+}
+
+// New builds a compile server.
+func New(cfg Config) *Server {
+	if cfg.Lanes <= 0 {
+		cfg.Lanes = runtime.GOMAXPROCS(0)
+	}
+	if cfg.UnitJobs <= 0 {
+		cfg.UnitJobs = 1
+	}
+	if cfg.AuditTail <= 0 {
+		cfg.AuditTail = DefaultAuditTail
+	}
+	if cfg.PassSpec == "" {
+		cfg.PassSpec = passes.DefaultPipelineSpec
+	}
+	s := &Server{
+		cfg:     cfg,
+		cache:   cache.New(cfg.CacheCapacity, cfg.Telemetry),
+		lanes:   make(chan int, cfg.Lanes),
+		buildID: cfg.BuildID,
+	}
+	if s.buildID == "" {
+		s.buildID = BuildID()
+	}
+	for i := 1; i <= cfg.Lanes; i++ {
+		s.lanes <- i
+	}
+	return s
+}
+
+// BuildID identifies the running compiler build: module path/version,
+// VCS revision and time when stamped, and the Go toolchain. Cache keys
+// include it so artifacts never outlive the binary that produced them.
+func BuildID() string {
+	id := "go=" + runtime.Version()
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		id += " module=" + bi.Main.Path + "@" + bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				id += " rev=" + s.Value
+			case "vcs.time":
+				id += " time=" + s.Value
+			}
+		}
+	}
+	return id
+}
+
+// CompileRequest is one translation unit to compile.
+type CompileRequest struct {
+	// Name is the unit name (appears in artifacts and diagnostics).
+	Name string `json:"name"`
+	// Source is the C source text.
+	Source string `json:"source"`
+	// Files overlays the server's include set for this request.
+	Files map[string]string `json:"files,omitempty"`
+	// Defines predefines object-like macros.
+	Defines map[string]string `json:"defines,omitempty"`
+	// Baseline disables unseq-aa (the Clang-like control).
+	Baseline bool `json:"baseline,omitempty"`
+	// NoOpt disables the pass pipeline (-O0).
+	NoOpt bool `json:"noOpt,omitempty"`
+	// Passes overrides the server's pipeline spec.
+	Passes string `json:"passes,omitempty"`
+}
+
+// CompileResponse is the answer for one unit.
+type CompileResponse struct {
+	Name string `json:"name"`
+	// Key is the content-address of the artifacts (hex SHA-256).
+	Key string `json:"key"`
+	// CacheHit reports whether the artifacts came from the cache (or a
+	// deduplicated in-flight compile) rather than this request's own
+	// compile.
+	CacheHit bool `json:"cacheHit"`
+	// Error is set when the unit failed to compile; Artifacts is then
+	// empty. Batch responses carry per-unit errors this way.
+	Error string `json:"error,omitempty"`
+	// Artifacts is the serialized Artifacts JSON, byte-identical
+	// between cached and freshly-compiled responses.
+	Artifacts json.RawMessage `json:"artifacts,omitempty"`
+}
+
+// BatchRequest is a set of units compiled under one POST /batch.
+type BatchRequest struct {
+	Units []CompileRequest `json:"units"`
+}
+
+// BatchResponse carries one CompileResponse per unit, in request order.
+type BatchResponse struct {
+	Results []CompileResponse `json:"results"`
+}
+
+// Artifacts is everything a compilation produced, in a deterministic,
+// serializable shape: the optimized IR, the paper's statistics, the
+// optimization remarks with unseq-aa attribution, and the tail of the
+// alias-query audit log. Serialization is byte-stable — no maps, field
+// order fixed — so cold-vs-warm byte identity is a meaningful check.
+type Artifacts struct {
+	Schema           string                 `json:"schema"`
+	Name             string                 `json:"name"`
+	IR               string                 `json:"ir"`
+	Frontend         driver.FrontendStats   `json:"frontend"`
+	PassStats        passes.Stats           `json:"passStats"`
+	AAStats          aa.Stats               `json:"aaStats"`
+	FinalPreds       int                    `json:"finalPreds"`
+	UniqueFinalPreds int                    `json:"uniqueFinalPreds"`
+	UBChecks         int                    `json:"ubChecks"`
+	Remarks          []telemetry.Remark     `json:"remarks"`
+	AuditTail        []telemetry.AliasQuery `json:"auditTail"`
+	AuditTotal       int64                  `json:"auditTotal"`
+}
+
+// effectiveFiles overlays request files on the server include set.
+func (s *Server) effectiveFiles(req CompileRequest) map[string]string {
+	if len(req.Files) == 0 {
+		return s.cfg.BaseFiles
+	}
+	files := make(map[string]string, len(s.cfg.BaseFiles)+len(req.Files))
+	for k, v := range s.cfg.BaseFiles {
+		files[k] = v
+	}
+	for k, v := range req.Files {
+		files[k] = v
+	}
+	return files
+}
+
+// KeyFor computes the content-address a request resolves to.
+func (s *Server) KeyFor(req CompileRequest) cache.Key {
+	spec := req.Passes
+	if spec == "" {
+		spec = s.cfg.PassSpec
+	}
+	return cache.Inputs{
+		Name:     req.Name,
+		Source:   req.Source,
+		Files:    s.effectiveFiles(req),
+		Defines:  req.Defines,
+		PassSpec: spec,
+		Flags:    cache.FlagString(!req.Baseline, req.NoOpt, false),
+		BuildID:  s.buildID,
+	}.Key()
+}
+
+// Compile resolves one request through the cache: a stored or in-flight
+// identical compilation is shared, anything else compiles on a pooled
+// lane. The returned artifact bytes are byte-identical whichever path
+// produced them.
+func (s *Server) Compile(req CompileRequest) (CompileResponse, error) {
+	tel := s.cfg.Telemetry
+	tel.Count("serve/requests", 1)
+	key := s.KeyFor(req)
+	val, hit, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
+		return s.compileCold(req)
+	})
+	resp := CompileResponse{Name: req.Name, Key: key.String(), CacheHit: hit}
+	if hit {
+		tel.FlightRecord("serve", "hit", req.Name)
+	} else {
+		tel.FlightRecord("serve", "compile", req.Name)
+	}
+	if err != nil {
+		tel.Count("serve/errors", 1)
+		resp.Error = err.Error()
+		return resp, err
+	}
+	resp.Artifacts = val
+	return resp, nil
+}
+
+// compileCold runs the actual compilation on a pooled lane and
+// serializes the artifacts. A dedicated per-unit telemetry session
+// collects the remark stream and audit ring for the artifacts; its
+// aggregate metrics are then folded into the serving session
+// (MergeMetrics), so /metrics sees every unit while the serving
+// session's memory stays bounded.
+func (s *Server) compileCold(req CompileRequest) ([]byte, error) {
+	lane := <-s.lanes
+	defer func() { s.lanes <- lane }()
+
+	spec := req.Passes
+	if spec == "" {
+		spec = s.cfg.PassSpec
+	}
+	pipe, err := passes.ParsePipeline(spec)
+	if err != nil {
+		return nil, fmt.Errorf("%s: passes: %w", req.Name, err)
+	}
+	popts := passes.DefaultOptions()
+	popts.Pipeline = pipe
+	popts.Jobs = s.cfg.UnitJobs
+
+	unit := telemetry.New(telemetry.Config{
+		Metrics:  true,
+		Timing:   true,
+		Remarks:  true,
+		Audit:    true,
+		AuditCap: s.cfg.AuditTail,
+	})
+	c, err := driver.Compile(req.Name, req.Source, driver.Config{
+		OOElala:     !req.Baseline,
+		NoOpt:       req.NoOpt,
+		Files:       s.effectiveFiles(req),
+		Defines:     req.Defines,
+		PassOptions: &popts,
+		Jobs:        s.cfg.UnitJobs,
+		Telemetry:   unit,
+		CrashDir:    s.cfg.CrashDir,
+	})
+	s.cfg.Telemetry.MergeMetrics(unit)
+	if err != nil {
+		return nil, err
+	}
+	snap := unit.Snapshot()
+	art := Artifacts{
+		Schema:           ArtifactsSchema,
+		Name:             c.Name,
+		IR:               c.Module.String(),
+		Frontend:         c.Frontend,
+		PassStats:        c.PassStats,
+		AAStats:          c.AAStats,
+		FinalPreds:       c.FinalPreds,
+		UniqueFinalPreds: c.UniqueFinalPreds,
+		UBChecks:         c.UBChecks,
+		Remarks:          snap.Remarks,
+		AuditTail:        snap.AliasQueries,
+		AuditTotal:       snap.AliasQueriesTotal,
+	}
+	if art.Remarks == nil {
+		art.Remarks = []telemetry.Remark{}
+	}
+	if art.AuditTail == nil {
+		art.AuditTail = []telemetry.AliasQuery{}
+	}
+	return json.Marshal(art)
+}
+
+// CacheStats is the GET /cachestats payload.
+type CacheStats struct {
+	cache.Stats
+	// HitRate is Hits/(Hits+Misses) for JSON consumers.
+	HitRate float64 `json:"hitRate"`
+}
+
+// Stats snapshots the cache counters.
+func (s *Server) Stats() CacheStats {
+	st := s.cache.Stats()
+	return CacheStats{Stats: st, HitRate: st.HitRate()}
+}
+
+// Mux builds the service HTTP handler:
+//
+//	POST /compile     one CompileRequest -> CompileResponse
+//	POST /batch       BatchRequest -> BatchResponse (request order)
+//	GET  /cachestats  CacheStats
+//	GET  /healthz     liveness probe
+//
+// Mount the live observability plane (obsserver.Mux) on its own
+// address via -obs-addr; this mux is only the compile API.
+func (s *Server) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/compile", s.handleCompile)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/cachestats", s.handleCacheStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a CompileRequest to /compile")
+		return
+	}
+	var req CompileRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid request: "+err.Error())
+		return
+	}
+	if req.Source == "" {
+		httpError(w, http.StatusBadRequest, "empty source")
+		return
+	}
+	if req.Name == "" {
+		req.Name = "unit.c"
+	}
+	resp, err := s.Compile(req)
+	status := http.StatusOK
+	if err != nil {
+		// The unit failed to compile; the request itself was fine.
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a BatchRequest to /batch")
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid request: "+err.Error())
+		return
+	}
+	out := BatchResponse{Results: make([]CompileResponse, len(req.Units))}
+	done := make(chan int, len(req.Units))
+	for i := range req.Units {
+		go func(i int) {
+			defer func() { done <- i }()
+			u := req.Units[i]
+			if u.Name == "" {
+				u.Name = fmt.Sprintf("unit%d.c", i)
+			}
+			if u.Source == "" {
+				out.Results[i] = CompileResponse{Name: u.Name, Error: "empty source"}
+				return
+			}
+			// Compile's error is already folded into the response entry.
+			out.Results[i], _ = s.Compile(u)
+		}(i)
+	}
+	for range req.Units {
+		<-done
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client disconnects only
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

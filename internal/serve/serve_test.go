@@ -1,0 +1,337 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.BaseFiles == nil {
+		cfg.BaseFiles = workload.Files()
+	}
+	srv := New(cfg)
+	hs := httptest.NewServer(srv.Mux())
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+func smallUnit() CompileRequest {
+	p := workload.IntroMinmax(8)
+	return CompileRequest{Name: p.Name + ".c", Source: p.Source}
+}
+
+func postCompile(t *testing.T, url string, req CompileRequest) (int, CompileResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cr CompileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp.StatusCode, cr
+}
+
+// TestCompileEndpoint: the second identical request is a cache hit and
+// returns byte-identical artifacts.
+func TestCompileEndpoint(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	req := smallUnit()
+
+	status, cold := postCompile(t, hs.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("cold status = %d", status)
+	}
+	if cold.CacheHit {
+		t.Error("first request reported a cache hit")
+	}
+	if cold.Key == "" || len(cold.Artifacts) == 0 {
+		t.Fatalf("cold response missing key or artifacts: %+v", cold)
+	}
+
+	status, warm := postCompile(t, hs.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("warm status = %d", status)
+	}
+	if !warm.CacheHit {
+		t.Error("second identical request missed the cache")
+	}
+	if warm.Key != cold.Key {
+		t.Errorf("key changed between identical requests: %s vs %s", warm.Key, cold.Key)
+	}
+	if !bytes.Equal(cold.Artifacts, warm.Artifacts) {
+		t.Error("cached artifacts differ from freshly-compiled artifacts")
+	}
+
+	var art Artifacts
+	if err := json.Unmarshal(cold.Artifacts, &art); err != nil {
+		t.Fatalf("artifacts: %v", err)
+	}
+	if art.Schema != ArtifactsSchema {
+		t.Errorf("artifact schema = %q, want %q", art.Schema, ArtifactsSchema)
+	}
+	if art.IR == "" {
+		t.Error("artifacts carry no IR")
+	}
+	if art.Frontend.FullExprs == 0 {
+		t.Error("artifacts carry no frontend stats")
+	}
+}
+
+// TestColdWarmByteIdenticalAcrossJobs is the golden determinism gate:
+// the same unit compiled by servers with per-unit parallelism 1 and 4
+// must serialize to byte-identical artifacts — which is why UnitJobs is
+// deliberately absent from the cache key.
+func TestColdWarmByteIdenticalAcrossJobs(t *testing.T) {
+	req := smallUnit()
+	var arts [][]byte
+	var keys []string
+	for _, jobs := range []int{1, 4} {
+		srv := New(Config{UnitJobs: jobs, BaseFiles: workload.Files(), BuildID: "test-build"})
+		resp, err := srv.Compile(req)
+		if err != nil {
+			t.Fatalf("UnitJobs=%d: %v", jobs, err)
+		}
+		arts = append(arts, resp.Artifacts)
+		keys = append(keys, resp.Key)
+	}
+	if !bytes.Equal(arts[0], arts[1]) {
+		t.Error("artifacts differ between -j1 and -j4 servers")
+	}
+	if keys[0] != keys[1] {
+		t.Error("cache key depends on UnitJobs; the cache would fragment")
+	}
+}
+
+// TestKeyForSensitivity: every request field that can change artifacts
+// must move the key, and the compiler build identity must too.
+func TestKeyForSensitivity(t *testing.T) {
+	srv := New(Config{BaseFiles: workload.Files(), BuildID: "build-a"})
+	base := srv.KeyFor(smallUnit())
+
+	perturb := map[string]CompileRequest{
+		"source":   func() CompileRequest { r := smallUnit(); r.Source += "\n"; return r }(),
+		"passes":   func() CompileRequest { r := smallUnit(); r.Passes = "mem2reg"; return r }(),
+		"baseline": func() CompileRequest { r := smallUnit(); r.Baseline = true; return r }(),
+		"noOpt":    func() CompileRequest { r := smallUnit(); r.NoOpt = true; return r }(),
+		"defines":  func() CompileRequest { r := smallUnit(); r.Defines = map[string]string{"N": "9"}; return r }(),
+		"files":    func() CompileRequest { r := smallUnit(); r.Files = map[string]string{"x.h": ""}; return r }(),
+	}
+	for what, req := range perturb {
+		if srv.KeyFor(req) == base {
+			t.Errorf("%s change did not change the key", what)
+		}
+	}
+
+	rebuilt := New(Config{BaseFiles: workload.Files(), BuildID: "build-b"})
+	if rebuilt.KeyFor(smallUnit()) == base {
+		t.Error("a different compiler build produced the same key")
+	}
+	same := New(Config{BaseFiles: workload.Files(), BuildID: "build-a"})
+	if same.KeyFor(smallUnit()) != base {
+		t.Error("the same build + request did not reproduce the key")
+	}
+}
+
+// TestBatchEndpoint: results come back in request order, failures are
+// per-unit, and duplicates within one batch share a key.
+func TestBatchEndpoint(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	good := smallUnit()
+	req := BatchRequest{Units: []CompileRequest{
+		good,
+		{Name: "broken.c", Source: "int main( {"},
+		good,
+		{Name: "empty.c"},
+	}}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(hs.URL+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(out.Results))
+	}
+	if out.Results[0].Name != good.Name || out.Results[2].Name != good.Name {
+		t.Errorf("results out of request order: %s / %s", out.Results[0].Name, out.Results[2].Name)
+	}
+	if out.Results[0].Error != "" {
+		t.Errorf("unit 0 failed: %s", out.Results[0].Error)
+	}
+	if out.Results[1].Error == "" {
+		t.Error("broken unit reported no error")
+	}
+	if out.Results[3].Error == "" {
+		t.Error("empty-source unit reported no error")
+	}
+	if out.Results[0].Key != out.Results[2].Key {
+		t.Error("identical units in one batch got different keys")
+	}
+	if !bytes.Equal(out.Results[0].Artifacts, out.Results[2].Artifacts) {
+		t.Error("identical units in one batch got different artifacts")
+	}
+}
+
+// TestCacheStatsEndpoint tracks a miss-then-hit sequence.
+func TestCacheStatsEndpoint(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	req := smallUnit()
+	postCompile(t, hs.URL, req)
+	postCompile(t, hs.URL, req)
+
+	resp, err := http.Get(hs.URL + "/cachestats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st CacheStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Misses != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 miss / 1 hit / 1 entry", st)
+	}
+	if st.HitRate != 0.5 {
+		t.Errorf("HitRate = %v, want 0.5", st.HitRate)
+	}
+}
+
+// TestCompileErrorPaths: malformed JSON and empty source are 400 (the
+// request is wrong), a unit that fails to compile is 422 (the request
+// was fine), and errors never enter the cache.
+func TestCompileErrorPaths(t *testing.T) {
+	srv, hs := testServer(t, Config{})
+
+	resp, err := http.Post(hs.URL+"/compile", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status = %d, want 400", resp.StatusCode)
+	}
+
+	status, _ := postCompile(t, hs.URL, CompileRequest{Name: "empty.c"})
+	if status != http.StatusBadRequest {
+		t.Errorf("empty source: status = %d, want 400", status)
+	}
+
+	broken := CompileRequest{Name: "broken.c", Source: "int main( {"}
+	status, cr := postCompile(t, hs.URL, broken)
+	if status != http.StatusUnprocessableEntity {
+		t.Errorf("compile error: status = %d, want 422", status)
+	}
+	if cr.Error == "" {
+		t.Error("compile error response carries no error")
+	}
+	if len(cr.Artifacts) != 0 {
+		t.Error("compile error response carries artifacts")
+	}
+	if n := srv.cache.Len(); n != 0 {
+		t.Errorf("failed compile was cached (%d entries)", n)
+	}
+
+	resp, err = http.Get(hs.URL + "/compile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /compile: status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServingTelemetry: served compiles fold their metrics into the
+// serving session (so -obs-addr /metrics sees them) without dragging
+// the per-unit remark/audit streams into daemon memory.
+func TestServingTelemetry(t *testing.T) {
+	tel := telemetry.New(telemetry.Config{Metrics: true})
+	srv := New(Config{BaseFiles: workload.Files(), Telemetry: tel})
+	if _, err := srv.Compile(smallUnit()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Compile(smallUnit()); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := tel.Snapshot()
+	got := map[string]int64{}
+	for _, c := range snap.Counters {
+		got[c.Name] = c.Value
+	}
+	if got["serve/requests"] != 2 {
+		t.Errorf("serve/requests = %d, want 2", got["serve/requests"])
+	}
+	if got["cache/misses"] != 1 || got["cache/hits"] != 1 {
+		t.Errorf("cache counters = %d miss / %d hit, want 1/1", got["cache/misses"], got["cache/hits"])
+	}
+	// The unit's own analysis counters must have merged through.
+	if got["aa/queries"] == 0 {
+		t.Error("per-unit aa/queries did not merge into the serving session")
+	}
+	// But its remark/audit streams must NOT have: the serving session
+	// would otherwise grow without bound.
+	if len(snap.Remarks) != 0 {
+		t.Errorf("serving session accumulated %d remarks", len(snap.Remarks))
+	}
+	if len(snap.AliasQueries) != 0 {
+		t.Errorf("serving session accumulated %d audit entries", len(snap.AliasQueries))
+	}
+}
+
+// TestArtifactsCarryUnitStreams: remarks and the audit tail ride inside
+// the artifacts even though the serving session doesn't collect them.
+func TestArtifactsCarryUnitStreams(t *testing.T) {
+	srv := New(Config{BaseFiles: workload.Files()})
+	resp, err := srv.Compile(smallUnit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art Artifacts
+	if err := json.Unmarshal(resp.Artifacts, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.AuditTotal == 0 || len(art.AuditTail) == 0 {
+		t.Errorf("artifacts carry no audit tail (total %d, tail %d)", art.AuditTotal, len(art.AuditTail))
+	}
+	if len(art.AuditTail) > DefaultAuditTail {
+		t.Errorf("audit tail %d exceeds the %d bound", len(art.AuditTail), DefaultAuditTail)
+	}
+	if art.Remarks == nil || art.AuditTail == nil {
+		t.Error("unit streams serialized as null, not []")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d", resp.StatusCode)
+	}
+}

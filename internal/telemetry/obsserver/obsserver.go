@@ -23,10 +23,63 @@ import (
 	"runtime"
 	"runtime/debug"
 	rtpprof "runtime/pprof"
+	"sync"
 	"time"
 
 	"repro/internal/telemetry"
 )
+
+// Live handles, so the CLIs' error paths can flush profiles and close
+// listeners before os.Exit without threading the handle everywhere:
+// Start registers, Close unregisters, and Exit closes whatever is still
+// open. A leaked *os.File would be reclaimed at exit anyway, but an
+// unflushed CPU profile or a still-bound listener in a respawning
+// supervisor is a real loss.
+var (
+	liveMu sync.Mutex
+	live   []*Handle
+)
+
+func register(h *Handle) {
+	liveMu.Lock()
+	live = append(live, h)
+	liveMu.Unlock()
+}
+
+func unregister(h *Handle) {
+	liveMu.Lock()
+	for i, l := range live {
+		if l == h {
+			live = append(live[:i], live[i+1:]...)
+			break
+		}
+	}
+	liveMu.Unlock()
+}
+
+// CloseAll closes every still-open Handle, newest first (reverse start
+// order, like deferred closes would run). It returns the first error.
+func CloseAll() error {
+	liveMu.Lock()
+	open := append([]*Handle(nil), live...)
+	liveMu.Unlock()
+	var first error
+	for i := len(open) - 1; i >= 0; i-- {
+		if err := open[i].Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Exit is the os.Exit every observability-carrying CLI should use on
+// its error and early-return paths: it closes all live handles (CPU
+// profile flushed, heap profile written, sampler stopped, listener
+// closed) and then exits with code.
+func Exit(code int) {
+	CloseAll() //nolint:errcheck // already exiting; nothing to report to
+	os.Exit(code)
+}
 
 // Flags is the observability flag bundle registered by every CLI.
 type Flags struct {
@@ -104,6 +157,7 @@ func (f *Flags) Start(s *telemetry.Session) (*Handle, error) {
 		}
 		h.cpuFile = out
 	}
+	register(h)
 	return h, nil
 }
 
@@ -114,6 +168,7 @@ func (h *Handle) Close() error {
 	if h == nil {
 		return nil
 	}
+	unregister(h)
 	var first error
 	if h.cpuFile != nil {
 		rtpprof.StopCPUProfile()

@@ -252,3 +252,52 @@ func statNonEmpty(path string) (bool, error) {
 	}
 	return st.Size() > 0, nil
 }
+
+// TestRegistryCloseAll: Start registers a handle, Close unregisters it,
+// and CloseAll tears down whatever is still open — the mechanism behind
+// obsserver.Exit, which the CLIs' error paths rely on so a live
+// listener or an in-progress CPU profile is never leaked past os.Exit.
+func TestRegistryCloseAll(t *testing.T) {
+	mkHandle := func(cpu string) *Handle {
+		f := &Flags{Addr: "127.0.0.1:0", CPUProfile: cpu}
+		var cfg telemetry.Config
+		f.Enable(&cfg)
+		h, err := f.Start(telemetry.New(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	h1 := mkHandle("")
+	cpu := t.TempDir() + "/cpu.pprof"
+	h2 := mkHandle(cpu)
+	addr1, addr2 := h1.srv.Addr(), h2.srv.Addr()
+
+	// An explicitly closed handle leaves the registry: CloseAll must not
+	// close it twice (Close is idempotent, but the registry should not
+	// hold dead handles either).
+	if err := h1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := CloseAll(); err != nil {
+		t.Fatalf("CloseAll: %v", err)
+	}
+
+	// Both listeners are down and the CPU profile was flushed even
+	// though nobody called h2.Close directly.
+	for _, addr := range []string{addr1, addr2} {
+		if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+			t.Errorf("listener %s still serving after CloseAll", addr)
+		}
+	}
+	if ok, err := statNonEmpty(cpu); err != nil || !ok {
+		t.Errorf("CPU profile not flushed by CloseAll (err %v)", err)
+	}
+
+	// Idempotent on an empty registry.
+	if err := CloseAll(); err != nil {
+		t.Fatalf("second CloseAll: %v", err)
+	}
+}
