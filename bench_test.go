@@ -452,3 +452,47 @@ func BenchmarkCompileParallel(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkRunLeg measures the execution half of the toolchain: the
+// same compiled module run on the tree-walking oracle versus the
+// bytecode vm. Compilation happens once outside the timer — the run leg
+// is what every experiment, fuzz sweep, and sanitizer replay pays per
+// program, and the vm's contract is "same bits, an order of magnitude
+// less wall-clock". Compare tree/ to vm/ with benchstat or benchdiff.
+func BenchmarkRunLeg(b *testing.B) {
+	progs := []workload.Program{
+		workload.Bicg(),
+		workload.Gemm(),
+		workload.IntroImagick(3),
+		workload.IntroMinmax(64),
+	}
+	for _, p := range progs {
+		p := p
+		c, err := driver.Compile(p.Name, p.Source, driver.Config{
+			OOElala: true, Files: workload.Files()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm the bytecode cache so vm/ never times the translation.
+		c.Program()
+		for _, eng := range []string{driver.EngineTree, driver.EngineVM} {
+			eng := eng
+			b.Run(eng+"/"+p.Name, func(b *testing.B) {
+				// Collect the previous leg's garbage outside the timer:
+				// the tree-walker allocates heavily, and without this its
+				// GC debt is billed to whichever leg runs next.
+				runtime.GC()
+				b.ResetTimer()
+				var cycles float64
+				for i := 0; i < b.N; i++ {
+					_, cyc, err := c.RunOn(eng, "")
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = cyc
+				}
+				b.ReportMetric(cycles, "cycles")
+			})
+		}
+	}
+}

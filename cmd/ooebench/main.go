@@ -77,12 +77,16 @@ func main() {
 	jsonOut := flag.Bool("json", false, "write table rows to BENCH_ooebench.json")
 	jobs := flag.Int("j", 0, "per-function compilation parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	pf := driver.RegisterPassFlags(flag.CommandLine)
+	ef := driver.RegisterEngineFlag(flag.CommandLine)
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	obs := obsserver.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	driver.SetDefaultJobs(*jobs)
 	if err := pf.Apply(); err != nil {
+		fatal(err)
+	}
+	if err := ef.Apply(); err != nil {
 		fatal(err)
 	}
 	telCfg := tf.Config()

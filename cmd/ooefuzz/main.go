@@ -39,7 +39,10 @@ func main() {
 		stmts   = flag.Int("stmts", 0, "max statements per program (0 = default)")
 		jsonOut = flag.Bool("json", false, "print the run summary as JSON")
 		quiet   = flag.Bool("q", false, "suppress per-crash progress lines")
+		cross   = flag.Bool("cross-engine", false,
+			"run every leg on both the bytecode vm and the tree-walking oracle and flag any divergence")
 	)
+	ef := driver.RegisterEngineFlag(flag.CommandLine)
 	obs := obsserver.RegisterFlags(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ooefuzz [flags]\n")
@@ -52,6 +55,10 @@ func main() {
 	}
 	if *n <= 0 {
 		fmt.Fprintln(os.Stderr, "ooefuzz: -n must be positive")
+		os.Exit(2)
+	}
+	if err := ef.Apply(); err != nil {
+		fmt.Fprintln(os.Stderr, "ooefuzz:", err)
 		os.Exit(2)
 	}
 
@@ -71,12 +78,13 @@ func main() {
 		cfg.MaxStmts = *stmts
 	}
 	opts := fuzz.RunOpts{
-		N:       *n,
-		Seed:    *seed,
-		Config:  cfg,
-		Reduce:  *reduce,
-		Strict:  *strict,
-		Explore: csem.ExploreOpts{MaxOrders: *orders, Seed: *seed},
+		N:           *n,
+		Seed:        *seed,
+		Config:      cfg,
+		Reduce:      *reduce,
+		Strict:      *strict,
+		CrossEngine: *cross,
+		Explore:     csem.ExploreOpts{MaxOrders: *orders, Seed: *seed},
 	}
 	if !*quiet {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }

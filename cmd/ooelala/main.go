@@ -67,6 +67,7 @@ func main() {
 	dumpIR := flag.Bool("dump-ir", false, "print the optimized IR")
 	jobs := flag.Int("j", 0, "per-function compilation parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	pf := driver.RegisterPassFlags(flag.CommandLine)
+	ef := driver.RegisterEngineFlag(flag.CommandLine)
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	obs := obsserver.RegisterFlags(flag.CommandLine)
 	explain := flag.Bool("explain", false,
@@ -90,6 +91,9 @@ func main() {
 
 	driver.SetDefaultJobs(*jobs)
 	if err := pf.Apply(); err != nil {
+		fatal(err)
+	}
+	if err := ef.Apply(); err != nil {
 		fatal(err)
 	}
 	telCfg := tf.Config()

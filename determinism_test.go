@@ -28,6 +28,20 @@ func compileAt(t *testing.T, p workload.Program, ooe bool, jobs int) (string, *t
 	if err != nil {
 		t.Fatalf("%s (ooe=%v, -j %d) run: %v", p.Name, ooe, jobs, err)
 	}
+	// Run -engine both ways: determinism must hold per engine AND the
+	// two engines must agree bit-for-bit on (result, cycles).
+	tRes, tCyc, err := c.RunOn(driver.EngineTree, "")
+	if err != nil {
+		t.Fatalf("%s (ooe=%v, -j %d) tree run: %v", p.Name, ooe, jobs, err)
+	}
+	vRes, vCyc, err := c.RunOn(driver.EngineVM, "")
+	if err != nil {
+		t.Fatalf("%s (ooe=%v, -j %d) vm run: %v", p.Name, ooe, jobs, err)
+	}
+	if tRes != vRes || tCyc != vCyc {
+		t.Fatalf("%s (ooe=%v, -j %d): engine divergence: tree=(%d, %v) vm=(%d, %v)",
+			p.Name, ooe, jobs, tRes, tCyc, vRes, vCyc)
+	}
 	return dump, tel.Snapshot(), res, cycles
 }
 

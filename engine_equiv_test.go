@@ -1,0 +1,141 @@
+package repro_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/workload"
+)
+
+// stripEnginePrefix removes the engine-identifying error prefix so
+// error bodies can be compared across engines ("interp: division by
+// zero in f" vs "vm: division by zero in f").
+func stripEnginePrefix(err error) string {
+	if err == nil {
+		return ""
+	}
+	s := err.Error()
+	s = strings.TrimPrefix(s, "interp: ")
+	s = strings.TrimPrefix(s, "vm: ")
+	return s
+}
+
+// equivCorpus is the full evaluation corpus the vm must match the
+// tree-walker on: every workload program plus the minimized fuzz
+// regressions.
+func equivCorpus(t *testing.T) []workload.Program {
+	t.Helper()
+	var progs []workload.Program
+	progs = append(progs, workload.IntroMinmax(64), workload.IntroImagick(3))
+	progs = append(progs, workload.PolybenchKernels()...)
+	progs = append(progs, workload.ExtraPolybenchKernels()...)
+	progs = append(progs,
+		workload.RestrictScale(), workload.AnnotatedScale(), workload.PartialOverlapKernel())
+	for _, cs := range workload.Fig2CaseStudies() {
+		progs = append(progs, cs.Program)
+	}
+	if !testing.Short() {
+		for _, b := range workload.SpecSuite() {
+			progs = append(progs, workload.GenerateUnits(b)...)
+		}
+	}
+	ents, err := os.ReadDir(filepath.Join("testdata", "fuzz", "regressions"))
+	if err != nil {
+		t.Fatalf("reading regression corpus: %v", err)
+	}
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".c") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join("testdata", "fuzz", "regressions", e.Name()))
+		if err != nil {
+			t.Fatalf("reading %s: %v", e.Name(), err)
+		}
+		progs = append(progs, workload.Program{Name: "regression/" + e.Name(), Source: string(src)})
+	}
+	return progs
+}
+
+// TestEngineEquivalence is the vm's correctness contract: over the full
+// evaluation corpus, under every compiler configuration, the bytecode
+// engine must produce bit-identical results and cycle counts to the
+// tree-walking oracle — same float, not approximately equal.
+func TestEngineEquivalence(t *testing.T) {
+	cfgs := []struct {
+		name string
+		cfg  driver.Config
+	}{
+		{"O0", driver.Config{NoOpt: true}},
+		{"O3-baseline", driver.Config{}},
+		{"O3-ooelala", driver.Config{OOElala: true}},
+	}
+	for _, p := range equivCorpus(t) {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			for _, cc := range cfgs {
+				cfg := cc.cfg
+				cfg.Files = workload.Files()
+				c, err := driver.Compile(p.Name, p.Source, cfg)
+				if err != nil {
+					t.Fatalf("%s compile: %v", cc.name, err)
+				}
+				tRes, tCyc, tErr := c.RunOn(driver.EngineTree, "")
+				vRes, vCyc, vErr := c.RunOn(driver.EngineVM, "")
+				if stripEnginePrefix(tErr) != stripEnginePrefix(vErr) {
+					t.Fatalf("%s: error divergence: tree=%v vm=%v", cc.name, tErr, vErr)
+				}
+				if tErr != nil {
+					continue
+				}
+				if tRes != vRes {
+					t.Errorf("%s: result divergence: tree=%d vm=%d", cc.name, tRes, vRes)
+				}
+				if tCyc != vCyc {
+					t.Errorf("%s: cycle divergence: tree=%v vm=%v (Δ=%v)",
+						cc.name, tCyc, vCyc, vCyc-tCyc)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineEquivalenceSanitized pins the third leg of the contract:
+// sanitizer verdicts. Both engines must report the same ubcheck
+// failures — same function attribution, same faulting address, same
+// provenance id, in the same order.
+func TestEngineEquivalenceSanitized(t *testing.T) {
+	for _, p := range equivCorpus(t) {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			c, err := driver.Compile(p.Name, p.Source, driver.Config{
+				OOElala: true, Sanitize: true, Files: workload.Files(),
+			})
+			if err != nil {
+				t.Fatalf("sanitized compile: %v", err)
+			}
+			mt := c.NewMachineOn(driver.EngineTree)
+			mv := c.NewMachineOn(driver.EngineVM)
+			_, tErr := mt.RunArgs("main")
+			_, vErr := mv.RunArgs("main")
+			if stripEnginePrefix(tErr) != stripEnginePrefix(vErr) {
+				t.Fatalf("error divergence: tree=%v vm=%v", tErr, vErr)
+			}
+			if mt.TotalCycles() != mv.TotalCycles() {
+				t.Errorf("cycle divergence: tree=%v vm=%v", mt.TotalCycles(), mv.TotalCycles())
+			}
+			tf, vf := mt.SanitizerFailures(), mv.SanitizerFailures()
+			if len(tf) != len(vf) {
+				t.Fatalf("sanitizer verdict divergence: tree=%d failures, vm=%d", len(tf), len(vf))
+			}
+			for i := range tf {
+				if !reflect.DeepEqual(*tf[i], *vf[i]) {
+					t.Errorf("failure %d differs: tree=%+v vm=%+v", i, *tf[i], *vf[i])
+				}
+			}
+		})
+	}
+}

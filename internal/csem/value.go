@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/ctypes"
+	"repro/internal/ir"
 )
 
 // Value is a scalar machine value: an integer (also used for pointers,
@@ -47,10 +48,14 @@ func (v Value) AsFloat() float64 {
 	return float64(v.I)
 }
 
-// AsInt converts to int64 (truncating floats).
+// AsInt converts to int64. Floats convert through the canonical
+// saturating rule (ir.FloatToInt) so the reference semantics, both
+// execution engines, and constant folding agree bit-for-bit on
+// NaN/±Inf/out-of-range conversions instead of inheriting Go's
+// implementation-defined behaviour.
 func (v Value) AsInt() int64 {
 	if v.IsFloat {
-		return int64(v.F)
+		return ir.FloatToInt(v.F)
 	}
 	return v.I
 }

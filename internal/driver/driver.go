@@ -8,6 +8,7 @@ package driver
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/aa"
 	"repro/internal/ast"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/passes"
 	"repro/internal/sema"
 	"repro/internal/telemetry"
+	"repro/internal/vm"
 )
 
 // Config selects the compiler configuration.
@@ -49,6 +51,11 @@ type Config struct {
 	// the differential-testing oracle. Output is byte-identical across
 	// all values — results merge in original function order.
 	Jobs int
+	// Engine selects the run-leg execution engine (EngineVM or
+	// EngineTree). "" uses the process default (SetDefaultEngine, else
+	// the vm). Results, cycle counts, and sanitizer verdicts are
+	// bit-identical across engines.
+	Engine string
 	// Telemetry, if non-nil, receives phase spans, pass/AA counters, and
 	// optimization remarks. The nil default has zero overhead.
 	Telemetry *telemetry.Session
@@ -94,6 +101,11 @@ type Compilation struct {
 	UBChecks int
 
 	cfg Config
+
+	// vmProg caches the module's compiled bytecode (built lazily by
+	// Program; one compile amortizes over every run of this unit).
+	vmOnce sync.Once
+	vmProg *vm.Program
 }
 
 // Compile builds src under the configuration.
@@ -244,7 +256,8 @@ func (c *Compilation) record(tel *telemetry.Session) {
 	c.PassStats.Record(tel)
 }
 
-// NewMachine builds a fresh execution machine for the compiled module.
+// NewMachine builds a fresh tree-walking machine for the compiled
+// module (the oracle engine; see NewMachineOn for the configured one).
 func (c *Compilation) NewMachine() *interp.Machine {
 	costs := interp.DefaultCosts()
 	if c.cfg.Costs != nil {
@@ -253,26 +266,16 @@ func (c *Compilation) NewMachine() *interp.Machine {
 	return interp.New(c.Module, costs)
 }
 
-// Run executes the entry function (default main) and returns (result,
-// simulated cycles).
+// Run executes the entry function (default main) on the configured
+// engine and returns (result, simulated cycles).
 func (c *Compilation) Run(entry string, args ...int64) (int64, float64, error) {
-	m := c.NewMachine()
-	if entry == "" {
-		entry = "main"
-	}
-	stop := c.cfg.Telemetry.Span("phase/interp")
-	v, err := m.RunArgs(entry, args...)
-	stop()
-	m.Report(c.cfg.Telemetry)
-	if err != nil {
-		return 0, 0, err
-	}
-	return v, m.Cycles, nil
+	return c.RunOn("", entry, args...)
 }
 
-// RunSanitized executes main and returns the sanitizer failures.
+// RunSanitized executes main on the configured engine and returns the
+// sanitizer failures.
 func (c *Compilation) RunSanitized(entry string) ([]*interp.SanitizerFailure, error) {
-	m := c.NewMachine()
+	m := c.NewMachineOn("")
 	if entry == "" {
 		entry = "main"
 	}
@@ -283,7 +286,7 @@ func (c *Compilation) RunSanitized(entry string) ([]*interp.SanitizerFailure, er
 	if err != nil {
 		return nil, err
 	}
-	return m.SanFailures, nil
+	return m.SanitizerFailures(), nil
 }
 
 // Speedup compiles src under baseline and OOElala configurations, runs

@@ -18,6 +18,9 @@ type RunOpts struct {
 	Reduce bool
 	// Strict promotes sanitizer misses to findings.
 	Strict bool
+	// CrossEngine cross-checks every leg on the bytecode vm against the
+	// tree-walking oracle (see HarnessOpts.CrossEngine).
+	CrossEngine bool
 	// Explore bounds the reference-order exploration per program.
 	Explore csem.ExploreOpts
 	// Progress, if set, receives one line per event worth narrating.
@@ -51,7 +54,7 @@ func Run(opts RunOpts) *RunStats {
 	if say == nil {
 		say = func(string) {}
 	}
-	hopts := HarnessOpts{Explore: opts.Explore, Strict: opts.Strict}
+	hopts := HarnessOpts{Explore: opts.Explore, Strict: opts.Strict, CrossEngine: opts.CrossEngine}
 	for i := 0; i < opts.N; i++ {
 		if opts.Stop != nil && opts.Stop() {
 			say(fmt.Sprintf("stopped after %d programs", stats.Programs))

@@ -69,6 +69,27 @@ func TestHarnessCleanOnSeeds(t *testing.T) {
 	}
 }
 
+// TestCrossEngineSweep runs generated programs with the engine
+// cross-check on: every leg (and the sanitized build) executes on both
+// the bytecode vm and the tree-walking oracle, and any divergence in
+// result, cycles, error text, or sanitizer verdict is a finding. Racy
+// bias is raised so the sanitized comparison path is exercised too.
+func TestCrossEngineSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep is slow")
+	}
+	cfg := DefaultConfig()
+	cfg.RacyBias = 0.2
+	stats := Run(RunOpts{N: 40, Seed: 7000, Config: cfg, CrossEngine: true})
+	for _, c := range stats.Crashes {
+		for _, f := range c.Findings {
+			if f.Kind == KindEngineMismatch {
+				t.Errorf("seed %d: %s", c.Seed, f.Detail)
+			}
+		}
+	}
+}
+
 // TestRegressionCorpus replays every minimized program under
 // testdata/fuzz/regressions — each is a previously-fixed miscompile or
 // reference-semantics bug and must now check clean through every leg.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/csem"
 	"repro/internal/driver"
+	"repro/internal/interp"
 	"repro/internal/parser"
 	"repro/internal/sema"
 )
@@ -32,6 +33,10 @@ const (
 	KindCompileError = "compile-error"
 	KindRunError     = "run-error"
 	KindCsemError    = "csem-error"
+	// KindEngineMismatch: the bytecode vm and the tree-walking oracle
+	// disagreed on result, cycles, error text, or sanitizer verdict for
+	// the same compilation — the vm's bit-identical contract is broken.
+	KindEngineMismatch = "engine-mismatch"
 )
 
 // Finding is one observed deviation.
@@ -67,6 +72,10 @@ type HarnessOpts struct {
 	Explore csem.ExploreOpts
 	// Strict promotes sanitizer misses on UB programs to findings.
 	Strict bool
+	// CrossEngine runs every leg and the sanitizer build on both the
+	// bytecode vm and the tree-walking oracle and flags any divergence
+	// in result, cycles, error text, or sanitizer verdict.
+	CrossEngine bool
 }
 
 // legConfigs are the compiled pipelines every UB-free program is run
@@ -117,7 +126,7 @@ func Check(p Program, opts HarnessOpts) *Outcome {
 	if ref.UB {
 		// Undefined program: compiled results are unconstrained; the only
 		// question is whether the sanitizer observes the race.
-		caught, detail := runSanitized(p.Source)
+		caught, detail := runSanitized(p.Source, opts.CrossEngine, out)
 		out.SanCaught = caught
 		if !caught && opts.Strict {
 			out.flag(KindSanitizerMiss, "UB (%s) not observed by sanitizer%s", ref.UBReason, detail)
@@ -141,6 +150,9 @@ func Check(p Program, opts HarnessOpts) *Outcome {
 			continue
 		}
 		got, _, err := c.Run("")
+		if opts.CrossEngine {
+			got, err = runCross(c, out, leg.name)
+		}
 		if err != nil {
 			lr.Err = err.Error()
 			out.Legs = append(out.Legs, lr)
@@ -182,7 +194,7 @@ func Check(p Program, opts HarnessOpts) *Outcome {
 	}
 
 	// The sanitizer must stay silent on a program proved race-free.
-	caught, detail := runSanitized(p.Source)
+	caught, detail := runSanitized(p.Source, opts.CrossEngine, out)
 	out.SanCaught = caught
 	if caught {
 		out.flag(KindSanitizerFP, "sanitizer flagged a UB-free program%s", detail)
@@ -190,9 +202,38 @@ func Check(p Program, opts HarnessOpts) *Outcome {
 	return out
 }
 
+// runCross executes the same compilation on the tree-walking oracle
+// and the bytecode vm and flags any break in the bit-identical
+// contract: result, simulated cycles, and error text (modulo the
+// engine-name prefix) must all agree. Returns the vm-side outcome so
+// the caller's leg bookkeeping reflects the default engine.
+func runCross(c *driver.Compilation, out *Outcome, leg string) (int64, error) {
+	tRes, tCyc, tErr := c.RunOn(driver.EngineTree, "")
+	vRes, vCyc, vErr := c.RunOn(driver.EngineVM, "")
+	if stripEngine(tErr) != stripEngine(vErr) {
+		out.flag(KindEngineMismatch, "%s: error divergence: tree=%v vm=%v", leg, tErr, vErr)
+	} else if tErr == nil && (tRes != vRes || tCyc != vCyc) {
+		out.flag(KindEngineMismatch, "%s: tree=(%d, %v) vm=(%d, %v)",
+			leg, tRes, tCyc, vRes, vCyc)
+	}
+	return vRes, vErr
+}
+
+// stripEngine normalizes an engine error for cross-engine comparison:
+// identical failure, different attribution prefix.
+func stripEngine(err error) string {
+	if err == nil {
+		return ""
+	}
+	s := strings.TrimPrefix(err.Error(), "interp: ")
+	return strings.TrimPrefix(s, "vm: ")
+}
+
 // runSanitized builds with UBSan instrumentation and reports whether a
-// must-not-alias check fired.
-func runSanitized(src string) (caught bool, detail string) {
+// must-not-alias check fired. With cross set, the sanitized run
+// additionally executes on both engines and any difference in the
+// failure lists is flagged on out as an engine mismatch.
+func runSanitized(src string, cross bool, out *Outcome) (caught bool, detail string) {
 	c, err := driver.Compile("fuzz.c", src, driver.Config{OOElala: true, Sanitize: true})
 	if err != nil {
 		return false, fmt.Sprintf(" (sanitized compile failed: %v)", err)
@@ -201,10 +242,36 @@ func runSanitized(src string) (caught bool, detail string) {
 	if err != nil {
 		return false, fmt.Sprintf(" (sanitized run failed: %v)", err)
 	}
+	if cross {
+		crossCheckSanitized(c, fails, out)
+	}
 	if len(fails) == 0 {
 		return false, ""
 	}
 	return true, ": " + fails[0].Error()
+}
+
+// crossCheckSanitized replays the sanitized program on the oracle
+// engine and compares the failure stream against the default engine's.
+func crossCheckSanitized(c *driver.Compilation, got []*interp.SanitizerFailure, out *Outcome) {
+	m := c.NewMachineOn(driver.EngineTree)
+	if _, err := m.RunArgs("main"); err != nil {
+		out.flag(KindEngineMismatch, "sanitized: tree run failed where default engine succeeded: %v", err)
+		return
+	}
+	want := m.SanitizerFailures()
+	if len(want) != len(got) {
+		out.flag(KindEngineMismatch, "sanitized: failure count tree=%d vm-default=%d",
+			len(want), len(got))
+		return
+	}
+	for i := range want {
+		if *want[i] != *got[i] {
+			out.flag(KindEngineMismatch, "sanitized: failure %d diverges: tree=%+v vm-default=%+v",
+				i, *want[i], *got[i])
+			return
+		}
+	}
 }
 
 func fmtVals(vs []int64) string {

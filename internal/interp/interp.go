@@ -77,36 +77,40 @@ func (s *SanitizerFailure) Error() string {
 	return fmt.Sprintf("ubsan: must-not-alias violated in %s at address %#x", s.Fn, s.Addr)
 }
 
-// val is a runtime value: scalar or small vector.
-type val struct {
-	i   int64
-	f   float64
-	fl  bool
-	vec []val
+// Val is a runtime value: scalar or small vector.
+type Val struct {
+	I   int64
+	F   float64
+	Fl  bool
+	Vec []Val
 }
 
-func iv(x int64) val   { return val{i: x} }
-func fv(x float64) val { return val{f: x, fl: true} }
+func IV(x int64) Val   { return Val{I: x} }
+func FV(x float64) Val { return Val{F: x, Fl: true} }
 
-func (v val) asInt() int64 {
-	if v.fl {
-		return int64(v.f)
+// AsInt converts to int64. Floats go through the canonical saturating
+// rule (ir.FloatToInt) so NaN/±Inf/out-of-range conversions are
+// deterministic and bit-identical to constant folding, instead of
+// inheriting Go's implementation-defined int64(f).
+func (v Val) AsInt() int64 {
+	if v.Fl {
+		return ir.FloatToInt(v.F)
 	}
-	return v.i
+	return v.I
 }
 
-func (v val) asFloat() float64 {
-	if v.fl {
-		return v.f
+func (v Val) AsFloat() float64 {
+	if v.Fl {
+		return v.F
 	}
-	return float64(v.i)
+	return float64(v.I)
 }
 
 // cell is one scalar memory cell.
 type cell struct {
-	i  int64
-	f  float64
-	fl bool
+	I  int64
+	F  float64
+	Fl bool
 }
 
 // Machine executes a module.
@@ -133,8 +137,56 @@ type Machine struct {
 	// fnICache caches whether a function pays the icache penalty.
 	fnICache map[*ir.Func]bool
 
+	// funcAddrs/funcNames model function pointers: per-machine,
+	// deterministically assigned pseudo-addresses in the reserved range
+	// at FuncAddrBase (see BuildFuncTable).
+	funcAddrs map[string]int64
+	funcNames map[int64]string
+
 	MaxSteps int64
 	steps    int64
+}
+
+// FuncAddrBase is the bottom of the reserved pseudo-address range for
+// function pointers. Data addresses grow upward from 0x10000 and alloc
+// asserts they never reach this range, so a function pointer can never
+// collide with a live allocation (they used to share one address space,
+// with function addresses handed out from a process-global map — racy
+// under parallel machines and order-dependent across runs).
+const FuncAddrBase = int64(1) << 40
+
+// BuildFuncTable deterministically assigns every function a
+// pseudo-address in the reserved range: module functions first, in
+// definition order, then any extern names referenced by FuncRef, in
+// static program order. Both engines build their tables with this one
+// function, so a given module maps names to identical addresses under
+// either engine.
+func BuildFuncTable(mod *ir.Module) (addrs map[string]int64, names map[int64]string) {
+	addrs = make(map[string]int64)
+	names = make(map[int64]string)
+	assign := func(name string) {
+		if _, ok := addrs[name]; ok {
+			return
+		}
+		a := FuncAddrBase + int64(len(addrs))*8
+		addrs[name] = a
+		names[a] = name
+	}
+	for _, f := range mod.Funcs {
+		assign(f.Name)
+	}
+	for _, f := range mod.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for _, a := range in.Args {
+					if fr, ok := a.(*ir.FuncRef); ok {
+						assign(fr.Name)
+					}
+				}
+			}
+		}
+	}
+	return addrs, names
 }
 
 const (
@@ -156,15 +208,16 @@ func New(mod *ir.Module, costs CostModel) *Machine {
 		fnICache: make(map[*ir.Func]bool),
 		MaxSteps: 2_000_000_000,
 	}
+	m.funcAddrs, m.funcNames = BuildFuncTable(mod)
 	for _, g := range mod.Globals {
 		addr := m.alloc(int64(g.Size))
 		m.globals[g.Name] = addr
 		m.zeroFill(addr, g.Size, g.ElemClass)
 		for off, init := range g.Init {
 			if init.Cls.IsFloat() {
-				m.mem[addr+int64(off)] = cell{f: init.F, fl: true}
+				m.mem[addr+int64(off)] = cell{F: init.F, Fl: true}
 			} else {
-				m.mem[addr+int64(off)] = cell{i: init.I}
+				m.mem[addr+int64(off)] = cell{I: init.I}
 			}
 		}
 	}
@@ -177,6 +230,9 @@ func (m *Machine) alloc(size int64) int64 {
 	}
 	a := m.nextAddr
 	m.nextAddr += size + 32
+	if m.nextAddr >= FuncAddrBase {
+		panic("interp: data allocation overflowed into the function pseudo-address range")
+	}
 	return a
 }
 
@@ -187,7 +243,7 @@ func (m *Machine) zeroFill(addr int64, size int, cls ir.Class) {
 		stride = 8
 	}
 	for off := int64(0); off < int64(size); off += stride {
-		m.mem[addr+off] = cell{fl: cls.IsFloat()}
+		m.mem[addr+off] = cell{Fl: cls.IsFloat()}
 	}
 }
 
@@ -197,23 +253,39 @@ func (m *Machine) GlobalAddr(name string) (int64, bool) {
 	return a, ok
 }
 
-// ReadF64 reads a float cell (test/bench harness).
-func (m *Machine) ReadF64(addr int64) float64 { return m.mem[addr].f }
+// ReadF64 reads a memory cell as float64. An integer cell is
+// reinterpreted by value conversion (it used to silently read as 0.0
+// through the stale float half of the cell). This is the pinned
+// mixed-class semantics that the vm's typed memory image reproduces.
+func (m *Machine) ReadF64(addr int64) float64 {
+	c := m.mem[addr]
+	if c.Fl {
+		return c.F
+	}
+	return float64(c.I)
+}
 
-// ReadI64 reads an integer cell.
-func (m *Machine) ReadI64(addr int64) int64 { return m.mem[addr].i }
+// ReadI64 reads a memory cell as int64; a float cell converts through
+// the canonical saturating rule (ir.FloatToInt).
+func (m *Machine) ReadI64(addr int64) int64 {
+	c := m.mem[addr]
+	if c.Fl {
+		return ir.FloatToInt(c.F)
+	}
+	return c.I
+}
 
 // WriteF64 writes a float cell.
-func (m *Machine) WriteF64(addr int64, v float64) { m.mem[addr] = cell{f: v, fl: true} }
+func (m *Machine) WriteF64(addr int64, v float64) { m.mem[addr] = cell{F: v, Fl: true} }
 
 // WriteI64 writes an integer cell.
-func (m *Machine) WriteI64(addr int64, v int64) { m.mem[addr] = cell{i: v} }
+func (m *Machine) WriteI64(addr int64, v int64) { m.mem[addr] = cell{I: v} }
 
 // Run calls the named function with integer/float arguments.
-func (m *Machine) Run(name string, args ...val) (val, error) {
+func (m *Machine) Run(name string, args ...Val) (Val, error) {
 	f := m.mod.FindFunc(name)
 	if f == nil {
-		return val{}, fmt.Errorf("interp: no function %q", name)
+		return Val{}, fmt.Errorf("interp: no function %q", name)
 	}
 	return m.call(f, args)
 }
@@ -221,17 +293,17 @@ func (m *Machine) Run(name string, args ...val) (val, error) {
 // RunMain executes main().
 func (m *Machine) RunMain() (int64, error) {
 	v, err := m.Run("main")
-	return v.asInt(), err
+	return v.AsInt(), err
 }
 
 // RunArgs executes name with the given int64 arguments (convenience).
 func (m *Machine) RunArgs(name string, args ...int64) (int64, error) {
-	vs := make([]val, len(args))
+	vs := make([]Val, len(args))
 	for i, a := range args {
-		vs[i] = iv(a)
+		vs[i] = IV(a)
 	}
 	v, err := m.Run(name, vs...)
-	return v.asInt(), err
+	return v.AsInt(), err
 }
 
 // classifyPtr statically classifies a pointer operand: direct scalar
@@ -268,9 +340,9 @@ func (m *Machine) icachePenalized(f *ir.Func) bool {
 }
 
 // call executes one function activation.
-func (m *Machine) call(f *ir.Func, args []val) (val, error) {
+func (m *Machine) call(f *ir.Func, args []Val) (Val, error) {
 	m.Cycles += m.costs.CallBase
-	regs := make(map[ir.Value]val, 32)
+	regs := make(map[ir.Value]Val, 32)
 	for i, p := range f.Params {
 		if i < len(args) {
 			regs[p] = args[i]
@@ -283,37 +355,37 @@ func (m *Machine) call(f *ir.Func, args []val) (val, error) {
 	icache := m.icachePenalized(f)
 	blk := f.Entry()
 	if blk == nil {
-		return val{}, fmt.Errorf("interp: empty function %s", f.Name)
+		return Val{}, fmt.Errorf("interp: empty function %s", f.Name)
 	}
 	for {
 		brTo, ret, retV, err := m.execBlock(f, blk, regs, frameAllocs, icache)
 		if err != nil {
-			return val{}, err
+			return Val{}, err
 		}
 		if ret {
 			return retV, nil
 		}
 		if brTo == nil {
-			return val{}, fmt.Errorf("interp: block %s fell through in %s", blk.Name, f.Name)
+			return Val{}, fmt.Errorf("interp: block %s fell through in %s", blk.Name, f.Name)
 		}
 		blk = brTo
 	}
 }
 
-func (m *Machine) execBlock(f *ir.Func, b *ir.Block, regs map[ir.Value]val,
-	frameAllocs map[*ir.Instr]int64, icache bool) (*ir.Block, bool, val, error) {
+func (m *Machine) execBlock(f *ir.Func, b *ir.Block, regs map[ir.Value]Val,
+	frameAllocs map[*ir.Instr]int64, icache bool) (*ir.Block, bool, Val, error) {
 
-	get := func(v ir.Value) val {
+	get := func(v ir.Value) Val {
 		switch x := v.(type) {
 		case *ir.Const:
 			if x.Cls.IsFloat() {
-				return fv(x.F)
+				return FV(x.F)
 			}
-			return iv(x.I)
+			return IV(x.I)
 		case *ir.Global:
-			return iv(m.globals[x.Name])
+			return IV(m.globals[x.Name])
 		case *ir.FuncRef:
-			return iv(funcPseudoAddr(x.Name))
+			return IV(m.funcAddr(x.Name))
 		default:
 			return regs[v]
 		}
@@ -325,7 +397,7 @@ func (m *Machine) execBlock(f *ir.Func, b *ir.Block, regs map[ir.Value]val,
 		}
 		m.steps++
 		if m.steps > m.MaxSteps {
-			return nil, false, val{}, fmt.Errorf("interp: step budget exceeded")
+			return nil, false, Val{}, fmt.Errorf("interp: step budget exceeded")
 		}
 		m.Executed++
 		if icache {
@@ -342,13 +414,13 @@ func (m *Machine) execBlock(f *ir.Func, b *ir.Block, regs map[ir.Value]val,
 					m.mem[a] = cell{}
 				}
 			}
-			regs[in] = iv(a)
+			regs[in] = IV(a)
 
 		case ir.OpLoad:
-			addr := get(in.Args[0]).asInt()
+			addr := get(in.Args[0]).AsInt()
 			c, ok := m.mem[addr]
 			if !ok {
-				c = cell{fl: in.Cls.IsFloat()}
+				c = cell{Fl: in.Cls.IsFloat()}
 				m.mem[addr] = c
 			}
 			if m.classifyPtr(in.Args[0]) == classReg {
@@ -357,76 +429,87 @@ func (m *Machine) execBlock(f *ir.Func, b *ir.Block, regs map[ir.Value]val,
 				m.Cycles += m.costs.MemLoad
 			}
 			if in.Cls.IsFloat() {
-				if c.fl {
-					regs[in] = fv(c.f)
+				if c.Fl {
+					regs[in] = FV(c.F)
 				} else {
-					regs[in] = fv(float64(c.i))
+					regs[in] = FV(float64(c.I))
 				}
 			} else {
-				if c.fl {
-					regs[in] = iv(int64(c.f))
+				if c.Fl {
+					// Integer load of a float cell: value conversion
+					// through the canonical saturating rule, then
+					// truncation to the load's class.
+					regs[in] = IV(truncFor(in.Cls, ir.FloatToInt(c.F), in.Unsigned))
 				} else {
-					regs[in] = iv(truncFor(in.Cls, c.i, in.Unsigned))
+					regs[in] = IV(truncFor(in.Cls, c.I, in.Unsigned))
 				}
 			}
 
 		case ir.OpStore:
-			addr := get(in.Args[0]).asInt()
+			addr := get(in.Args[0]).AsInt()
 			v := get(in.Args[1])
 			if m.classifyPtr(in.Args[0]) == classReg {
 				m.Cycles += m.costs.RegMove
 			} else {
 				m.Cycles += m.costs.MemStore
 			}
-			if v.fl {
-				m.mem[addr] = cell{f: v.f, fl: true}
+			if v.Fl {
+				m.mem[addr] = cell{F: v.F, Fl: true}
 			} else {
-				m.mem[addr] = cell{i: v.i}
+				m.mem[addr] = cell{I: v.I}
 			}
 
 		case ir.OpGEP:
-			base := get(in.Args[0]).asInt()
-			idx := get(in.Args[1]).asInt()
-			regs[in] = iv(base + idx*int64(in.Scale) + int64(in.Off))
+			base := get(in.Args[0]).AsInt()
+			idx := get(in.Args[1]).AsInt()
+			regs[in] = IV(base + idx*int64(in.Scale) + int64(in.Off))
 			m.Cycles += m.costs.ALU * 0.5 // folded into addressing modes
 
 		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr:
 			a, c := get(in.Args[0]), get(in.Args[1])
 			m.Cycles += m.costs.ALU
-			regs[in] = scalarBin(in.Op, in.Cls, a, c, in.Unsigned)
+			v, err := ScalarBin(in.Op, in.Cls, a, c, in.Unsigned)
+			if err != nil {
+				return nil, false, Val{}, fmt.Errorf("interp: %v in %s", err, f.Name)
+			}
+			regs[in] = v
 
 		case ir.OpDiv, ir.OpRem:
 			a, c := get(in.Args[0]), get(in.Args[1])
 			m.Cycles += m.costs.Div
-			if !a.fl && !c.fl && c.i == 0 {
-				return nil, false, val{}, fmt.Errorf("interp: division by zero in %s", f.Name)
+			if !a.Fl && !c.Fl && c.I == 0 {
+				return nil, false, Val{}, fmt.Errorf("interp: division by zero in %s", f.Name)
 			}
-			regs[in] = scalarBin(in.Op, in.Cls, a, c, in.Unsigned)
+			v, err := ScalarBin(in.Op, in.Cls, a, c, in.Unsigned)
+			if err != nil {
+				return nil, false, Val{}, fmt.Errorf("interp: %v in %s", err, f.Name)
+			}
+			regs[in] = v
 
 		case ir.OpNeg:
 			a := get(in.Args[0])
 			m.Cycles += m.costs.ALU
-			if a.fl {
-				regs[in] = fv(-a.f)
+			if a.Fl {
+				regs[in] = FV(-a.F)
 			} else {
 				// Truncate to the class width so negation overflow wraps
 				// (matching constant folding and the csem wrap choice).
-				regs[in] = iv(truncFor(in.Cls, -a.i, in.Unsigned))
+				regs[in] = IV(truncFor(in.Cls, -a.I, in.Unsigned))
 			}
 
 		case ir.OpNot:
 			a := get(in.Args[0])
 			m.Cycles += m.costs.ALU
-			regs[in] = iv(truncFor(in.Cls, ^a.asInt(), in.Unsigned))
+			regs[in] = IV(truncFor(in.Cls, ^a.AsInt(), in.Unsigned))
 
 		case ir.OpCmp:
 			a, c := get(in.Args[0]), get(in.Args[1])
 			m.Cycles += m.costs.ALU
-			regs[in] = iv(boolToInt(compare(in.Pred, a, c, in.Unsigned)))
+			regs[in] = IV(boolToInt(CompareVals(in.Pred, a, c, in.Unsigned)))
 
 		case ir.OpSelect:
 			m.Cycles += m.costs.ALU
-			if get(in.Args[0]).asInt() != 0 {
+			if get(in.Args[0]).AsInt() != 0 {
 				regs[in] = get(in.Args[1])
 			} else {
 				regs[in] = get(in.Args[2])
@@ -435,12 +518,12 @@ func (m *Machine) execBlock(f *ir.Func, b *ir.Block, regs map[ir.Value]val,
 		case ir.OpConvert:
 			a := get(in.Args[0])
 			m.Cycles += m.costs.ALU * 0.5
-			regs[in] = convertVal(a, in.Cls, in.Unsigned)
+			regs[in] = ConvertVal(a, in.Cls, in.Unsigned)
 
 		case ir.OpCall:
 			v, err := m.execCall(f, in, get)
 			if err != nil {
-				return nil, false, val{}, err
+				return nil, false, Val{}, err
 			}
 			if in.Cls != ir.Void {
 				regs[in] = v
@@ -448,53 +531,53 @@ func (m *Machine) execBlock(f *ir.Func, b *ir.Block, regs map[ir.Value]val,
 
 		case ir.OpBr:
 			m.Cycles += m.costs.Branch
-			return in.Target, false, val{}, nil
+			return in.Target, false, Val{}, nil
 
 		case ir.OpCondBr:
 			m.Cycles += m.costs.Branch
-			if get(in.Args[0]).asInt() != 0 {
-				return in.Then, false, val{}, nil
+			if get(in.Args[0]).AsInt() != 0 {
+				return in.Then, false, Val{}, nil
 			}
-			return in.Else, false, val{}, nil
+			return in.Else, false, Val{}, nil
 
 		case ir.OpRet:
 			if len(in.Args) > 0 {
 				return nil, true, get(in.Args[0]), nil
 			}
-			return nil, true, val{}, nil
+			return nil, true, Val{}, nil
 
 		case ir.OpMustNotAlias:
 			// Metadata only: free at runtime.
 
 		case ir.OpUBCheck:
-			p1 := get(in.Args[0]).asInt()
-			p2 := get(in.Args[1]).asInt()
+			p1 := get(in.Args[0]).AsInt()
+			p2 := get(in.Args[1]).AsInt()
 			m.Cycles += m.costs.ALU // one comparison
 			if p1 == p2 {
 				m.SanFailures = append(m.SanFailures, &SanitizerFailure{Fn: f.Name, Addr: p1, Meta: in.Meta})
 			}
 
 		case ir.OpMemset:
-			ptr := get(in.Args[0]).asInt()
+			ptr := get(in.Args[0]).AsInt()
 			v := get(in.Args[1])
-			length := get(in.Args[2]).asInt()
+			length := get(in.Args[2]).AsInt()
 			stride := int64(in.Scale)
 			if stride <= 0 {
 				stride = 8
 			}
 			for off := int64(0); off < length; off += stride {
-				if v.fl {
-					m.mem[ptr+off] = cell{f: v.f, fl: true}
+				if v.Fl {
+					m.mem[ptr+off] = cell{F: v.F, Fl: true}
 				} else {
-					m.mem[ptr+off] = cell{i: v.i}
+					m.mem[ptr+off] = cell{I: v.I}
 				}
 			}
 			m.Cycles += m.costs.MemsetBase + m.costs.MemsetPerByte*float64(length)
 
 		case ir.OpMemcpy:
-			dst := get(in.Args[0]).asInt()
-			src := get(in.Args[1]).asInt()
-			length := get(in.Args[2]).asInt()
+			dst := get(in.Args[0]).AsInt()
+			src := get(in.Args[1]).AsInt()
+			length := get(in.Args[2]).AsInt()
 			stride := int64(in.Scale)
 			if stride <= 0 {
 				stride = 8
@@ -505,173 +588,185 @@ func (m *Machine) execBlock(f *ir.Func, b *ir.Block, regs map[ir.Value]val,
 			m.Cycles += m.costs.MemsetBase + m.costs.MemsetPerByte*float64(length)
 
 		case ir.OpVecLoad:
-			base := get(in.Args[0]).asInt()
-			lanes := make([]val, in.Width)
+			base := get(in.Args[0]).AsInt()
+			lanes := make([]Val, in.Width)
 			stride := int64(in.Cls.Size())
 			for l := 0; l < in.Width; l++ {
 				c := m.mem[base+int64(l)*stride]
 				if in.Cls.IsFloat() {
-					if c.fl {
-						lanes[l] = fv(c.f)
+					if c.Fl {
+						lanes[l] = FV(c.F)
 					} else {
-						lanes[l] = fv(float64(c.i))
+						lanes[l] = FV(float64(c.I))
 					}
 				} else {
-					lanes[l] = iv(c.i)
+					lanes[l] = IV(c.I)
 				}
 			}
 			m.Cycles += m.costs.VecMem
-			regs[in] = val{vec: lanes}
+			regs[in] = Val{Vec: lanes}
 
 		case ir.OpVecStore:
-			base := get(in.Args[0]).asInt()
+			base := get(in.Args[0]).AsInt()
 			v := get(in.Args[1])
 			stride := int64(in.Cls.Size())
-			for l := 0; l < in.Width && l < len(v.vec); l++ {
-				lane := v.vec[l]
-				if lane.fl {
-					m.mem[base+int64(l)*stride] = cell{f: lane.f, fl: true}
+			for l := 0; l < in.Width && l < len(v.Vec); l++ {
+				lane := v.Vec[l]
+				if lane.Fl {
+					m.mem[base+int64(l)*stride] = cell{F: lane.F, Fl: true}
 				} else {
-					m.mem[base+int64(l)*stride] = cell{i: lane.i}
+					m.mem[base+int64(l)*stride] = cell{I: lane.I}
 				}
 			}
 			m.Cycles += m.costs.VecMem
 
 		case ir.OpVecSplat:
 			s := get(in.Args[0])
-			lanes := make([]val, in.Width)
+			lanes := make([]Val, in.Width)
 			for l := range lanes {
 				lanes[l] = s
 			}
 			m.Cycles += m.costs.ALU
-			regs[in] = val{vec: lanes}
+			regs[in] = Val{Vec: lanes}
 
 		case ir.OpVecBin:
 			a, c := get(in.Args[0]), get(in.Args[1])
-			lanes := make([]val, in.Width)
+			lanes := make([]Val, in.Width)
 			for l := 0; l < in.Width; l++ {
-				la, lc := lane(a, l), lane(c, l)
+				la, lc := Lane(a, l), Lane(c, l)
 				if in.VecOp == ir.OpCmp {
-					lanes[l] = iv(boolToInt(compare(in.Pred, la, lc, in.Unsigned)))
+					lanes[l] = IV(boolToInt(CompareVals(in.Pred, la, lc, in.Unsigned)))
 				} else {
-					lanes[l] = scalarBin(in.VecOp, in.Cls, la, lc, in.Unsigned)
+					v, err := ScalarBin(in.VecOp, in.Cls, la, lc, in.Unsigned)
+					if err != nil {
+						return nil, false, Val{}, fmt.Errorf("interp: %v in %s", err, f.Name)
+					}
+					lanes[l] = v
 				}
 			}
 			m.Cycles += m.costs.VecOp
-			regs[in] = val{vec: lanes}
+			regs[in] = Val{Vec: lanes}
 
 		case ir.OpVecReduce:
 			a := get(in.Args[0])
-			acc := lane(a, 0)
+			acc := Lane(a, 0)
 			for l := 1; l < in.Width; l++ {
-				acc = scalarBin(in.VecOp, in.Cls, acc, lane(a, l), in.Unsigned)
+				v, err := ScalarBin(in.VecOp, in.Cls, acc, Lane(a, l), in.Unsigned)
+				if err != nil {
+					return nil, false, Val{}, fmt.Errorf("interp: %v in %s", err, f.Name)
+				}
+				acc = v
 			}
 			m.Cycles += m.costs.VecOp * 2
 			regs[in] = acc
 
 		case ir.OpVecIota:
-			lanes := make([]val, in.Width)
+			lanes := make([]Val, in.Width)
 			for l := range lanes {
 				if in.Cls.IsFloat() {
-					lanes[l] = fv(float64(l))
+					lanes[l] = FV(float64(l))
 				} else {
-					lanes[l] = iv(int64(l))
+					lanes[l] = IV(int64(l))
 				}
 			}
 			m.Cycles += m.costs.ALU
-			regs[in] = val{vec: lanes}
+			regs[in] = Val{Vec: lanes}
 
 		case ir.OpVecSelect:
 			mask, x, y := get(in.Args[0]), get(in.Args[1]), get(in.Args[2])
-			lanes := make([]val, in.Width)
+			lanes := make([]Val, in.Width)
 			for l := 0; l < in.Width; l++ {
-				if lane(mask, l).asInt() != 0 {
-					lanes[l] = lane(x, l)
+				if Lane(mask, l).AsInt() != 0 {
+					lanes[l] = Lane(x, l)
 				} else {
-					lanes[l] = lane(y, l)
+					lanes[l] = Lane(y, l)
 				}
 			}
 			m.Cycles += m.costs.VecOp
-			regs[in] = val{vec: lanes}
+			regs[in] = Val{Vec: lanes}
 
 		case ir.OpVecCall:
-			lanes := make([]val, in.Width)
-			argv := make([]val, len(in.Args))
+			lanes := make([]Val, in.Width)
+			argv := make([]Val, len(in.Args))
 			for ai, a := range in.Args {
 				argv[ai] = get(a)
 			}
 			for l := 0; l < in.Width; l++ {
-				laneArgs := make([]val, len(argv))
+				laneArgs := make([]Val, len(argv))
 				for ai := range argv {
-					laneArgs[ai] = lane(argv[ai], l)
+					laneArgs[ai] = Lane(argv[ai], l)
 				}
-				v, ok, err := builtin(in.Callee, laneArgs)
+				v, ok, err := CallBuiltin(in.Callee, laneArgs)
 				if !ok || err != nil {
-					return nil, false, val{}, fmt.Errorf("interp: bad vcall %s", in.Callee)
+					return nil, false, Val{}, fmt.Errorf("interp: bad vcall %s", in.Callee)
 				}
 				lanes[l] = v
 			}
 			// Vector math libraries amortize the call across lanes.
 			m.Cycles += m.costs.BuiltinCall * 0.4 * float64(in.Width) / 2
-			regs[in] = val{vec: lanes}
+			regs[in] = Val{Vec: lanes}
 
 		default:
-			return nil, false, val{}, fmt.Errorf("interp: unhandled op %s", in.Op)
+			return nil, false, Val{}, fmt.Errorf("interp: unhandled op %s", in.Op)
 		}
 	}
-	return nil, false, val{}, nil
+	return nil, false, Val{}, nil
 }
 
-func lane(v val, l int) val {
-	if v.vec == nil {
+func Lane(v Val, l int) Val {
+	if v.Vec == nil {
 		return v
 	}
-	if l < len(v.vec) {
-		return v.vec[l]
+	if l < len(v.Vec) {
+		return v.Vec[l]
 	}
-	return val{}
+	return Val{}
 }
 
-func (m *Machine) execCall(f *ir.Func, in *ir.Instr, get func(ir.Value) val) (val, error) {
+func (m *Machine) execCall(f *ir.Func, in *ir.Instr, get func(ir.Value) Val) (Val, error) {
 	callee := in.Callee
 	args := in.Args
 	if callee == "" {
 		// Indirect: first arg is the function pseudo-address.
-		addr := get(in.Args[0]).asInt()
-		name, ok := funcPseudoNames[addr]
+		addr := get(in.Args[0]).AsInt()
+		name, ok := m.funcNames[addr]
 		if !ok {
-			return val{}, fmt.Errorf("interp: bad indirect call in %s", f.Name)
+			return Val{}, fmt.Errorf("interp: bad indirect call in %s", f.Name)
 		}
 		callee = name
 		args = in.Args[1:]
 	}
-	vals := make([]val, len(args))
+	vals := make([]Val, len(args))
 	for i, a := range args {
 		vals[i] = get(a)
 	}
-	if v, ok, err := builtin(callee, vals); ok {
+	if v, ok, err := CallBuiltin(callee, vals); ok {
 		m.Cycles += m.costs.BuiltinCall
 		return v, err
 	}
 	cf := m.mod.FindFunc(callee)
 	if cf == nil {
-		return val{}, fmt.Errorf("interp: call to undefined %q from %s", callee, f.Name)
+		return Val{}, fmt.Errorf("interp: call to undefined %q from %s", callee, f.Name)
 	}
 	return m.call(cf, vals)
 }
 
-// funcPseudoAddr models function pointers.
-var (
-	funcPseudoAddrs = map[string]int64{}
-	funcPseudoNames = map[int64]string{}
-)
-
-func funcPseudoAddr(name string) int64 {
-	if a, ok := funcPseudoAddrs[name]; ok {
+// funcAddr returns the pseudo-address for a function name, assigning a
+// fresh reserved-range slot for names BuildFuncTable never saw (cannot
+// happen for names reachable from the module itself).
+func (m *Machine) funcAddr(name string) int64 {
+	if a, ok := m.funcAddrs[name]; ok {
 		return a
 	}
-	a := int64(-4096 - len(funcPseudoAddrs))
-	funcPseudoAddrs[name] = a
-	funcPseudoNames[a] = name
+	a := FuncAddrBase + int64(len(m.funcAddrs))*8
+	m.funcAddrs[name] = a
+	m.funcNames[a] = name
 	return a
 }
+
+// TotalCycles returns the accumulated simulated cycle count (engine
+// interface shared with the vm).
+func (m *Machine) TotalCycles() float64 { return m.Cycles }
+
+// SanitizerFailures returns the collected ubcheck violations.
+func (m *Machine) SanitizerFailures() []*SanitizerFailure { return m.SanFailures }

@@ -246,52 +246,52 @@ func TestICachePenalty(t *testing.T) {
 func TestBuiltins(t *testing.T) {
 	cases := []struct {
 		name string
-		args []val
+		args []Val
 		want float64
 	}{
-		{"fabs", []val{fv(-3.5)}, 3.5},
-		{"sqrt", []val{fv(16)}, 4},
-		{"fmax", []val{fv(2), fv(9)}, 9},
-		{"fmin", []val{fv(2), fv(9)}, 2},
-		{"pow", []val{fv(2), fv(10)}, 1024},
-		{"floor", []val{fv(2.9)}, 2},
-		{"ceil", []val{fv(2.1)}, 3},
+		{"fabs", []Val{FV(-3.5)}, 3.5},
+		{"sqrt", []Val{FV(16)}, 4},
+		{"fmax", []Val{FV(2), FV(9)}, 9},
+		{"fmin", []Val{FV(2), FV(9)}, 2},
+		{"pow", []Val{FV(2), FV(10)}, 1024},
+		{"floor", []Val{FV(2.9)}, 2},
+		{"ceil", []Val{FV(2.1)}, 3},
 	}
 	for _, c := range cases {
-		v, ok, err := builtin(c.name, c.args)
+		v, ok, err := CallBuiltin(c.name, c.args)
 		if !ok || err != nil {
 			t.Fatalf("%s: ok=%v err=%v", c.name, ok, err)
 		}
-		if v.asFloat() != c.want {
-			t.Errorf("%s = %v want %v", c.name, v.asFloat(), c.want)
+		if v.AsFloat() != c.want {
+			t.Errorf("%s = %v want %v", c.name, v.AsFloat(), c.want)
 		}
 	}
-	if _, ok, _ := builtin("nonexistent", nil); ok {
+	if _, ok, _ := CallBuiltin("nonexistent", nil); ok {
 		t.Error("unknown builtin must not dispatch")
 	}
 }
 
 func TestUnsignedArithmetic(t *testing.T) {
 	// i8 unsigned: 250 + 10 wraps to 4 under unsigned truncation.
-	v := scalarBin(ir.OpAdd, ir.I8, iv(250), iv(10), true)
-	if v.asInt() != 4 {
-		t.Errorf("u8 250+10 = %d want 4", v.asInt())
+	v, _ := ScalarBin(ir.OpAdd, ir.I8, IV(250), IV(10), true)
+	if v.AsInt() != 4 {
+		t.Errorf("u8 250+10 = %d want 4", v.AsInt())
 	}
 	// signed i8: stays in signed range.
-	v2 := scalarBin(ir.OpAdd, ir.I8, iv(120), iv(10), false)
-	if v2.asInt() != -126 {
-		t.Errorf("i8 120+10 = %d want -126", v2.asInt())
+	v2, _ := ScalarBin(ir.OpAdd, ir.I8, IV(120), IV(10), false)
+	if v2.AsInt() != -126 {
+		t.Errorf("i8 120+10 = %d want -126", v2.AsInt())
 	}
 	// unsigned shift right.
-	v3 := scalarBin(ir.OpShr, ir.I32, iv(-1), iv(24), true)
-	if v3.asInt() != 255 {
-		t.Errorf("u32 -1>>24 = %d want 255", v3.asInt())
+	v3, _ := ScalarBin(ir.OpShr, ir.I32, IV(-1), IV(24), true)
+	if v3.AsInt() != 255 {
+		t.Errorf("u32 -1>>24 = %d want 255", v3.AsInt())
 	}
 	// unsigned compare.
-	if !compare(ir.Lt, iv(1), iv(-1), true) {
+	if !CompareVals(ir.Lt, IV(1), IV(-1), true) {
 		t.Error("unsigned 1 < 0xffffffffffffffff")
 	}
-	if compare(ir.Lt, iv(1), iv(-1), false) {
+	if CompareVals(ir.Lt, IV(1), IV(-1), false) {
 		t.Error("signed 1 < -1 must be false")
 	}
 }

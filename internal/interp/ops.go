@@ -1,105 +1,51 @@
 package interp
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/ir"
 )
 
-// scalarBin applies a binary opcode to scalar values in the given class.
-func scalarBin(op ir.Op, cls ir.Class, a, b val, unsigned bool) val {
-	if cls.IsFloat() || a.fl || b.fl {
-		x, y := a.asFloat(), b.asFloat()
-		switch op {
-		case ir.OpAdd:
-			return fv(x + y)
-		case ir.OpSub:
-			return fv(x - y)
-		case ir.OpMul:
-			return fv(x * y)
-		case ir.OpDiv:
-			return fv(x / y)
-		case ir.OpRem:
-			return fv(math.Mod(x, y))
+// ScalarBin applies a binary opcode to scalar values in the given class.
+// Float operands route through the canonical float kernel (ir.FoldFloat);
+// the bitwise/shift family has no float form and is a hard error — it
+// used to silently fall through to integer bit-twiddling on the
+// truncated float, which hid irgen and folding bugs instead of surfacing
+// them.
+func ScalarBin(op ir.Op, cls ir.Class, a, b Val, unsigned bool) (Val, error) {
+	if cls.IsFloat() || a.Fl || b.Fl {
+		r, ok := ir.FoldFloat(op, a.AsFloat(), b.AsFloat())
+		if !ok {
+			return Val{}, fmt.Errorf("bitwise op %s on float operands", op)
 		}
-		// Bitwise on floats should not happen; fall through to ints.
+		return FV(r), nil
 	}
 	// Integer arithmetic routes through the canonical kernel shared with
 	// constant folding (ir.FoldInt), so folded and runtime-computed
 	// values are bit-identical by construction.
-	return iv(ir.FoldInt(op, cls, a.asInt(), b.asInt(), unsigned))
+	return IV(ir.FoldInt(op, cls, a.AsInt(), b.AsInt(), unsigned)), nil
 }
 
 func truncFor(cls ir.Class, x int64, unsigned bool) int64 {
 	return ir.TruncInt(cls, x, unsigned)
 }
 
-func compare(p ir.Pred, a, b val, unsigned bool) bool {
-	if a.fl || b.fl {
-		x, y := a.asFloat(), b.asFloat()
-		switch p {
-		case ir.Eq:
-			return x == y
-		case ir.Ne:
-			return x != y
-		case ir.Lt:
-			return x < y
-		case ir.Le:
-			return x <= y
-		case ir.Gt:
-			return x > y
-		case ir.Ge:
-			return x >= y
-		}
+// CompareVals applies a predicate to two runtime values, delegating to
+// the canonical comparison kernels so constant-folded compares
+// (passes/cse) and both execution engines agree bit-for-bit.
+func CompareVals(p ir.Pred, a, b Val, unsigned bool) bool {
+	if a.Fl || b.Fl {
+		return ir.CompareFloat(p, a.AsFloat(), b.AsFloat())
 	}
-	if unsigned {
-		x, y := uint64(a.asInt()), uint64(b.asInt())
-		switch p {
-		case ir.Eq:
-			return x == y
-		case ir.Ne:
-			return x != y
-		case ir.Lt, ir.ULt:
-			return x < y
-		case ir.Le, ir.ULe:
-			return x <= y
-		case ir.Gt, ir.UGt:
-			return x > y
-		case ir.Ge, ir.UGe:
-			return x >= y
-		}
-	}
-	x, y := a.asInt(), b.asInt()
-	switch p {
-	case ir.Eq:
-		return x == y
-	case ir.Ne:
-		return x != y
-	case ir.Lt:
-		return x < y
-	case ir.Le:
-		return x <= y
-	case ir.Gt:
-		return x > y
-	case ir.Ge:
-		return x >= y
-	case ir.ULt:
-		return uint64(x) < uint64(y)
-	case ir.ULe:
-		return uint64(x) <= uint64(y)
-	case ir.UGt:
-		return uint64(x) > uint64(y)
-	case ir.UGe:
-		return uint64(x) >= uint64(y)
-	}
-	return false
+	return ir.CompareInt(p, a.AsInt(), b.AsInt(), unsigned)
 }
 
-func convertVal(a val, cls ir.Class, unsigned bool) val {
+func ConvertVal(a Val, cls ir.Class, unsigned bool) Val {
 	if cls.IsFloat() {
-		return fv(a.asFloat())
+		return FV(a.AsFloat())
 	}
-	return iv(truncFor(cls, a.asInt(), unsigned))
+	return IV(truncFor(cls, a.AsInt(), unsigned))
 }
 
 func boolToInt(b bool) int64 {
@@ -110,47 +56,47 @@ func boolToInt(b bool) int64 {
 }
 
 // builtin dispatches the pure libm-style externs.
-func builtin(name string, args []val) (val, bool, error) {
+func CallBuiltin(name string, args []Val) (Val, bool, error) {
 	arg := func(i int) float64 {
 		if i < len(args) {
-			return args[i].asFloat()
+			return args[i].AsFloat()
 		}
 		return 0
 	}
 	switch name {
 	case "fabs":
-		return fv(math.Abs(arg(0))), true, nil
+		return FV(math.Abs(arg(0))), true, nil
 	case "sqrt":
-		return fv(math.Sqrt(arg(0))), true, nil
+		return FV(math.Sqrt(arg(0))), true, nil
 	case "sin":
-		return fv(math.Sin(arg(0))), true, nil
+		return FV(math.Sin(arg(0))), true, nil
 	case "cos":
-		return fv(math.Cos(arg(0))), true, nil
+		return FV(math.Cos(arg(0))), true, nil
 	case "exp":
-		return fv(math.Exp(arg(0))), true, nil
+		return FV(math.Exp(arg(0))), true, nil
 	case "log":
-		return fv(math.Log(arg(0))), true, nil
+		return FV(math.Log(arg(0))), true, nil
 	case "pow":
-		return fv(math.Pow(arg(0), arg(1))), true, nil
+		return FV(math.Pow(arg(0), arg(1))), true, nil
 	case "floor":
-		return fv(math.Floor(arg(0))), true, nil
+		return FV(math.Floor(arg(0))), true, nil
 	case "ceil":
-		return fv(math.Ceil(arg(0))), true, nil
+		return FV(math.Ceil(arg(0))), true, nil
 	case "fmod":
-		return fv(math.Mod(arg(0), arg(1))), true, nil
+		return FV(math.Mod(arg(0), arg(1))), true, nil
 	case "fmax":
-		return fv(math.Max(arg(0), arg(1))), true, nil
+		return FV(math.Max(arg(0), arg(1))), true, nil
 	case "fmin":
-		return fv(math.Min(arg(0), arg(1))), true, nil
+		return FV(math.Min(arg(0), arg(1))), true, nil
 	case "abs", "labs":
 		v := int64(0)
 		if len(args) > 0 {
-			v = args[0].asInt()
+			v = args[0].AsInt()
 		}
 		if v < 0 {
 			v = -v
 		}
-		return iv(v), true, nil
+		return IV(v), true, nil
 	}
-	return val{}, false, nil
+	return Val{}, false, nil
 }

@@ -1,0 +1,126 @@
+package interp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// TestScalarBinRejectsFloatBitwise pins the satellite fix: the bitwise
+// family on float operands is a hard error, not a silent fallthrough to
+// integer bit-twiddling.
+func TestScalarBinRejectsFloatBitwise(t *testing.T) {
+	for _, op := range []ir.Op{ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr} {
+		if _, err := ScalarBin(op, ir.F64, FV(1.5), FV(2.5), false); err == nil {
+			t.Errorf("%s on float class must error", op)
+		}
+		// Float-tagged operands trigger the error even with an int class.
+		if _, err := ScalarBin(op, ir.I64, FV(1.5), IV(2), false); err == nil {
+			t.Errorf("%s with a float operand must error", op)
+		}
+	}
+	if v, err := ScalarBin(ir.OpAdd, ir.F64, FV(1.5), FV(2.5), false); err != nil || v.F != 4 {
+		t.Errorf("float add = (%v, %v), want 4", v, err)
+	}
+}
+
+// TestAsIntSaturates pins Val.AsInt on the canonical saturating rule.
+func TestAsIntSaturates(t *testing.T) {
+	if got := FV(math.NaN()).AsInt(); got != 0 {
+		t.Errorf("NaN.AsInt() = %d, want 0", got)
+	}
+	if got := FV(math.Inf(1)).AsInt(); got != math.MaxInt64 {
+		t.Errorf("+Inf.AsInt() = %d, want MaxInt64", got)
+	}
+	if got := FV(math.Inf(-1)).AsInt(); got != math.MinInt64 {
+		t.Errorf("-Inf.AsInt() = %d, want MinInt64", got)
+	}
+	if got := FV(1e300).AsInt(); got != math.MaxInt64 {
+		t.Errorf("1e300.AsInt() = %d, want MaxInt64", got)
+	}
+}
+
+// TestMixedClassCells pins explicit cell reinterpretation: reading a
+// cell as the other class converts by value instead of returning the
+// stale half (ReadF64 of an int cell used to return 0).
+func TestMixedClassCells(t *testing.T) {
+	m := New(buildModule(), DefaultCosts())
+	addr, _ := m.GlobalAddr("g")
+
+	m.WriteI64(addr, 42)
+	if got := m.ReadF64(addr); got != 42.0 {
+		t.Errorf("ReadF64 of int cell 42 = %g, want 42", got)
+	}
+	m.WriteF64(addr, 6.75)
+	if got := m.ReadI64(addr); got != 6 {
+		t.Errorf("ReadI64 of float cell 6.75 = %d, want 6", got)
+	}
+	m.WriteF64(addr, math.NaN())
+	if got := m.ReadI64(addr); got != 0 {
+		t.Errorf("ReadI64 of NaN cell = %d, want 0 (saturating rule)", got)
+	}
+	// WriteI64 after WriteF64 must fully reclassify the cell.
+	m.WriteF64(addr, 3.5)
+	m.WriteI64(addr, 9)
+	if got := m.ReadF64(addr); got != 9.0 {
+		t.Errorf("ReadF64 after WriteF64→WriteI64 = %g, want 9", got)
+	}
+}
+
+// TestFuncPseudoAddrsReserved pins the satellite fix: function
+// pseudo-addresses live in a reserved range disjoint from data, are
+// deterministic across machines, and are per-machine state (no process
+// globals).
+func TestFuncPseudoAddrsReserved(t *testing.T) {
+	mod := buildModule()
+	// Add an indirect call through a FuncRef so the table is exercised.
+	addrs, names := BuildFuncTable(mod)
+	if len(addrs) == 0 {
+		t.Fatal("no function addresses assigned")
+	}
+	for name, a := range addrs {
+		if a < FuncAddrBase {
+			t.Errorf("func %q at %#x, below reserved base %#x", name, a, FuncAddrBase)
+		}
+		if names[a] != name {
+			t.Errorf("reverse table mismatch for %q", name)
+		}
+	}
+	a2, _ := BuildFuncTable(mod)
+	for name := range addrs {
+		if addrs[name] != a2[name] {
+			t.Errorf("func %q address differs across builds: %#x vs %#x",
+				name, addrs[name], a2[name])
+		}
+	}
+	// Data addresses must stay below the reserved range.
+	m := New(mod, DefaultCosts())
+	gaddr, _ := m.GlobalAddr("g")
+	if gaddr >= FuncAddrBase {
+		t.Errorf("global at %#x overlaps the function range", gaddr)
+	}
+}
+
+// TestFloatBitwiseErrorAttribution checks the runtime error carries the
+// engine prefix and the function name.
+func TestFloatBitwiseErrorAttribution(t *testing.T) {
+	m := &ir.Module{Name: "t"}
+	f := &ir.Func{Name: "badfn", Ret: ir.F64}
+	b := f.NewBlock("entry")
+	and := b.Append(&ir.Instr{Op: ir.OpAnd, Cls: ir.F64,
+		Args: []ir.Value{ir.ConstFloat(ir.F64, 1.5), ir.ConstFloat(ir.F64, 2.5)}})
+	b.Append(&ir.Instr{Op: ir.OpRet, Cls: ir.Void, Args: []ir.Value{and}})
+	m.Funcs = append(m.Funcs, f)
+
+	mach := New(m, DefaultCosts())
+	_, err := mach.RunArgs("badfn")
+	if err == nil {
+		t.Fatal("float bitwise op must be a hard error")
+	}
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "interp: ") || !strings.Contains(msg, "badfn") {
+		t.Errorf("error %q must be attributed (interp: prefix + function name)", msg)
+	}
+}

@@ -1,18 +1,23 @@
 package ir
 
-// Canonical scalar integer arithmetic, shared by the interpreter and by
-// constant folding so the two cannot drift: a folded constant must be
-// bit-identical to what the runtime would have computed. The pinned
-// choices for C-level UB that the IR layer must still totalize
-// (reference semantics in csem traps these as Undefined, so they are
-// unobservable in defined programs, but every pipeline stage has to
-// agree on SOME value for them):
+import "math"
+
+// Canonical scalar arithmetic, shared by the execution engines (the
+// tree-walking interpreter and the bytecode vm) and by constant folding
+// so the three cannot drift: a folded constant must be bit-identical to
+// what either runtime would have computed. The pinned choices for
+// C-level UB that the IR layer must still totalize (reference semantics
+// in csem traps these as Undefined, so they are unobservable in defined
+// programs, but every pipeline stage has to agree on SOME value for
+// them):
 //
 //   - division/remainder by zero  → 0
 //   - most-negative / -1          → wraps (two's complement, Go's rule)
 //   - shift counts                → masked to [0,64), result truncated
 //     to the class width
 //   - signed overflow             → wraps (as if -fwrapv)
+//   - float → int out of range    → saturates (FloatToInt): NaN → 0,
+//     values ≥ 2^63 → MaxInt64, values < -2^63 → MinInt64
 
 // TruncInt truncates x to cls's width: sign-extending for signed
 // classes, zero-extending for unsigned, so every value is kept in the
@@ -49,6 +54,118 @@ func ZeroExt(cls Class, x int64) uint64 {
 		return uint64(uint32(x))
 	}
 	return uint64(x)
+}
+
+// FloatToInt is the canonical float→int64 conversion. Go's int64(f) is
+// implementation-defined for NaN, ±Inf, and out-of-range values (on
+// amd64 it yields 1<<63, on arm64 it saturates); every consumer of the
+// value model — both execution engines, constant folding, the harness
+// memory accessors — must route through this pinned, deterministic
+// saturating rule instead:
+//
+//	NaN      → 0
+//	f ≥ 2^63 → MaxInt64
+//	f < -2^63 → MinInt64
+//	otherwise → int64(f) (in-range, well-defined truncation)
+func FloatToInt(f float64) int64 {
+	switch {
+	case math.IsNaN(f):
+		return 0
+	case f >= 0x1p63:
+		return math.MaxInt64
+	case f < -0x1p63:
+		return math.MinInt64
+	}
+	return int64(f)
+}
+
+// FoldFloat applies a binary opcode under float semantics. It is the
+// float half of the canonical kernel: both engines and any folding of
+// float constants must agree on these five operations. ok is false for
+// opcodes that have no float form (the bitwise/shift family) — callers
+// must treat that as a hard error, not fall through to integer bits.
+func FoldFloat(op Op, a, b float64) (r float64, ok bool) {
+	switch op {
+	case OpAdd:
+		return a + b, true
+	case OpSub:
+		return a - b, true
+	case OpMul:
+		return a * b, true
+	case OpDiv:
+		return a / b, true
+	case OpRem:
+		return math.Mod(a, b), true
+	}
+	return 0, false
+}
+
+// CompareFloat applies a comparison predicate under float semantics
+// (IEEE: any comparison with NaN except Ne is false). The unsigned
+// predicates have no float meaning and compare like their signed forms.
+func CompareFloat(p Pred, a, b float64) bool {
+	switch p {
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	case Lt, ULt:
+		return a < b
+	case Le, ULe:
+		return a <= b
+	case Gt, UGt:
+		return a > b
+	case Ge, UGe:
+		return a >= b
+	}
+	return false
+}
+
+// CompareInt applies a comparison predicate to canonical 64-bit integer
+// values. unsigned switches the ordered predicates to unsigned
+// semantics; the U-preds are unsigned regardless.
+func CompareInt(p Pred, a, b int64, unsigned bool) bool {
+	if unsigned {
+		ua, ub := uint64(a), uint64(b)
+		switch p {
+		case Eq:
+			return ua == ub
+		case Ne:
+			return ua != ub
+		case Lt, ULt:
+			return ua < ub
+		case Le, ULe:
+			return ua <= ub
+		case Gt, UGt:
+			return ua > ub
+		case Ge, UGe:
+			return ua >= ub
+		}
+		return false
+	}
+	switch p {
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Gt:
+		return a > b
+	case Ge:
+		return a >= b
+	case ULt:
+		return uint64(a) < uint64(b)
+	case ULe:
+		return uint64(a) <= uint64(b)
+	case UGt:
+		return uint64(a) > uint64(b)
+	case UGe:
+		return uint64(a) >= uint64(b)
+	}
+	return false
 }
 
 // FoldInt applies an integer binary opcode with the pinned edge-case

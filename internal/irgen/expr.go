@@ -291,11 +291,16 @@ func (g *Generator) genUnary(x *ast.Unary) ir.Value {
 	case token.Inc, token.Dec:
 		return g.genIncDec(x.X, x.Op, false)
 	case token.Minus:
+		// Unsigned keeps the result canonical (zero-extended) for
+		// sub-64-bit unsigned operands: -1u must wrap to 0xFFFFFFFF,
+		// not sign-extend to -1.
 		v := g.genExpr(x.X)
-		return g.emit(&ir.Instr{Op: ir.OpNeg, Cls: valClass(v), Args: []ir.Value{v}})
+		return g.emit(&ir.Instr{Op: ir.OpNeg, Cls: valClass(v),
+			Unsigned: isUnsignedType(x.Type()), Args: []ir.Value{v}})
 	case token.Tilde:
 		v := g.genExpr(x.X)
-		return g.emit(&ir.Instr{Op: ir.OpNot, Cls: valClass(v), Args: []ir.Value{v}})
+		return g.emit(&ir.Instr{Op: ir.OpNot, Cls: valClass(v),
+			Unsigned: isUnsignedType(x.Type()), Args: []ir.Value{v}})
 	case token.Not:
 		v := g.genExpr(x.X)
 		var zero ir.Value
@@ -384,6 +389,17 @@ func (g *Generator) arith(op token.Kind, l, r ir.Value, lt, rt, res *ctypes.Type
 			Args: []ir.Value{l2, r2}})
 	}
 
+	// C's bitwise/shift operators require integer operands; the subset
+	// accepts them on floats (the paper's CANT_ALIAS idiom applies `&` to
+	// lvalues of any arithmetic type), so lower those through an explicit
+	// integer conversion — a float-classed bitwise op is a hard runtime
+	// error in both engines.
+	switch op {
+	case token.Amp, token.Pipe, token.Caret, token.Shl, token.Shr:
+		if cls.IsFloat() {
+			cls = ir.I64
+		}
+	}
 	l2, r2 := g.convertTo(l, cls), g.convertTo(r, cls)
 	iop := map[token.Kind]ir.Op{
 		token.Plus: ir.OpAdd, token.Minus: ir.OpSub, token.Star: ir.OpMul,
@@ -528,7 +544,10 @@ func (g *Generator) convertTo(v ir.Value, cls ir.Class) ir.Value {
 			return ir.ConstFloat(cls, float64(c.I))
 		}
 		if c.Cls.IsFloat() {
-			return ir.ConstInt(cls, int64(c.F))
+			// Saturating canonical conversion, truncated to the target
+			// class exactly as the runtime OpConvert would — a folded
+			// constant must be bit-identical to the executed value.
+			return ir.ConstInt(cls, truncInt(ir.FloatToInt(c.F), cls))
 		}
 		return ir.ConstInt(cls, truncInt(c.I, cls))
 	}

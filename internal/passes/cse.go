@@ -352,36 +352,10 @@ func simplify(in *ir.Instr) ir.Value {
 		}
 	case ir.OpCmp:
 		if ok0 && ok1 && !k0.Cls.IsFloat() && !k1.Cls.IsFloat() {
-			// Mirror the interpreter's compare exactly: the Unsigned flag
-			// switches Lt/Le/Gt/Ge to unsigned semantics, and the U-preds
-			// are unsigned regardless.
-			var r bool
-			a, b2 := k0.I, k1.I
-			ua, ub := uint64(a), uint64(b2)
-			unsigned := in.Unsigned
-			switch in.Pred {
-			case ir.Eq:
-				r = a == b2
-			case ir.Ne:
-				r = a != b2
-			case ir.Lt:
-				r = a < b2 && !unsigned || unsigned && ua < ub
-			case ir.Le:
-				r = a <= b2 && !unsigned || unsigned && ua <= ub
-			case ir.Gt:
-				r = a > b2 && !unsigned || unsigned && ua > ub
-			case ir.Ge:
-				r = a >= b2 && !unsigned || unsigned && ua >= ub
-			case ir.ULt:
-				r = ua < ub
-			case ir.ULe:
-				r = ua <= ub
-			case ir.UGt:
-				r = ua > ub
-			case ir.UGe:
-				r = ua >= ub
-			}
-			if r {
+			// ir.CompareInt is the engines' compare kernel: the Unsigned
+			// flag switches Lt/Le/Gt/Ge to unsigned semantics, and the
+			// U-preds are unsigned regardless.
+			if ir.CompareInt(in.Pred, k0.I, k1.I, in.Unsigned) {
 				return ir.ConstInt(ir.I32, 1)
 			}
 			return ir.ConstInt(ir.I32, 0)
@@ -395,7 +369,9 @@ func simplify(in *ir.Instr) ir.Value {
 				return ir.ConstFloat(in.Cls, float64(k0.I))
 			}
 			if k0.Cls.IsFloat() {
-				return ir.ConstInt(in.Cls, ir.TruncInt(in.Cls, int64(k0.F), in.Unsigned))
+				// ir.FloatToInt pins the NaN/±Inf/out-of-range cases so the
+				// fold matches what both engines execute.
+				return ir.ConstInt(in.Cls, ir.TruncInt(in.Cls, ir.FloatToInt(k0.F), in.Unsigned))
 			}
 			return ir.ConstInt(in.Cls, ir.TruncInt(in.Cls, k0.I, in.Unsigned))
 		}

@@ -901,7 +901,7 @@ func emitVectorLoop(f *ir.Func, cl *canonLoop, plan *vecPlan, width int) {
 					zero := vbody.Append(&ir.Instr{Op: ir.OpVecSplat, Cls: in.Cls, Width: width,
 						Args: []ir.Value{zeroConst(in.Cls)}})
 					vb := vbody.Append(&ir.Instr{Op: ir.OpVecBin, Cls: in.Cls, Width: width,
-						VecOp: ir.OpSub, Args: []ir.Value{zero, src}})
+						Unsigned: in.Unsigned, VecOp: ir.OpSub, Args: []ir.Value{zero, src}})
 					vmap[in] = vb
 				case ir.OpConvert:
 					// Lane-wise convert: add a zero of the target class;
@@ -910,13 +910,13 @@ func emitVectorLoop(f *ir.Func, cl *canonLoop, plan *vecPlan, width int) {
 					zero := vbody.Append(&ir.Instr{Op: ir.OpVecSplat, Cls: in.Cls, Width: width,
 						Args: []ir.Value{zeroConst(in.Cls)}})
 					vb := vbody.Append(&ir.Instr{Op: ir.OpVecBin, Cls: in.Cls, Width: width,
-						VecOp: ir.OpAdd, Args: []ir.Value{src, zero}})
+						Unsigned: in.Unsigned, VecOp: ir.OpAdd, Args: []ir.Value{src, zero}})
 					vmap[in] = vb
 				case ir.OpNot:
 					all := vbody.Append(&ir.Instr{Op: ir.OpVecSplat, Cls: in.Cls, Width: width,
 						Args: []ir.Value{ir.ConstInt(in.Cls, -1)}})
 					vb := vbody.Append(&ir.Instr{Op: ir.OpVecBin, Cls: in.Cls, Width: width,
-						VecOp: ir.OpXor, Args: []ir.Value{src, all}})
+						Unsigned: in.Unsigned, VecOp: ir.OpXor, Args: []ir.Value{src, all}})
 					vmap[in] = vb
 				default:
 					cp := vbody.Append(&ir.Instr{Op: in.Op, Cls: in.Cls, Unsigned: in.Unsigned,

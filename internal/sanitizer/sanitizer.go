@@ -101,7 +101,7 @@ func CheckWith(name, src string, files map[string]string, entry string,
 		PredsWithCalls:  c.Frontend.PredsWithCalls,
 		BitfieldDropped: c.Frontend.BitfieldDropped,
 	}
-	m := c.NewMachine()
+	m := c.NewMachineOn("")
 	if entry == "" {
 		entry = "main"
 	}
@@ -113,7 +113,7 @@ func CheckWith(name, src string, files map[string]string, entry string,
 		return rep, err
 	}
 	rep.Result = res
-	rep.Failures = convertFailures(m.SanFailures, c.Module)
+	rep.Failures = convertFailures(m.SanitizerFailures(), c.Module)
 	return rep, nil
 }
 

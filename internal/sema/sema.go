@@ -6,6 +6,7 @@ package sema
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/ast"
 	"repro/internal/ctypes"
@@ -220,6 +221,12 @@ func (c *Checker) typeOf(e ast.Expr) *ctypes.Type {
 		}
 		return sym.Type
 	case *ast.IntLit:
+		// C99 6.4.4.1: an unsuffixed decimal literal has the first of
+		// int, long that can represent it. Typing everything int would
+		// truncate 64-bit constants at i32 operations downstream.
+		if x.Value > math.MaxInt32 || x.Value < math.MinInt32 {
+			return ctypes.LongType
+		}
 		return ctypes.IntType
 	case *ast.FloatLit:
 		return ctypes.DoubleType

@@ -1,0 +1,609 @@
+// Package vm compiles backend IR to a dense register-based bytecode and
+// executes it with a flat dispatch loop. It is the fast run leg behind
+// the -engine flag; the tree-walking interpreter (internal/interp) is
+// retained as the oracle. The correctness contract is bit-identical
+// cycles, results, and sanitizer verdicts versus interp (DESIGN.md §10):
+// the vm reuses interp's exported value model (interp.Val, ScalarBin,
+// CompareVals, ConvertVal, CallBuiltin, Lane) and the canonical ir
+// kernels, performs the same float cycle additions in the same order,
+// and reproduces interp's address assignment exactly (same bump
+// allocator, same reserved function pseudo-address table).
+package vm
+
+import (
+	"sync"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// Val is the runtime value type, shared with the tree-walker so both
+// engines compute with the very same kernels.
+type Val = interp.Val
+
+type opcode uint8
+
+const (
+	opInvalid opcode = iota
+	opAlloca
+	opLoad
+	opStore
+	opGEP
+	opBin    // generic binary op via interp.ScalarBin (rare shapes)
+	opFAdd   // float-class add: the ScalarBin float path, inlined
+	opFSub   // float-class sub
+	opFMul   // float-class mul
+	opIAdd   // int-class add (dynamic float tags fall back to the float kernel)
+	opISub   // int-class sub
+	opIMul   // int-class mul
+	opIBits  // int-class and/or/xor/shl/shr (float tags are a hard error)
+	opDivRem // Div/Rem with the zero trap
+	opNeg
+	opNot
+	opCmp
+	opSelect
+	opConvert
+	opCallFn       // direct call to a compiled function
+	opCallBuiltin  // direct call resolved to a libm-style builtin
+	opCallIndirect // callee address in a register
+	opCallUndefined
+	opBr
+	opCondBr
+	opRet
+	opRetVoid
+	opUBCheck
+	opMemset
+	opMemcpy
+	opVecLoad
+	opVecStore
+	opVecSplat
+	opVecBin
+	opVecBinF // float-class lane-wise add/sub/mul/div/rem, inlined
+	opVecBinI // int-class lane-wise binary op, inlined with tag guard
+	opVecCmp  // lane-wise compare, inlined with tag guard
+	opVecReduce
+	opVecReduceFAdd // float-class add-reduction, inlined
+	opVecIota
+	opVecSelect
+	opVecCall
+	opFellThrough // non-terminated block reached at runtime
+	opUnhandled   // op the engine does not implement, trapped lazily
+
+	// Fused superinstructions: two adjacent IR instructions where the
+	// first's only use is the second. One dispatch round executes both,
+	// performing both per-instruction accounting sequences in the exact
+	// interpreter order (so cycles/steps stay bit-identical); the dead
+	// intermediate register is never written.
+	opCmpBr       // cmp + condbr on its result
+	opGEPLoad     // gep + scalar load through it
+	opGEPStore    // gep + scalar store through it
+	opGEPVecLoad  // gep + vector load through it
+	opGEPVecStore // gep + vector store through it
+)
+
+// Cost kinds name the fixed per-op cycle costs; a Machine resolves them
+// against its CostModel once at construction (costTab). Ops with
+// data-dependent costs (memset/memcpy, veccall) use costZero here and
+// add their cost in the handler with the exact same float expression as
+// the interpreter, preserving bit-identical accumulation.
+const (
+	costZero = iota
+	costALU
+	costALUHalf
+	costRegMove
+	costMemLoad
+	costMemStore
+	costBranch
+	costDiv
+	costVecMem
+	costVecOp
+	costVecOp2
+	numCostKinds
+)
+
+// instr is one bytecode instruction. Operand fields a/b/c and the
+// entries of xargs encode either a register slot (>= 0) or a constant
+// pool index (< 0, stored as ^index). Branch targets are pre-resolved
+// pc values.
+type instr struct {
+	op       opcode
+	costK    uint8
+	cls      ir.Class
+	unsigned bool
+	irOp     ir.Op   // original opcode for opBin/opDivRem/opUnhandled
+	pred     ir.Pred // opCmp, opVecBin with VecOp==Cmp
+	vecOp    ir.Op
+	dst      int32
+	a, b, c  int32
+	scale    int64
+	off      int64
+	width    int
+	allocIdx int32
+	vecIdx   int32 // per-function vec-destination buffer slot
+	allocSz  int64
+	target   int32 // opBr/opCondBr then-pc
+	elseT    int32 // opCondBr else-pc
+	fn       *fnCode
+	callee   string
+	meta     int // provenance id (opUBCheck)
+	block    string
+	xargs    []int32
+
+	// tb/eb hold block pointers during compilation, patched to pc
+	// indices once all blocks are laid out.
+	tb, eb *ir.Block
+}
+
+// fnCode is one compiled function.
+type fnCode struct {
+	name       string
+	idx        int
+	nParams    int
+	numRegs    int
+	numAllocas int
+	// numVecDsts counts vec-producing instructions; each owns one lane
+	// buffer slot per activation (see Machine.callFn).
+	numVecDsts int
+	code       []instr
+	// nonMeta counts instructions that occupy code bytes (everything but
+	// mustnotalias), the input to the icache-penalty rule — the same
+	// count interp.icachePenalized computes.
+	nonMeta int
+	empty   bool
+}
+
+// initCell is a global initializer: a cell value at an absolute address.
+type initCell struct {
+	addr int64
+	c    cell
+}
+
+// Program is a compiled module: per-function bytecode plus the shared
+// constant pool, function pseudo-address table, and global layout. A
+// Program is immutable and can back any number of Machines.
+type Program struct {
+	fns       []*fnCode
+	byName    map[string]*fnCode
+	funcNames map[int64]string
+	consts    []Val
+	globals   map[string]int64
+	// memTop is the bump-allocator position after globals; Machines
+	// resume allocating from here, exactly like a fresh interp.Machine.
+	memTop     int64
+	globalInit []initCell
+	// memPool recycles memory images across Machines of this program:
+	// a released image (possibly grown past the initial slack) is cleared
+	// and reused by the next New, so steady-state run loops stop paying
+	// an image allocation per run.
+	memPool sync.Pool
+}
+
+const memBase = 0x10000
+
+type compiler struct {
+	p         *Program
+	funcAddrs map[string]int64
+	constIdx  map[constKey]int32
+}
+
+type constKey struct {
+	i  int64
+	f  float64
+	fl bool
+}
+
+// Compile translates a module to bytecode. Translation never fails:
+// constructs the engine cannot execute compile to trap instructions that
+// reproduce the interpreter's runtime error at the same program point,
+// so unreachable oddities stay unobservable — exactly as they are under
+// the tree-walker.
+func Compile(mod *ir.Module) *Program {
+	p := &Program{
+		byName:  make(map[string]*fnCode),
+		globals: make(map[string]int64),
+	}
+	c := &compiler{p: p, constIdx: make(map[constKey]int32)}
+	c.funcAddrs, p.funcNames = interp.BuildFuncTable(mod)
+
+	// Lay out globals with the same bump allocator as interp.New so
+	// every address the two engines hand out is identical.
+	next := int64(memBase)
+	alloc := func(size int64) int64 {
+		if size <= 0 {
+			size = 8
+		}
+		a := next
+		next += size + 32
+		return a
+	}
+	for _, g := range mod.Globals {
+		addr := alloc(int64(g.Size))
+		p.globals[g.Name] = addr
+		for off, init := range g.Init {
+			if init.Cls.IsFloat() {
+				p.globalInit = append(p.globalInit, initCell{addr + int64(off), cell{F: init.F, Fl: true}})
+			} else {
+				p.globalInit = append(p.globalInit, initCell{addr + int64(off), cell{I: init.I}})
+			}
+		}
+	}
+	p.memTop = next
+
+	// Register every function shell first so calls resolve regardless of
+	// definition order, then fill in the bodies.
+	for i, f := range mod.Funcs {
+		fc := &fnCode{name: f.Name, idx: i, nParams: len(f.Params)}
+		p.fns = append(p.fns, fc)
+		p.byName[f.Name] = fc
+	}
+	for i, f := range mod.Funcs {
+		c.compileFunc(f, p.fns[i])
+	}
+	return p
+}
+
+// operand encodes an IR value: instruction results and params map to
+// register slots, everything constant-like joins the pool.
+func (c *compiler) operand(slots map[ir.Value]int32, v ir.Value) int32 {
+	switch x := v.(type) {
+	case *ir.Const:
+		if x.Cls.IsFloat() {
+			return c.constRef(interp.FV(x.F))
+		}
+		return c.constRef(interp.IV(x.I))
+	case *ir.Global:
+		return c.constRef(interp.IV(c.p.globals[x.Name]))
+	case *ir.FuncRef:
+		return c.constRef(interp.IV(c.funcAddrs[x.Name]))
+	default:
+		if s, ok := slots[v]; ok {
+			return s
+		}
+		// A use of a never-defined value reads as zero under the
+		// interpreter's register map; encode a zero constant.
+		return c.constRef(Val{})
+	}
+}
+
+func (c *compiler) constRef(v Val) int32 {
+	k := constKey{v.I, v.F, v.Fl}
+	if idx, ok := c.constIdx[k]; ok {
+		return ^idx
+	}
+	idx := int32(len(c.p.consts))
+	c.p.consts = append(c.p.consts, v)
+	c.constIdx[k] = idx
+	return ^idx
+}
+
+// isBuiltin probes the shared builtin table (CallBuiltin is pure, so a
+// zero-arg probe is safe).
+func isBuiltin(name string) bool {
+	_, ok, _ := interp.CallBuiltin(name, nil)
+	return ok
+}
+
+func (c *compiler) compileFunc(f *ir.Func, fc *fnCode) {
+	if f.Entry() == nil {
+		fc.empty = true
+		return
+	}
+	slots := make(map[ir.Value]int32)
+	for _, prm := range f.Params {
+		slots[prm] = int32(len(slots))
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			slots[in] = int32(len(slots))
+		}
+	}
+	fc.numRegs = len(slots)
+
+	// Use counts gate superinstruction fusion: a producer may only be
+	// folded into its consumer when nothing else reads it (metadata uses
+	// count too — conservative, never fuses away an observed value).
+	uses := make(map[ir.Value]int)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				uses[a]++
+			}
+		}
+	}
+
+	blockPC := make(map[*ir.Block]int32)
+	for _, b := range f.Blocks {
+		blockPC[b] = int32(len(fc.code))
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpMustNotAlias {
+				continue // metadata: emits no machine code
+			}
+			fc.nonMeta++
+			ins := c.compileInstr(slots, fc, in)
+			switch ins.op {
+			case opVecLoad, opVecSplat, opVecBin, opVecBinF, opVecBinI,
+				opVecCmp, opVecIota, opVecSelect, opVecCall:
+				// Vec-producing instructions each own a per-activation lane
+				// buffer slot (see callFn); allocation happens once per
+				// activation instead of once per execution.
+				ins.vecIdx = int32(fc.numVecDsts)
+				fc.numVecDsts++
+			}
+			if n := len(fc.code); n > int(blockPC[b]) && len(in.Args) > 0 {
+				if uses[in.Args[0]] == 1 {
+					if fused, ok := tryFuse(&fc.code[n-1], &ins); ok {
+						fc.code[n-1] = fused
+						continue
+					}
+				}
+			}
+			fc.code = append(fc.code, ins)
+		}
+		// A block whose last instruction is not a terminator falls
+		// through at runtime under the interpreter; reproduce that as a
+		// trap so the error (if ever reached) is identical.
+		if n := len(fc.code); n == int(blockPC[b]) || !isTerminator(fc.code[n-1].op) {
+			fc.code = append(fc.code, instr{op: opFellThrough, block: b.Name})
+		}
+	}
+	// Patch branch targets now that every block has a pc.
+	for i := range fc.code {
+		in := &fc.code[i]
+		if in.tb != nil {
+			in.target = blockPC[in.tb]
+			in.tb = nil
+		}
+		if in.eb != nil {
+			in.elseT = blockPC[in.eb]
+			in.eb = nil
+		}
+	}
+}
+
+func isTerminator(op opcode) bool {
+	switch op {
+	case opBr, opCondBr, opCmpBr, opRet, opRetVoid, opFellThrough:
+		return true
+	}
+	return false
+}
+
+// tryFuse merges ins into the previous bytecode instruction when prev's
+// result feeds ins as its sole consumer. Returns the fused instruction
+// and true, or false when the pair doesn't fuse.
+func tryFuse(prev *instr, ins *instr) (instr, bool) {
+	switch {
+	case prev.op == opCmp && ins.op == opCondBr && ins.a == prev.dst:
+		return instr{op: opCmpBr, costK: prev.costK,
+			a: prev.a, b: prev.b, pred: prev.pred, unsigned: prev.unsigned,
+			tb: ins.tb, eb: ins.eb}, true
+	case prev.op == opGEP && ins.op == opLoad && ins.a == prev.dst:
+		return instr{op: opGEPLoad, costK: prev.costK, dst: ins.dst,
+			a: prev.a, b: prev.b, scale: prev.scale, off: prev.off,
+			cls: ins.cls, unsigned: ins.unsigned}, true
+	case prev.op == opGEP && ins.op == opStore && ins.a == prev.dst:
+		return instr{op: opGEPStore, costK: prev.costK,
+			a: prev.a, b: prev.b, c: ins.b, scale: prev.scale, off: prev.off}, true
+	case prev.op == opGEP && ins.op == opVecLoad && ins.a == prev.dst:
+		return instr{op: opGEPVecLoad, costK: prev.costK, dst: ins.dst,
+			a: prev.a, b: prev.b, scale: prev.scale, off: prev.off,
+			cls: ins.cls, width: ins.width, vecIdx: ins.vecIdx}, true
+	case prev.op == opGEP && ins.op == opVecStore && ins.a == prev.dst:
+		return instr{op: opGEPVecStore, costK: prev.costK,
+			a: prev.a, b: prev.b, c: ins.b, scale: prev.scale, off: prev.off,
+			cls: ins.cls, width: ins.width}, true
+	}
+	return instr{}, false
+}
+
+// ptrIsReg is the static register/memory pointer classification — the
+// same rule as interp.classifyPtr: direct scalar alloca slots are
+// register-class, everything else memory-class.
+func ptrIsReg(v ir.Value) bool {
+	in, ok := v.(*ir.Instr)
+	return ok && in.Op == ir.OpAlloca && in.AllocSz <= 8
+}
+
+func (c *compiler) compileInstr(slots map[ir.Value]int32, fc *fnCode, in *ir.Instr) instr {
+	dst := slots[in]
+	arg := func(i int) int32 {
+		if i < len(in.Args) {
+			return c.operand(slots, in.Args[i])
+		}
+		return c.constRef(Val{})
+	}
+	args := func(from int) []int32 {
+		xs := make([]int32, 0, len(in.Args)-from)
+		for i := from; i < len(in.Args); i++ {
+			xs = append(xs, c.operand(slots, in.Args[i]))
+		}
+		return xs
+	}
+
+	switch in.Op {
+	case ir.OpAlloca:
+		idx := fc.numAllocas
+		fc.numAllocas++
+		return instr{op: opAlloca, costK: costZero, dst: dst,
+			allocIdx: int32(idx), allocSz: int64(in.AllocSz)}
+
+	case ir.OpLoad:
+		k := uint8(costMemLoad)
+		if ptrIsReg(in.Args[0]) {
+			k = costRegMove
+		}
+		return instr{op: opLoad, costK: k, dst: dst, a: arg(0),
+			cls: in.Cls, unsigned: in.Unsigned}
+
+	case ir.OpStore:
+		k := uint8(costMemStore)
+		if ptrIsReg(in.Args[0]) {
+			k = costRegMove
+		}
+		return instr{op: opStore, costK: k, a: arg(0), b: arg(1)}
+
+	case ir.OpGEP:
+		return instr{op: opGEP, costK: costALUHalf, dst: dst,
+			a: arg(0), b: arg(1), scale: int64(in.Scale), off: int64(in.Off)}
+
+	case ir.OpAdd, ir.OpSub, ir.OpMul:
+		// The class is static, so the ScalarBin float-vs-int dispatch is
+		// resolved here: float class always takes the float kernel;
+		// int class takes the fast integer path unless a dynamically
+		// float-tagged operand shows up (the handler re-checks, exactly
+		// as ScalarBin would).
+		var op opcode
+		switch {
+		case in.Cls.IsFloat() && in.Op == ir.OpAdd:
+			op = opFAdd
+		case in.Cls.IsFloat() && in.Op == ir.OpSub:
+			op = opFSub
+		case in.Cls.IsFloat():
+			op = opFMul
+		case in.Op == ir.OpAdd:
+			op = opIAdd
+		case in.Op == ir.OpSub:
+			op = opISub
+		default:
+			op = opIMul
+		}
+		return instr{op: op, costK: costALU, dst: dst, a: arg(0), b: arg(1),
+			irOp: in.Op, cls: in.Cls, unsigned: in.Unsigned}
+
+	case ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr:
+		if in.Cls.IsFloat() {
+			// Always a hard error at runtime; the generic handler
+			// reproduces ScalarBin's message.
+			return instr{op: opBin, costK: costALU, dst: dst, a: arg(0), b: arg(1),
+				irOp: in.Op, cls: in.Cls, unsigned: in.Unsigned}
+		}
+		return instr{op: opIBits, costK: costALU, dst: dst, a: arg(0), b: arg(1),
+			irOp: in.Op, cls: in.Cls, unsigned: in.Unsigned}
+
+	case ir.OpDiv, ir.OpRem:
+		return instr{op: opDivRem, costK: costDiv, dst: dst, a: arg(0), b: arg(1),
+			irOp: in.Op, cls: in.Cls, unsigned: in.Unsigned}
+
+	case ir.OpNeg:
+		return instr{op: opNeg, costK: costALU, dst: dst, a: arg(0),
+			cls: in.Cls, unsigned: in.Unsigned}
+
+	case ir.OpNot:
+		return instr{op: opNot, costK: costALU, dst: dst, a: arg(0),
+			cls: in.Cls, unsigned: in.Unsigned}
+
+	case ir.OpCmp:
+		return instr{op: opCmp, costK: costALU, dst: dst, a: arg(0), b: arg(1),
+			pred: in.Pred, unsigned: in.Unsigned}
+
+	case ir.OpSelect:
+		return instr{op: opSelect, costK: costALU, dst: dst,
+			a: arg(0), b: arg(1), c: arg(2)}
+
+	case ir.OpConvert:
+		return instr{op: opConvert, costK: costALUHalf, dst: dst, a: arg(0),
+			cls: in.Cls, unsigned: in.Unsigned}
+
+	case ir.OpCall:
+		if in.Callee == "" {
+			// Indirect: first arg is the function pseudo-address,
+			// resolved through the shared table at runtime.
+			return instr{op: opCallIndirect, costK: costZero, dst: dst,
+				a: arg(0), xargs: args(1), cls: in.Cls}
+		}
+		// The interpreter consults the builtin table before the module,
+		// so the vm resolves in the same order — just once, at compile
+		// time (the module cannot change afterwards).
+		if isBuiltin(in.Callee) {
+			return instr{op: opCallBuiltin, costK: costZero, dst: dst,
+				xargs: args(0), callee: in.Callee, cls: in.Cls}
+		}
+		if fn, ok := c.p.byName[in.Callee]; ok {
+			return instr{op: opCallFn, costK: costZero, dst: dst,
+				xargs: args(0), fn: fn, callee: in.Callee, cls: in.Cls}
+		}
+		return instr{op: opCallUndefined, costK: costZero, callee: in.Callee}
+
+	case ir.OpBr:
+		return instr{op: opBr, costK: costBranch, tb: in.Target}
+
+	case ir.OpCondBr:
+		return instr{op: opCondBr, costK: costBranch, a: arg(0),
+			tb: in.Then, eb: in.Else}
+
+	case ir.OpRet:
+		if len(in.Args) > 0 {
+			return instr{op: opRet, costK: costZero, a: arg(0)}
+		}
+		return instr{op: opRetVoid, costK: costZero}
+
+	case ir.OpUBCheck:
+		return instr{op: opUBCheck, costK: costALU, a: arg(0), b: arg(1), meta: in.Meta}
+
+	case ir.OpMemset:
+		return instr{op: opMemset, costK: costZero,
+			a: arg(0), b: arg(1), c: arg(2), scale: strideOr8(in.Scale)}
+
+	case ir.OpMemcpy:
+		return instr{op: opMemcpy, costK: costZero,
+			a: arg(0), b: arg(1), c: arg(2), scale: strideOr8(in.Scale)}
+
+	case ir.OpVecLoad:
+		return instr{op: opVecLoad, costK: costVecMem, dst: dst, a: arg(0),
+			cls: in.Cls, width: in.Width}
+
+	case ir.OpVecStore:
+		return instr{op: opVecStore, costK: costVecMem, a: arg(0), b: arg(1),
+			cls: in.Cls, width: in.Width}
+
+	case ir.OpVecSplat:
+		return instr{op: opVecSplat, costK: costALU, dst: dst, a: arg(0), width: in.Width}
+
+	case ir.OpVecBin:
+		op := opVecBin
+		switch {
+		case in.VecOp == ir.OpCmp:
+			op = opVecCmp
+		case in.Cls.IsFloat():
+			switch in.VecOp {
+			case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem:
+				op = opVecBinF
+			}
+			// Float-class bitwise lanes keep the generic handler, which
+			// reproduces ScalarBin's hard error.
+		default:
+			op = opVecBinI
+		}
+		return instr{op: op, costK: costVecOp, dst: dst, a: arg(0), b: arg(1),
+			vecOp: in.VecOp, pred: in.Pred, cls: in.Cls, unsigned: in.Unsigned, width: in.Width}
+
+	case ir.OpVecReduce:
+		op := opVecReduce
+		if in.Cls.IsFloat() && in.VecOp == ir.OpAdd {
+			op = opVecReduceFAdd
+		}
+		return instr{op: op, costK: costVecOp2, dst: dst, a: arg(0),
+			vecOp: in.VecOp, cls: in.Cls, unsigned: in.Unsigned, width: in.Width}
+
+	case ir.OpVecIota:
+		return instr{op: opVecIota, costK: costALU, dst: dst, cls: in.Cls, width: in.Width}
+
+	case ir.OpVecSelect:
+		return instr{op: opVecSelect, costK: costVecOp, dst: dst,
+			a: arg(0), b: arg(1), c: arg(2), width: in.Width}
+
+	case ir.OpVecCall:
+		return instr{op: opVecCall, costK: costZero, dst: dst,
+			xargs: args(0), callee: in.Callee, width: in.Width}
+
+	default:
+		return instr{op: opUnhandled, costK: costZero, irOp: in.Op}
+	}
+}
+
+func strideOr8(s int) int64 {
+	if s <= 0 {
+		return 8
+	}
+	return int64(s)
+}

@@ -1,0 +1,1079 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/telemetry"
+)
+
+// cell is one scalar memory cell, same shape as the interpreter's: the
+// Fl flag records which half was last written, and mixed-class access
+// reinterprets by value conversion (the pinned semantics from
+// interp.ReadF64/ReadI64).
+type cell struct {
+	I  int64
+	F  float64
+	Fl bool
+}
+
+// Machine executes a compiled Program. Cycle accounting, address
+// assignment, and sanitizer behaviour are bit-identical to
+// interp.Machine by construction; see the package comment.
+type Machine struct {
+	p     *Program
+	costs interp.CostModel
+
+	// costTab resolves cost kinds against the machine's CostModel; the
+	// icache flag is resolved per function (same threshold rule as
+	// interp.icachePenalized). Sized 256 so indexing by the uint8 costK
+	// needs no bounds check in the dispatch loop.
+	costTab [256]float64
+	icache  []bool
+
+	// mem is the dense typed memory image covering [memBase, nextAddr);
+	// the bump allocator never reuses addresses so the image only grows.
+	// Out-of-image (wild) addresses fall back to a map, preserving the
+	// interpreter's anything-goes sparse store semantics.
+	mem      []cell
+	wild     map[int64]cell
+	nextAddr int64
+
+	// Cycles is the accumulated simulated cycle count.
+	Cycles float64
+	// Executed counts retired instructions.
+	Executed int64
+	// SanFailures collects ubcheck violations (execution continues, like
+	// a logging sanitizer).
+	SanFailures []*interp.SanitizerFailure
+
+	MaxSteps int64
+	steps    int64
+
+	// framePool recycles activation frames per function (a stack per
+	// fnCode, so recursion just deepens the pool). Released frames are
+	// cleared: a register slot must read as zero until its defining
+	// instruction executes, exactly like the tree-walker's absent map
+	// entry, and alloca slot 0 is the unassigned sentinel.
+	framePool [][]*frame
+}
+
+// frame is the pooled per-activation state: register file, lazy alloca
+// addresses, lane buffers (one slot per vec-producing instruction), and
+// the call-argument scratch buffer.
+type frame struct {
+	regs      []Val
+	allocas   []int64
+	vecBufs   [][]Val
+	argBuf    []Val
+	vecArgBuf []Val
+}
+
+// gatherInto fills the frame's argument scratch from register/constant
+// operands. The scratch is consumed before the next gather on this
+// frame: a callee copies its params into its own registers on entry, and
+// builtins never re-enter the vm. clone unshares vec arguments — needed
+// only when the callee is a compiled function whose registers outlive
+// this instruction; builtins and vec-calls read lanes immediately and
+// never retain the value.
+func gatherInto(fr *frame, regs, consts []Val, xargs []int32, clone bool) []Val {
+	if cap(fr.argBuf) < len(xargs) {
+		fr.argBuf = make([]Val, len(xargs))
+	}
+	out := fr.argBuf[:len(xargs)]
+	for i, s := range xargs {
+		if s >= 0 {
+			if clone {
+				out[i] = cloneVec(regs[s])
+			} else {
+				out[i] = regs[s]
+			}
+		} else {
+			out[i] = consts[^s]
+		}
+	}
+	return out
+}
+
+func (m *Machine) acquireFrame(fc *fnCode) *frame {
+	if s := m.framePool[fc.idx]; len(s) > 0 {
+		fr := s[len(s)-1]
+		m.framePool[fc.idx] = s[:len(s)-1]
+		return fr
+	}
+	fr := &frame{regs: make([]Val, fc.numRegs)}
+	if fc.numAllocas > 0 {
+		fr.allocas = make([]int64, fc.numAllocas)
+	}
+	if fc.numVecDsts > 0 {
+		fr.vecBufs = make([][]Val, fc.numVecDsts)
+	}
+	return fr
+}
+
+func (m *Machine) releaseFrame(fc *fnCode, fr *frame) {
+	clear(fr.regs)
+	clear(fr.allocas)
+	clear(fr.argBuf)
+	clear(fr.vecArgBuf)
+	// Lane buffers are kept as-is: every handler overwrites all lanes
+	// before publishing, and no reference to them survives the activation
+	// (whole-value copies go through cloneVec).
+	m.framePool[fc.idx] = append(m.framePool[fc.idx], fr)
+}
+
+// New prepares a machine over a compiled program: builds the cost
+// table, materializes the global image, and resumes the bump allocator
+// where the global layout left off.
+func New(p *Program, costs interp.CostModel) *Machine {
+	m := &Machine{
+		p:        p,
+		costs:    costs,
+		nextAddr: p.memTop,
+		MaxSteps: 2_000_000_000,
+	}
+	m.costTab = [256]float64{
+		costZero:     0,
+		costALU:      costs.ALU,
+		costALUHalf:  costs.ALU * 0.5,
+		costRegMove:  costs.RegMove,
+		costMemLoad:  costs.MemLoad,
+		costMemStore: costs.MemStore,
+		costBranch:   costs.Branch,
+		costDiv:      costs.Div,
+		costVecMem:   costs.VecMem,
+		costVecOp:    costs.VecOp,
+		costVecOp2:   costs.VecOp * 2,
+	}
+	m.icache = make([]bool, len(p.fns))
+	m.framePool = make([][]*frame, len(p.fns))
+	for i, fc := range p.fns {
+		m.icache[i] = fc.nonMeta > costs.ICacheThreshold && costs.ICachePenalty > 0
+	}
+	// Slack beyond the global image absorbs typical frame allocations
+	// without the grow-and-copy path; addresses in the slack read as zero
+	// either way (dense image and wild map agree on unwritten cells). A
+	// recycled image from a released Machine is preferred: it is already
+	// sized for the program's real allocation footprint, and clearing it
+	// is cheaper than allocating (and later marking) a fresh one.
+	need := p.memTop - memBase + 2048
+	if buf, ok := p.memPool.Get().(*[]cell); ok && int64(cap(*buf)) >= need {
+		m.mem = (*buf)[:cap(*buf)]
+		clear(m.mem)
+	} else {
+		m.mem = make([]cell, need)
+	}
+	for _, ic := range p.globalInit {
+		m.mem[ic.addr-memBase] = ic.c
+	}
+	return m
+}
+
+// Release returns the machine's memory image to the program's pool. The
+// machine must not be used afterwards; callers that are done extracting
+// results (the driver's run legs) call this to recycle the image.
+func (m *Machine) Release() {
+	if m.mem == nil {
+		return
+	}
+	buf := m.mem
+	m.mem = nil
+	m.p.memPool.Put(&buf)
+}
+
+func (m *Machine) alloc(size int64) int64 {
+	if size <= 0 {
+		size = 8
+	}
+	a := m.nextAddr
+	m.nextAddr += size + 32
+	if m.nextAddr >= interp.FuncAddrBase {
+		panic("vm: data allocation overflowed into the function pseudo-address range")
+	}
+	if need := m.nextAddr - memBase; need > int64(len(m.mem)) {
+		grown := make([]cell, need*2)
+		copy(grown, m.mem)
+		m.mem = grown
+	}
+	return a
+}
+
+func (m *Machine) cellAt(addr int64) cell {
+	if off := addr - memBase; off >= 0 && off < int64(len(m.mem)) {
+		return m.mem[off]
+	}
+	return m.wild[addr]
+}
+
+func (m *Machine) setCell(addr int64, c cell) {
+	if off := addr - memBase; off >= 0 && off < int64(len(m.mem)) {
+		m.mem[off] = c
+		return
+	}
+	if m.wild == nil {
+		m.wild = make(map[int64]cell)
+	}
+	m.wild[addr] = c
+}
+
+// GlobalAddr returns a global's runtime address.
+func (m *Machine) GlobalAddr(name string) (int64, bool) {
+	a, ok := m.p.globals[name]
+	return a, ok
+}
+
+// ReadF64 reads a memory cell as float64, reinterpreting integer cells
+// by value conversion (pinned mixed-class semantics, same as interp).
+func (m *Machine) ReadF64(addr int64) float64 {
+	c := m.cellAt(addr)
+	if c.Fl {
+		return c.F
+	}
+	return float64(c.I)
+}
+
+// ReadI64 reads a memory cell as int64; float cells convert through the
+// canonical saturating rule.
+func (m *Machine) ReadI64(addr int64) int64 {
+	c := m.cellAt(addr)
+	if c.Fl {
+		return ir.FloatToInt(c.F)
+	}
+	return c.I
+}
+
+// WriteF64 writes a float cell.
+func (m *Machine) WriteF64(addr int64, v float64) { m.setCell(addr, cell{F: v, Fl: true}) }
+
+// WriteI64 writes an integer cell.
+func (m *Machine) WriteI64(addr int64, v int64) { m.setCell(addr, cell{I: v}) }
+
+// Run calls the named function with integer/float arguments.
+func (m *Machine) Run(name string, args ...Val) (Val, error) {
+	fc, ok := m.p.byName[name]
+	if !ok {
+		return Val{}, fmt.Errorf("vm: no function %q", name)
+	}
+	return m.callFn(fc, args)
+}
+
+// RunMain executes main().
+func (m *Machine) RunMain() (int64, error) {
+	v, err := m.Run("main")
+	return v.AsInt(), err
+}
+
+// RunArgs executes name with the given int64 arguments (convenience).
+func (m *Machine) RunArgs(name string, args ...int64) (int64, error) {
+	vs := make([]Val, len(args))
+	for i, a := range args {
+		vs[i] = interp.IV(a)
+	}
+	v, err := m.Run(name, vs...)
+	return v.AsInt(), err
+}
+
+// TotalCycles returns the accumulated simulated cycle count (engine
+// interface shared with interp).
+func (m *Machine) TotalCycles() float64 { return m.Cycles }
+
+// SanitizerFailures returns the collected ubcheck violations.
+func (m *Machine) SanitizerFailures() []*interp.SanitizerFailure { return m.SanFailures }
+
+// Report records execution totals under the same telemetry keys as the
+// tree-walker, so dashboards and tests see one engine-agnostic surface.
+func (m *Machine) Report(tel *telemetry.Session) {
+	if !tel.MetricsEnabled() {
+		return
+	}
+	tel.AddGauge("interp/cycles", m.Cycles)
+	tel.Count("interp/instrs_executed", m.Executed)
+	tel.Count("interp/san_failures", int64(len(m.SanFailures)))
+}
+
+// fl reads a value as float64 (the inlined Val.AsFloat over a pointer,
+// avoiding the 48-byte struct copy on the hot path).
+func fl(v *Val) float64 {
+	if v.Fl {
+		return v.F
+	}
+	return float64(v.I)
+}
+
+// iv reads a value as int64 through the canonical saturating rule (the
+// inlined Val.AsInt).
+func iv(v *Val) int64 {
+	if v.Fl {
+		return ir.FloatToInt(v.F)
+	}
+	return v.I
+}
+
+// laneF reads lane l as float64 with interp.Lane's broadcast/zero
+// semantics: scalars broadcast, out-of-range lanes read as zero.
+func laneF(v *Val, l int) float64 {
+	if v.Vec == nil {
+		return fl(v)
+	}
+	if l < len(v.Vec) {
+		return fl(&v.Vec[l])
+	}
+	return 0
+}
+
+// zeroVal backs lanePtr's out-of-range reads. Read-only.
+var zeroVal Val
+
+// lanePtr is interp.Lane by pointer: scalars broadcast, out-of-range
+// lanes read as zero. Callers only read through the result.
+func lanePtr(v *Val, l int) *Val {
+	if v.Vec == nil {
+		return v
+	}
+	if l < len(v.Vec) {
+		return &v.Vec[l]
+	}
+	return &zeroVal
+}
+
+// cloneVec unshares a vector value's lane slice. Lane buffers are owned
+// by their defining instruction and rewritten in place when it
+// re-executes (see callFn), so any whole-value copy that outlives the
+// current instruction — select, return, call arguments, splat — must
+// freeze the lanes it saw, exactly as the tree-walker's
+// fresh-slice-per-op allocation does implicitly.
+func cloneVec(v Val) Val {
+	if v.Vec != nil {
+		v.Vec = append([]Val(nil), v.Vec...)
+	}
+	return v
+}
+
+// callFn executes one function activation: the bytecode analogue of
+// interp.Machine.call + execBlock, with a flat pc loop over pre-resolved
+// branch targets. The per-instruction overhead (step budget, retired
+// count, icache penalty, then the op's fixed cost) performs the same
+// float additions in the same order as the tree-walker.
+//
+// The accounting state (steps, retired count, cycles) lives in locals
+// for the duration of the loop and is written back on every exit and
+// around nested calls — the additions happen in the identical order, so
+// the final values are bit-identical to updating the fields directly.
+func (m *Machine) callFn(fc *fnCode, args []Val) (rv Val, rerr error) {
+	m.Cycles += m.costs.CallBase
+	if fc.empty {
+		return Val{}, fmt.Errorf("vm: empty function %s", fc.name)
+	}
+	// Frames (register file, lazy alloca table, lane buffers) are pooled
+	// per function; a released frame reads exactly like a fresh one.
+	fr := m.acquireFrame(fc)
+	defer m.releaseFrame(fc, fr)
+	regs := fr.regs
+	for i := 0; i < fc.nParams && i < len(args); i++ {
+		regs[i] = args[i]
+	}
+	// Allocas are function-entry allocations, assigned lazily on first
+	// execution and reused on re-execution (the interpreter's
+	// frameAllocs); address 0 doubles as the unassigned sentinel since
+	// data addresses start at memBase.
+	allocas := fr.allocas
+	// Lane buffers are per (activation, vec instruction): the first
+	// execution allocates, re-executions rewrite in place. Safe because
+	// registers are SSA (an instruction never reads its own buffer while
+	// writing it) and every whole-value copy that could outlive the
+	// defining instruction goes through cloneVec.
+	vecBufs := fr.vecBufs
+	lanes := func(in *instr) []Val {
+		b := vecBufs[in.vecIdx]
+		if cap(b) < in.width {
+			b = make([]Val, in.width)
+			vecBufs[in.vecIdx] = b
+		}
+		return b[:in.width:in.width]
+	}
+	// pen is the per-instruction icache penalty, or 0 for un-penalized
+	// functions (the loop skips the add entirely, like the interpreter).
+	var pen float64
+	if m.icache[fc.idx] {
+		pen = m.costs.ICachePenalty
+	}
+	code := fc.code
+	consts := m.p.consts
+	tab := &m.costTab
+	// steps and Executed advance in lockstep (the budget-tripping step is
+	// the one exception, handled inline), so the loop keeps one counter
+	// and recovers steps from the bias on every write-back.
+	executed, cycles := m.Executed, m.Cycles
+	stepsBias := m.steps - executed
+	budget := m.MaxSteps - stepsBias
+	defer func() {
+		m.steps, m.Executed, m.Cycles = executed+stepsBias, executed, cycles
+	}()
+	ldp := func(s int32) *Val {
+		if s >= 0 {
+			return &regs[s]
+		}
+		return &consts[^s]
+	}
+	ld := func(s int32) Val { return *ldp(s) }
+
+	pc := 0
+	for {
+		in := &code[pc]
+		if in.op == opFellThrough {
+			// Not a real instruction — the interpreter errors after the
+			// block's last instruction without retiring anything more.
+			return Val{}, fmt.Errorf("vm: block %s fell through in %s", in.block, fc.name)
+		}
+		executed++
+		if executed > budget {
+			// The tripping step counts as a step but retires nothing,
+			// exactly like the interpreter's pre-retire budget check.
+			executed--
+			stepsBias++
+			return Val{}, fmt.Errorf("vm: step budget exceeded")
+		}
+		if pen != 0 {
+			cycles += pen
+		}
+		cycles += tab[in.costK]
+
+		switch in.op {
+		case opAlloca:
+			a := allocas[in.allocIdx]
+			if a == 0 {
+				a = m.alloc(in.allocSz)
+				allocas[in.allocIdx] = a
+			}
+			regs[in.dst] = interp.IV(a)
+
+		case opLoad:
+			addr := iv(ldp(in.a))
+			c := m.cellAt(addr)
+			if in.cls.IsFloat() {
+				if c.Fl {
+					regs[in.dst] = Val{F: c.F, Fl: true}
+				} else {
+					regs[in.dst] = Val{F: float64(c.I), Fl: true}
+				}
+			} else {
+				if c.Fl {
+					regs[in.dst] = Val{I: ir.TruncInt(in.cls, ir.FloatToInt(c.F), in.unsigned)}
+				} else {
+					regs[in.dst] = Val{I: ir.TruncInt(in.cls, c.I, in.unsigned)}
+				}
+			}
+
+		case opStore:
+			addr := iv(ldp(in.a))
+			v := ldp(in.b)
+			if v.Fl {
+				m.setCell(addr, cell{F: v.F, Fl: true})
+			} else {
+				m.setCell(addr, cell{I: v.I})
+			}
+
+		case opGEP:
+			regs[in.dst] = Val{I: iv(ldp(in.a)) + iv(ldp(in.b))*in.scale + in.off}
+
+		case opFAdd:
+			regs[in.dst] = Val{F: fl(ldp(in.a)) + fl(ldp(in.b)), Fl: true}
+
+		case opFSub:
+			regs[in.dst] = Val{F: fl(ldp(in.a)) - fl(ldp(in.b)), Fl: true}
+
+		case opFMul:
+			regs[in.dst] = Val{F: fl(ldp(in.a)) * fl(ldp(in.b)), Fl: true}
+
+		case opIAdd:
+			a, b := ldp(in.a), ldp(in.b)
+			if a.Fl || b.Fl {
+				regs[in.dst] = Val{F: fl(a) + fl(b), Fl: true}
+			} else if in.cls == ir.I64 {
+				regs[in.dst] = Val{I: a.I + b.I}
+			} else {
+				regs[in.dst] = Val{I: ir.TruncInt(in.cls, a.I+b.I, in.unsigned)}
+			}
+
+		case opISub:
+			a, b := ldp(in.a), ldp(in.b)
+			if a.Fl || b.Fl {
+				regs[in.dst] = Val{F: fl(a) - fl(b), Fl: true}
+			} else if in.cls == ir.I64 {
+				regs[in.dst] = Val{I: a.I - b.I}
+			} else {
+				regs[in.dst] = Val{I: ir.TruncInt(in.cls, a.I-b.I, in.unsigned)}
+			}
+
+		case opIMul:
+			a, b := ldp(in.a), ldp(in.b)
+			if a.Fl || b.Fl {
+				regs[in.dst] = Val{F: fl(a) * fl(b), Fl: true}
+			} else if in.cls == ir.I64 {
+				regs[in.dst] = Val{I: a.I * b.I}
+			} else {
+				regs[in.dst] = Val{I: ir.TruncInt(in.cls, a.I*b.I, in.unsigned)}
+			}
+
+		case opIBits:
+			a, b := ldp(in.a), ldp(in.b)
+			if a.Fl || b.Fl {
+				return Val{}, fmt.Errorf("vm: bitwise op %s on float operands in %s", in.irOp, fc.name)
+			}
+			regs[in.dst] = Val{I: ir.FoldInt(in.irOp, in.cls, a.I, b.I, in.unsigned)}
+
+		case opBin:
+			v, err := interp.ScalarBin(in.irOp, in.cls, ld(in.a), ld(in.b), in.unsigned)
+			if err != nil {
+				return Val{}, fmt.Errorf("vm: %v in %s", err, fc.name)
+			}
+			regs[in.dst] = v
+
+		case opDivRem:
+			a, b := ldp(in.a), ldp(in.b)
+			if !a.Fl && !b.Fl && b.I == 0 {
+				return Val{}, fmt.Errorf("vm: division by zero in %s", fc.name)
+			}
+			if in.cls.IsFloat() || a.Fl || b.Fl {
+				// ScalarBin's float path; Div/Rem never fail on floats.
+				if in.irOp == ir.OpDiv {
+					regs[in.dst] = Val{F: fl(a) / fl(b), Fl: true}
+				} else {
+					regs[in.dst] = Val{F: math.Mod(fl(a), fl(b)), Fl: true}
+				}
+			} else {
+				regs[in.dst] = Val{I: ir.FoldInt(in.irOp, in.cls, a.I, b.I, in.unsigned)}
+			}
+
+		case opNeg:
+			a := ldp(in.a)
+			if a.Fl {
+				regs[in.dst] = Val{F: -a.F, Fl: true}
+			} else {
+				regs[in.dst] = Val{I: ir.TruncInt(in.cls, -a.I, in.unsigned)}
+			}
+
+		case opNot:
+			regs[in.dst] = Val{I: ir.TruncInt(in.cls, ^iv(ldp(in.a)), in.unsigned)}
+
+		case opCmp:
+			a, b := ldp(in.a), ldp(in.b)
+			var r bool
+			if a.Fl || b.Fl {
+				r = ir.CompareFloat(in.pred, fl(a), fl(b))
+			} else {
+				r = ir.CompareInt(in.pred, a.I, b.I, in.unsigned)
+			}
+			regs[in.dst] = Val{I: b2i(r)}
+
+		case opSelect:
+			if iv(ldp(in.a)) != 0 {
+				regs[in.dst] = cloneVec(*ldp(in.b))
+			} else {
+				regs[in.dst] = cloneVec(*ldp(in.c))
+			}
+
+		case opConvert:
+			v := ldp(in.a)
+			if in.cls.IsFloat() {
+				regs[in.dst] = Val{F: fl(v), Fl: true}
+			} else {
+				regs[in.dst] = Val{I: ir.TruncInt(in.cls, iv(v), in.unsigned)}
+			}
+
+		case opCallFn:
+			m.steps, m.Executed, m.Cycles = executed+stepsBias, executed, cycles
+			v, err := m.callFn(in.fn, gatherInto(fr, regs, consts, in.xargs, true))
+			executed, cycles = m.Executed, m.Cycles
+			stepsBias = m.steps - executed
+			budget = m.MaxSteps - stepsBias
+			if err != nil {
+				return Val{}, err
+			}
+			if in.cls != ir.Void {
+				regs[in.dst] = v
+			}
+
+		case opCallBuiltin:
+			v, _, err := interp.CallBuiltin(in.callee, gatherInto(fr, regs, consts, in.xargs, false))
+			cycles += m.costs.BuiltinCall
+			if err != nil {
+				return Val{}, err
+			}
+			if in.cls != ir.Void {
+				regs[in.dst] = v
+			}
+
+		case opCallIndirect:
+			addr := iv(ldp(in.a))
+			name, ok := m.p.funcNames[addr]
+			if !ok {
+				return Val{}, fmt.Errorf("vm: bad indirect call in %s", fc.name)
+			}
+			callArgs := gatherInto(fr, regs, consts, in.xargs, true)
+			if v, isB, err := interp.CallBuiltin(name, callArgs); isB {
+				cycles += m.costs.BuiltinCall
+				if err != nil {
+					return Val{}, err
+				}
+				if in.cls != ir.Void {
+					regs[in.dst] = v
+				}
+			} else if fn, ok := m.p.byName[name]; ok {
+				m.steps, m.Executed, m.Cycles = executed+stepsBias, executed, cycles
+				v, err := m.callFn(fn, callArgs)
+				executed, cycles = m.Executed, m.Cycles
+				stepsBias = m.steps - executed
+				budget = m.MaxSteps - stepsBias
+				if err != nil {
+					return Val{}, err
+				}
+				if in.cls != ir.Void {
+					regs[in.dst] = v
+				}
+			} else {
+				return Val{}, fmt.Errorf("vm: call to undefined %q from %s", name, fc.name)
+			}
+
+		case opCallUndefined:
+			return Val{}, fmt.Errorf("vm: call to undefined %q from %s", in.callee, fc.name)
+
+		case opBr:
+			pc = int(in.target)
+			continue
+
+		case opCondBr:
+			if iv(ldp(in.a)) != 0 {
+				pc = int(in.target)
+			} else {
+				pc = int(in.elseT)
+			}
+			continue
+
+		case opCmpBr:
+			// Fused cmp+condbr. The loop head accounted for the cmp; the
+			// branch's accounting runs here, in the interpreter's order.
+			a, b := ldp(in.a), ldp(in.b)
+			var r bool
+			if a.Fl || b.Fl {
+				r = ir.CompareFloat(in.pred, fl(a), fl(b))
+			} else {
+				r = ir.CompareInt(in.pred, a.I, b.I, in.unsigned)
+			}
+			executed++
+			if executed > budget {
+				executed--
+				stepsBias++
+				return Val{}, fmt.Errorf("vm: step budget exceeded")
+			}
+			if pen != 0 {
+				cycles += pen
+			}
+			cycles += tab[costBranch]
+			if r {
+				pc = int(in.target)
+			} else {
+				pc = int(in.elseT)
+			}
+			continue
+
+		case opGEPLoad:
+			// Fused gep+load; the gep's dead register is never written.
+			addr := iv(ldp(in.a)) + iv(ldp(in.b))*in.scale + in.off
+			executed++
+			if executed > budget {
+				executed--
+				stepsBias++
+				return Val{}, fmt.Errorf("vm: step budget exceeded")
+			}
+			if pen != 0 {
+				cycles += pen
+			}
+			cycles += tab[costMemLoad]
+			c := m.cellAt(addr)
+			if in.cls.IsFloat() {
+				if c.Fl {
+					regs[in.dst] = Val{F: c.F, Fl: true}
+				} else {
+					regs[in.dst] = Val{F: float64(c.I), Fl: true}
+				}
+			} else {
+				if c.Fl {
+					regs[in.dst] = Val{I: ir.TruncInt(in.cls, ir.FloatToInt(c.F), in.unsigned)}
+				} else {
+					regs[in.dst] = Val{I: ir.TruncInt(in.cls, c.I, in.unsigned)}
+				}
+			}
+
+		case opGEPStore:
+			addr := iv(ldp(in.a)) + iv(ldp(in.b))*in.scale + in.off
+			executed++
+			if executed > budget {
+				executed--
+				stepsBias++
+				return Val{}, fmt.Errorf("vm: step budget exceeded")
+			}
+			if pen != 0 {
+				cycles += pen
+			}
+			cycles += tab[costMemStore]
+			v := ldp(in.c)
+			if v.Fl {
+				m.setCell(addr, cell{F: v.F, Fl: true})
+			} else {
+				m.setCell(addr, cell{I: v.I})
+			}
+
+		case opGEPVecLoad:
+			base := iv(ldp(in.a)) + iv(ldp(in.b))*in.scale + in.off
+			executed++
+			if executed > budget {
+				executed--
+				stepsBias++
+				return Val{}, fmt.Errorf("vm: step budget exceeded")
+			}
+			if pen != 0 {
+				cycles += pen
+			}
+			cycles += tab[costVecMem]
+			ls := lanes(in)
+			stride := int64(in.cls.Size())
+			if in.cls.IsFloat() {
+				for l := range ls {
+					c := m.cellAt(base + int64(l)*stride)
+					if c.Fl {
+						ls[l] = Val{F: c.F, Fl: true}
+					} else {
+						ls[l] = Val{F: float64(c.I), Fl: true}
+					}
+				}
+			} else {
+				for l := range ls {
+					ls[l] = Val{I: m.cellAt(base + int64(l)*stride).I}
+				}
+			}
+			regs[in.dst] = Val{Vec: ls}
+
+		case opGEPVecStore:
+			base := iv(ldp(in.a)) + iv(ldp(in.b))*in.scale + in.off
+			executed++
+			if executed > budget {
+				executed--
+				stepsBias++
+				return Val{}, fmt.Errorf("vm: step budget exceeded")
+			}
+			if pen != 0 {
+				cycles += pen
+			}
+			cycles += tab[costVecMem]
+			v := ldp(in.c)
+			stride := int64(in.cls.Size())
+			for l := 0; l < in.width && l < len(v.Vec); l++ {
+				lane := &v.Vec[l]
+				if lane.Fl {
+					m.setCell(base+int64(l)*stride, cell{F: lane.F, Fl: true})
+				} else {
+					m.setCell(base+int64(l)*stride, cell{I: lane.I})
+				}
+			}
+
+		case opRet:
+			return cloneVec(ld(in.a)), nil
+
+		case opRetVoid:
+			return Val{}, nil
+
+		case opUBCheck:
+			p1 := iv(ldp(in.a))
+			p2 := iv(ldp(in.b))
+			if p1 == p2 {
+				m.SanFailures = append(m.SanFailures,
+					&interp.SanitizerFailure{Fn: fc.name, Addr: p1, Meta: in.meta})
+			}
+
+		case opMemset:
+			ptr := iv(ldp(in.a))
+			v := ldp(in.b)
+			length := iv(ldp(in.c))
+			var c cell
+			if v.Fl {
+				c = cell{F: v.F, Fl: true}
+			} else {
+				c = cell{I: v.I}
+			}
+			for off := int64(0); off < length; off += in.scale {
+				m.setCell(ptr+off, c)
+			}
+			cycles += m.costs.MemsetBase + m.costs.MemsetPerByte*float64(length)
+
+		case opMemcpy:
+			dst := iv(ldp(in.a))
+			src := iv(ldp(in.b))
+			length := iv(ldp(in.c))
+			for off := int64(0); off < length; off += in.scale {
+				m.setCell(dst+off, m.cellAt(src+off))
+			}
+			cycles += m.costs.MemsetBase + m.costs.MemsetPerByte*float64(length)
+
+		case opVecLoad:
+			base := iv(ldp(in.a))
+			ls := lanes(in)
+			stride := int64(in.cls.Size())
+			if in.cls.IsFloat() {
+				for l := range ls {
+					c := m.cellAt(base + int64(l)*stride)
+					if c.Fl {
+						ls[l] = Val{F: c.F, Fl: true}
+					} else {
+						ls[l] = Val{F: float64(c.I), Fl: true}
+					}
+				}
+			} else {
+				for l := range ls {
+					ls[l] = Val{I: m.cellAt(base + int64(l)*stride).I}
+				}
+			}
+			regs[in.dst] = Val{Vec: ls}
+
+		case opVecStore:
+			base := iv(ldp(in.a))
+			v := ldp(in.b)
+			stride := int64(in.cls.Size())
+			for l := 0; l < in.width && l < len(v.Vec); l++ {
+				lane := &v.Vec[l]
+				if lane.Fl {
+					m.setCell(base+int64(l)*stride, cell{F: lane.F, Fl: true})
+				} else {
+					m.setCell(base+int64(l)*stride, cell{I: lane.I})
+				}
+			}
+
+		case opVecSplat:
+			// Cloning here also launders any (degenerate) vector-of-vector
+			// lane: every Vec reachable from a lane value is immutable.
+			s := cloneVec(ld(in.a))
+			ls := lanes(in)
+			for l := range ls {
+				ls[l] = s
+			}
+			regs[in.dst] = Val{Vec: ls}
+
+		case opVecBinF:
+			// Float-class lane-wise arithmetic: the ScalarBin float path
+			// (ir.FoldFloat) unrolled per opcode, one slice allocation.
+			a, b := ldp(in.a), ldp(in.b)
+			lanes := lanes(in)
+			switch in.vecOp {
+			case ir.OpAdd:
+				for l := range lanes {
+					lanes[l] = Val{F: laneF(a, l) + laneF(b, l), Fl: true}
+				}
+			case ir.OpSub:
+				for l := range lanes {
+					lanes[l] = Val{F: laneF(a, l) - laneF(b, l), Fl: true}
+				}
+			case ir.OpMul:
+				for l := range lanes {
+					lanes[l] = Val{F: laneF(a, l) * laneF(b, l), Fl: true}
+				}
+			case ir.OpDiv:
+				for l := range lanes {
+					lanes[l] = Val{F: laneF(a, l) / laneF(b, l), Fl: true}
+				}
+			default: // ir.OpRem
+				for l := range lanes {
+					lanes[l] = Val{F: math.Mod(laneF(a, l), laneF(b, l)), Fl: true}
+				}
+			}
+			regs[in.dst] = Val{Vec: lanes}
+
+		case opVecReduceFAdd:
+			// Float add-reduction; a 1-wide reduce returns lane 0
+			// untouched (interp folds from lane 0 without converting it).
+			a := ldp(in.a)
+			if in.width == 1 {
+				if a.Vec == nil {
+					regs[in.dst] = *a
+				} else if len(a.Vec) > 0 {
+					regs[in.dst] = a.Vec[0]
+				} else {
+					regs[in.dst] = Val{}
+				}
+			} else {
+				acc := laneF(a, 0)
+				for l := 1; l < in.width; l++ {
+					acc += laneF(a, l)
+				}
+				regs[in.dst] = Val{F: acc, Fl: true}
+			}
+
+		case opVecBinI:
+			// Int-class lane-wise binary op. The dominant index-vector
+			// shapes (64-bit add/sub/mul) run without the FoldInt call;
+			// float-tagged lanes take ScalarBin's float path inline (for
+			// add/sub/mul that is just the float op).
+			a, b := ldp(in.a), ldp(in.b)
+			ls := lanes(in)
+			i64 := in.cls == ir.I64
+			switch in.vecOp {
+			case ir.OpAdd:
+				for l := range ls {
+					la, lb := lanePtr(a, l), lanePtr(b, l)
+					if la.Fl || lb.Fl {
+						ls[l] = Val{F: fl(la) + fl(lb), Fl: true}
+					} else if i64 {
+						ls[l] = Val{I: la.I + lb.I}
+					} else {
+						ls[l] = Val{I: ir.TruncInt(in.cls, la.I+lb.I, in.unsigned)}
+					}
+				}
+				regs[in.dst] = Val{Vec: ls}
+				pc++
+				continue
+			case ir.OpSub:
+				for l := range ls {
+					la, lb := lanePtr(a, l), lanePtr(b, l)
+					if la.Fl || lb.Fl {
+						ls[l] = Val{F: fl(la) - fl(lb), Fl: true}
+					} else if i64 {
+						ls[l] = Val{I: la.I - lb.I}
+					} else {
+						ls[l] = Val{I: ir.TruncInt(in.cls, la.I-lb.I, in.unsigned)}
+					}
+				}
+				regs[in.dst] = Val{Vec: ls}
+				pc++
+				continue
+			case ir.OpMul:
+				for l := range ls {
+					la, lb := lanePtr(a, l), lanePtr(b, l)
+					if la.Fl || lb.Fl {
+						ls[l] = Val{F: fl(la) * fl(lb), Fl: true}
+					} else if i64 {
+						ls[l] = Val{I: la.I * lb.I}
+					} else {
+						ls[l] = Val{I: ir.TruncInt(in.cls, la.I*lb.I, in.unsigned)}
+					}
+				}
+				regs[in.dst] = Val{Vec: ls}
+				pc++
+				continue
+			}
+			for l := range ls {
+				la, lb := lanePtr(a, l), lanePtr(b, l)
+				if la.Fl || lb.Fl {
+					v, err := interp.ScalarBin(in.vecOp, in.cls, *la, *lb, in.unsigned)
+					if err != nil {
+						return Val{}, fmt.Errorf("vm: %v in %s", err, fc.name)
+					}
+					ls[l] = v
+				} else {
+					ls[l] = Val{I: ir.FoldInt(in.vecOp, in.cls, la.I, lb.I, in.unsigned)}
+				}
+			}
+			regs[in.dst] = Val{Vec: ls}
+
+		case opVecCmp:
+			// Lane-wise compare: interp.CompareVals inlined by pointer.
+			a, b := ldp(in.a), ldp(in.b)
+			ls := lanes(in)
+			for l := range ls {
+				la, lb := lanePtr(a, l), lanePtr(b, l)
+				var r bool
+				if la.Fl || lb.Fl {
+					r = ir.CompareFloat(in.pred, fl(la), fl(lb))
+				} else {
+					r = ir.CompareInt(in.pred, la.I, lb.I, in.unsigned)
+				}
+				ls[l] = Val{I: b2i(r)}
+			}
+			regs[in.dst] = Val{Vec: ls}
+
+		case opVecBin:
+			a, b := ld(in.a), ld(in.b)
+			lanes := lanes(in)
+			for l := 0; l < in.width; l++ {
+				la, lb := interp.Lane(a, l), interp.Lane(b, l)
+				if in.vecOp == ir.OpCmp {
+					lanes[l] = interp.IV(b2i(interp.CompareVals(in.pred, la, lb, in.unsigned)))
+				} else {
+					v, err := interp.ScalarBin(in.vecOp, in.cls, la, lb, in.unsigned)
+					if err != nil {
+						return Val{}, fmt.Errorf("vm: %v in %s", err, fc.name)
+					}
+					lanes[l] = v
+				}
+			}
+			regs[in.dst] = Val{Vec: lanes}
+
+		case opVecReduce:
+			a := ld(in.a)
+			acc := interp.Lane(a, 0)
+			for l := 1; l < in.width; l++ {
+				v, err := interp.ScalarBin(in.vecOp, in.cls, acc, interp.Lane(a, l), in.unsigned)
+				if err != nil {
+					return Val{}, fmt.Errorf("vm: %v in %s", err, fc.name)
+				}
+				acc = v
+			}
+			regs[in.dst] = acc
+
+		case opVecIota:
+			lanes := lanes(in)
+			for l := range lanes {
+				if in.cls.IsFloat() {
+					lanes[l] = interp.FV(float64(l))
+				} else {
+					lanes[l] = interp.IV(int64(l))
+				}
+			}
+			regs[in.dst] = Val{Vec: lanes}
+
+		case opVecSelect:
+			mask, x, y := ld(in.a), ld(in.b), ld(in.c)
+			lanes := lanes(in)
+			for l := 0; l < in.width; l++ {
+				if interp.Lane(mask, l).AsInt() != 0 {
+					lanes[l] = interp.Lane(x, l)
+				} else {
+					lanes[l] = interp.Lane(y, l)
+				}
+			}
+			regs[in.dst] = Val{Vec: lanes}
+
+		case opVecCall:
+			argv := gatherInto(fr, regs, consts, in.xargs, false)
+			if cap(fr.vecArgBuf) < len(argv) {
+				fr.vecArgBuf = make([]Val, len(argv))
+			}
+			laneArgs := fr.vecArgBuf[:len(argv)]
+			lanes := lanes(in)
+			for l := 0; l < in.width; l++ {
+				for ai := range argv {
+					laneArgs[ai] = interp.Lane(argv[ai], l)
+				}
+				v, ok, err := interp.CallBuiltin(in.callee, laneArgs)
+				if !ok || err != nil {
+					return Val{}, fmt.Errorf("vm: bad vcall %s", in.callee)
+				}
+				lanes[l] = v
+			}
+			// Vector math libraries amortize the call across lanes.
+			cycles += m.costs.BuiltinCall * 0.4 * float64(in.width) / 2
+			regs[in.dst] = Val{Vec: lanes}
+
+		default: // opUnhandled, opInvalid
+			return Val{}, fmt.Errorf("vm: unhandled op %s", in.irOp)
+		}
+		pc++
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

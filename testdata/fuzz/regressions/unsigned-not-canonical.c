@@ -1,0 +1,16 @@
+/* Found by ooefuzz (seed 31352): irgen lowered ~ and unary - without
+ * the Unsigned flag, so the result of ~u on a 32-bit unsigned stayed
+ * sign-extended (-1) in the register instead of the canonical
+ * zero-extended 0xFFFFFFFF, and everything downstream of the
+ * non-canonical register (here the *= conversion to long) computed
+ * with the wrong value. */
+union U { int i; unsigned u; };
+union U gu;
+int main(void) {
+  long t1 = 11;
+  t1 *= (~gu.u);
+  long h = t1;
+  unsigned n = 1;
+  h = h * 31 + (long)(-n);
+  return (int)(h % 100003);
+}
