@@ -5,6 +5,7 @@
 //	benchdiff [-tolerance pct] baseline.json current.json
 //	benchdiff -metrics [-tolerance pct] baseline-metrics.json current-metrics.json
 //	benchdiff -serve [-tolerance pct] [-min-hit-rate pct] [-min-tus n] cold.json warm.json
+//	benchdiff -gobench [-tolerance pct] baseline-bench.txt current-bench.txt
 //
 // Table 4 rows regress when a kernel's speedup drops more than the
 // tolerance below the baseline's; Table 6 rows regress when a bench's
@@ -28,6 +29,13 @@
 // optional absolute floors -min-hit-rate (percent) and -min-tus
 // (TUs/sec) apply to the current run.
 //
+// With -gobench, the inputs are two `go test -bench` output captures
+// and the diff is over wall-clock ns/op: repeated -count runs collapse
+// to their minimum, and a benchmark whose current minimum exceeds the
+// baseline's by more than the tolerance regresses. CI uses this to gate
+// run-leg dispatch overhead (profiling off must stay within 2% of the
+// base commit).
+//
 // The shared observability flags (-obs-addr, -profile-cpu,
 // -profile-mem) are accepted for CLI uniformity; for this short-lived
 // diff they mostly matter when debugging benchdiff itself.
@@ -38,6 +46,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/serve"
 	"repro/internal/telemetry"
@@ -64,6 +75,7 @@ func main() {
 	tol := flag.Float64("tolerance", 10, "allowed regression in percent")
 	metrics := flag.Bool("metrics", false, "diff per-span timing from two -metrics-json files instead of bench tables")
 	serveMode := flag.Bool("serve", false, "gate two ooeload replay reports (cold, warm) instead of bench tables")
+	gobench := flag.Bool("gobench", false, "diff ns/op from two `go test -bench` output files instead of bench tables")
 	minHitRate := flag.Float64("min-hit-rate", 0, "with -serve: minimum cache hit-rate (percent) for the current run")
 	minTUs := flag.Float64("min-tus", 0, "with -serve: minimum throughput (TUs/sec) for the current run")
 	obs := obsserver.RegisterFlags(flag.CommandLine)
@@ -81,6 +93,10 @@ func main() {
 	}
 	if *metrics {
 		diffMetrics(flag.Arg(0), flag.Arg(1), *tol)
+		return
+	}
+	if *gobench {
+		diffGoBench(flag.Arg(0), flag.Arg(1), *tol)
 		return
 	}
 	if *serveMode {
@@ -159,6 +175,103 @@ type phaseRow struct {
 // diffMetrics compares per-span wall-clock totals between two
 // -metrics-json exports. A span's total growing beyond tol percent is a
 // regression, as is a baseline span missing from the current run.
+// diffGoBench compares two `go test -bench` output files by ns/op.
+// Repeated runs of one benchmark (from -count=N) collapse to their
+// minimum — the standard robust estimator against scheduler noise — and
+// a benchmark regresses when its current minimum exceeds the baseline
+// minimum by more than the tolerance. Benchmarks present only in the
+// baseline fail the gate; benchmarks only in the current run are
+// reported but pass (new coverage is not a regression).
+func diffGoBench(basePath, curPath string, tol float64) {
+	base, err := loadGoBench(basePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := loadGoBench(curPath)
+	if err != nil {
+		fatal(err)
+	}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("gobench  %-40s MISSING from current run\n", name)
+			regressions++
+			continue
+		}
+		b := base[name]
+		delta := 100 * (c - b) / b
+		status := "ok"
+		if delta > tol {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("gobench  %-40s base=%-12s cur=%-12s delta=%+7.2f%%  %s\n",
+			name, nsString(int64(b)), nsString(int64(c)), delta, status)
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("gobench  %-40s new (no baseline)\n", name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("%d regression(s) beyond %.1f%%\n", regressions, tol)
+		obsserver.Exit(1)
+	}
+	fmt.Println("no regressions")
+}
+
+// loadGoBench parses `go test -bench` output into name -> min ns/op.
+func loadGoBench(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		// "BenchmarkRunLeg/vm/bicg-8  100  123456 ns/op  ..."
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		var nsPerOp float64
+		found := false
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad ns/op in %q", path, line)
+				}
+				nsPerOp, found = v, true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		// Strip the trailing -<GOMAXPROCS> suffix so runs from machines
+		// with different core counts still join.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if prev, ok := out[name]; !ok || nsPerOp < prev {
+			out[name] = nsPerOp
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return out, nil
+}
+
 func diffMetrics(basePath, curPath string, tol float64) {
 	base, err := loadMetrics(basePath)
 	if err != nil {

@@ -9,7 +9,12 @@
 //	ooebench -fig2      nine SPEC case-study patterns
 //	ooebench -intro     the two introduction examples
 //	ooebench -ubsan     sanitizer sweep over every workload
+//	ooebench -attribute per-function cycle deltas joined to π-pair provenance
 //	ooebench -all       everything above
+//
+// ooebench -profile-kernel bicg -profile-cycles bicg.pb [-annotate]
+// profiles one kernel's unseq-O3 run leg and writes a pprof protobuf
+// cycle profile (plus an optional annotated source listing).
 //
 // Telemetry flags (-stats, -time-passes, -remarks, -metrics-json,
 // -metrics-prom) attach a telemetry session to the OOElala-side
@@ -75,6 +80,14 @@ func main() {
 	ub := flag.Bool("ubsan", false, "run the sanitizer sweep (§4.2.3)")
 	all := flag.Bool("all", false, "run everything")
 	jsonOut := flag.Bool("json", false, "write table rows to BENCH_ooebench.json")
+	attr := flag.Bool("attribute", false,
+		"profile every Table 4 kernel under both configurations, diff per-function cycles, join savings to π-pair provenance, write BENCH_attribution.json")
+	profKernel := flag.String("profile-kernel", "",
+		"compile and profile one Polybench kernel (e.g. bicg) under unseq-O3")
+	profCycles := flag.String("profile-cycles", "",
+		"write the -profile-kernel pprof cycle profile to the given path")
+	annotateOut := flag.Bool("annotate", false,
+		"print a perf-annotate-style source listing for -profile-kernel")
 	jobs := flag.Int("j", 0, "per-function compilation parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	pf := driver.RegisterPassFlags(flag.CommandLine)
 	ef := driver.RegisterEngineFlag(flag.CommandLine)
@@ -118,6 +131,13 @@ func main() {
 	run(*t5, table5)
 	run(*t6, table6)
 	run(*ub, ubsanSweep)
+	run(*attr, attribute)
+	if *profKernel != "" {
+		any = true
+		if err := profileOne(*profKernel, *profCycles, *annotateOut); err != nil {
+			fatal(err)
+		}
+	}
 
 	if !any {
 		flag.Usage()

@@ -15,6 +15,9 @@
 //	-unit-j N      per-compilation worker count (default 1; artifacts are
 //	               byte-identical at every value, so it never splits the cache)
 //	-cache-cap N   result-cache capacity in entries
+//	-access-log    append one JSON line per compile request (request id,
+//	               cache hit/miss, lane-wait ns, compile duration,
+//	               artifact bytes); "-" logs to stderr
 //	-passes        default pipeline spec for requests that don't carry one
 //	-obs-addr      live /metrics, /debug/pprof/, /healthz, /buildinfo —
 //	               the serving-side observability plane (cache hit/miss/
@@ -30,6 +33,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -49,6 +53,8 @@ func main() {
 	lanes := flag.Int("lanes", 0, "concurrent compile lanes (0 = GOMAXPROCS)")
 	unitJobs := flag.Int("unit-j", 1, "per-compilation worker count")
 	cacheCap := flag.Int("cache-cap", 0, "result-cache capacity in entries (0 = default)")
+	accessLog := flag.String("access-log", "",
+		"append one JSON line per compile request (id, cache hit/miss, lane-wait ns, compile ns, artifact bytes); \"-\" = stderr")
 	pf := driver.RegisterPassFlags(flag.CommandLine)
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	obs := obsserver.RegisterFlags(flag.CommandLine)
@@ -77,6 +83,20 @@ func main() {
 	}
 	defer obsHandle.Close()
 
+	var logW io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		logW = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		logW = f
+	}
+
 	srv := serve.New(serve.Config{
 		Lanes:         *lanes,
 		UnitJobs:      *unitJobs,
@@ -85,6 +105,7 @@ func main() {
 		BaseFiles:     workload.Files(),
 		Telemetry:     tel,
 		CrashDir:      obs.CrashDir,
+		AccessLog:     logW,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -23,6 +23,9 @@
 //	-obs-addr      serve live /metrics, /debug/pprof/, /healthz, /buildinfo on the given address
 //	-profile-cpu   write a whole-run CPU profile
 //	-profile-mem   write an end-of-run heap profile
+//	-profile-cycles write a pprof protobuf profile of simulated cycles by source line (implies -run)
+//	-annotate      print a perf-annotate-style source listing of the run leg (implies -run)
+//	-folded        write folded flamegraph stack lines of the run leg (implies -run)
 //	-crash-dir     directory for crash-<unit>.json flight-recorder dumps
 //	-explain       print per-full-expression ω/θ/γ/π sets and π-pair consumption
 //	-j N           per-function compilation parallelism (0 = GOMAXPROCS)
@@ -35,12 +38,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/annotate"
 	"repro/internal/ast"
 	"repro/internal/driver"
+	"repro/internal/profile"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/obsserver"
 	"repro/internal/workload"
@@ -74,6 +79,12 @@ func main() {
 		"print per-full-expression ω/θ/γ/π judgement sets with source ranges and which π pairs each optimization consumed")
 	autoAnnotate := flag.Bool("auto-annotate", false,
 		"insert CANT_ALIAS-equivalent annotations algorithmically (validated via the sanitizer)")
+	profCycles := flag.String("profile-cycles", "",
+		"write a pprof protobuf cycle profile of the run leg to the given path (implies -run)")
+	annotateSrc := flag.Bool("annotate", false,
+		"print a perf-annotate-style source listing of the run leg's cycle profile (implies -run)")
+	folded := flag.String("folded", "",
+		"write folded flamegraph stack lines of the run leg's cycle profile to the given path (implies -run)")
 	defines := defineFlags{}
 	flag.Var(defines, "D", "predefine an object-like macro: -D NAME=VALUE")
 	flag.Parse()
@@ -171,7 +182,38 @@ func main() {
 	if *dumpIR {
 		fmt.Print(c.Module.String())
 	}
-	if *run {
+	profiling := *profCycles != "" || *annotateSrc || *folded != ""
+	if profiling {
+		result, cycles, prof, err := c.ProfileRun("", "")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("result %d\ncycles %.0f\n", result, cycles)
+		if *profCycles != "" {
+			if err := writeProfile(*profCycles, func(w io.Writer) error {
+				return profile.WritePprof(w, prof)
+			}); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("cycle profile: %s (view with `go tool pprof %s`)\n", *profCycles, *profCycles)
+		}
+		if *folded != "" {
+			if err := writeProfile(*folded, func(w io.Writer) error {
+				return profile.WriteFolded(w, prof)
+			}); err != nil {
+				fatal(err)
+			}
+		}
+		if *annotateSrc {
+			sources := map[string]string{path: string(src)}
+			for k, v := range workload.Files() {
+				sources[k] = v
+			}
+			if err := profile.WriteAnnotate(os.Stdout, prof, sources); err != nil {
+				fatal(err)
+			}
+		}
+	} else if *run {
 		result, cycles, err := c.Run("")
 		if err != nil {
 			fatal(err)
@@ -185,6 +227,20 @@ func main() {
 		fmt.Printf("compiled %s: %d functions, %d predicates (%d unique)\n",
 			path, len(c.Module.Funcs), c.FinalPreds, c.UniqueFinalPreds)
 	}
+}
+
+// writeProfile writes one profile rendering to path atomically enough
+// for CLI use (create, render, close).
+func writeProfile(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // fatal exits through obsserver.Exit so a live -obs-addr listener or

@@ -15,14 +15,14 @@ import (
 // io_tiff.c), more promotions/hoists (xz delta_encoder.c), and more
 // inlining in the perlbench-like corpus.
 func TestCompileStatDeltas(t *testing.T) {
-	statsOf := func(p workload.Program, ooelala bool) driver.Compilation {
+	statsOf := func(p workload.Program, ooelala bool) *driver.Compilation {
 		t.Helper()
 		c, err := driver.Compile(p.Name, p.Source, driver.Config{
 			OOElala: ooelala, Files: workload.Files()})
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name, err)
 		}
-		return *c
+		return c
 	}
 
 	t.Run("imagick-more-vectorized", func(t *testing.T) {

@@ -513,7 +513,7 @@ func unquote(s string) string {
 // e.g. function-like macro without following '(') and the expansion.
 func (p *Preprocessor) expandMacro(m *Macro, lts []lineTok, i int) (int, []token.Token) {
 	if !m.IsFunc {
-		return 1, p.rescan(m.Body, map[string]bool{m.Name: true})
+		return 1, restamp(p.rescan(m.Body, map[string]bool{m.Name: true}), lts[i].tok.Pos)
 	}
 	// Function-like: need '(' next.
 	j := i + 1
@@ -577,6 +577,11 @@ done:
 		}
 		argMap["__VA_ARGS__"] = p.rescan(va, nil)
 	}
+	// Body tokens take the invocation position (the "presumed location"
+	// a compiler reports), so diagnostics and the run-leg profiler's
+	// line attribution land on the code the programmer wrote, not on
+	// the macro definition. Argument tokens keep their own use-site
+	// positions.
 	var substituted []token.Token
 	for _, t := range m.Body {
 		if t.Kind == token.Ident {
@@ -585,6 +590,7 @@ done:
 				continue
 			}
 		}
+		t.Pos = lts[i].tok.Pos
 		substituted = append(substituted, t)
 	}
 	return j - i, p.rescan(substituted, map[string]bool{m.Name: true})
@@ -625,8 +631,19 @@ func (p *Preprocessor) rescan(toks []token.Token, hide map[string]bool) []token.
 func (p *Preprocessor) expandMacroHidden(m *Macro, lts []lineTok, i int, hide map[string]bool) (int, []token.Token) {
 	// Same as expandMacro but propagating the hide set through rescan.
 	if !m.IsFunc {
-		return 1, p.rescan(m.Body, hide)
+		return 1, restamp(p.rescan(m.Body, hide), lts[i].tok.Pos)
 	}
 	consumed, exp := p.expandMacro(m, lts, i)
 	return consumed, exp
+}
+
+// restamp points macro-body tokens at the expansion site. Without this,
+// source attribution (error messages, the profiler's pc→source line
+// table) lands on the macro definition line in the header instead of
+// the invocation the programmer wrote.
+func restamp(toks []token.Token, pos token.Pos) []token.Token {
+	for i := range toks {
+		toks[i].Pos = pos
+	}
+	return toks
 }

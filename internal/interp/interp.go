@@ -145,6 +145,20 @@ type Machine struct {
 
 	MaxSteps int64
 	steps    int64
+
+	// Profile enables per-instruction cycle/retire attribution — the
+	// tree-walker mirror of the vm's per-pc counters. Set before the
+	// first Run. Off costs one bool check per retired instruction.
+	Profile   bool
+	profCells map[*ir.Instr]*profCell
+	profBase  float64
+	profLast  *profCell
+}
+
+// profCell is one instruction's profile counters.
+type profCell struct {
+	cycles  float64
+	retired int64
 }
 
 // FuncAddrBase is the bottom of the reserved pseudo-address range for
@@ -287,7 +301,19 @@ func (m *Machine) Run(name string, args ...Val) (Val, error) {
 	if f == nil {
 		return Val{}, fmt.Errorf("interp: no function %q", name)
 	}
-	return m.call(f, args)
+	if m.Profile && m.profCells == nil {
+		m.profCells = make(map[*ir.Instr]*profCell)
+	}
+	v, err := m.call(f, args)
+	if m.profCells != nil && m.profLast != nil {
+		// Attribute the trailing delta so the profile total equals
+		// TotalCycles minus the top-level CallBase (which falls before
+		// the first sample) — the same invariant as the vm.
+		m.profLast.cycles += m.Cycles - m.profBase
+		m.profLast = nil
+		m.profBase = m.Cycles
+	}
+	return v, err
 }
 
 // RunMain executes main().
@@ -400,6 +426,22 @@ func (m *Machine) execBlock(f *ir.Func, b *ir.Block, regs map[ir.Value]Val,
 			return nil, false, Val{}, fmt.Errorf("interp: step budget exceeded")
 		}
 		m.Executed++
+		if m.Profile {
+			// Delta sampling at the same point as the vm dispatch loop:
+			// everything added since the previous retired instruction
+			// (its op cost, penalties, a callee's CallBase) belongs to it.
+			if m.profLast != nil {
+				m.profLast.cycles += m.Cycles - m.profBase
+			}
+			m.profBase = m.Cycles
+			pcell := m.profCells[in]
+			if pcell == nil {
+				pcell = &profCell{}
+				m.profCells[in] = pcell
+			}
+			pcell.retired++
+			m.profLast = pcell
+		}
 		if icache {
 			m.Cycles += m.costs.ICachePenalty
 		}

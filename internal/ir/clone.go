@@ -37,7 +37,7 @@ func CloneFunc(f *Func) *Func {
 				Scale: in.Scale, Off: in.Off, Pred: in.Pred,
 				Callee: in.Callee, Width: in.Width, VecOp: in.VecOp,
 				Unsigned: in.Unsigned, Volatile: in.Volatile,
-				Meta: in.Meta, blk: nb,
+				Meta: in.Meta, Span: in.Span, blk: nb,
 			}
 			instrMap[in] = cl
 			nb.Instrs = append(nb.Instrs, cl)

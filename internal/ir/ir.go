@@ -254,6 +254,13 @@ type Instr struct {
 	// "# unique final preds" column is computed.
 	Meta int
 
+	// Span is the source range the instruction was lowered from. Clones
+	// and pass-created instructions inherit the span of the instruction
+	// they derive from, so the run-leg profiler can attribute cycles back
+	// to source lines after arbitrary transformation. Not printed by the
+	// IR printer and not part of structural equality.
+	Span SrcSpan
+
 	blk *Block
 }
 

@@ -46,6 +46,12 @@ type Generator struct {
 	breakTargets    []*ir.Block
 	continueTargets []*ir.Block
 
+	// curSpan is the source range of the construct currently being
+	// lowered; emit stamps it onto every instruction that does not carry
+	// its own span, so the run-leg profiler's line tables cover the whole
+	// function body.
+	curSpan ir.SrcSpan
+
 	errs []error
 
 	// Stats
@@ -244,6 +250,7 @@ func constFold(e ast.Expr) (cval, bool) {
 func (g *Generator) genFunc(f *ast.FuncDecl) {
 	fn := &ir.Func{Name: f.Name, Ret: classOf(f.Type.Ret), ReadNone: f.Pure}
 	g.fn = fn
+	g.setSpan(f.NamePos, f.NamePos)
 	g.allocas = make(map[*ast.Symbol]*ir.Instr)
 	g.mod.Funcs = append(g.mod.Funcs, fn)
 	entry := fn.NewBlock("entry")
@@ -278,7 +285,17 @@ func (g *Generator) genFunc(f *ast.FuncDecl) {
 }
 
 func (g *Generator) emit(i *ir.Instr) *ir.Instr {
+	if !i.Span.IsValid() {
+		i.Span = g.curSpan
+	}
 	return g.blk.Append(i)
+}
+
+// setSpan makes [start, end] the span stamped onto subsequent emits.
+func (g *Generator) setSpan(start, end token.Pos) {
+	if start.IsValid() {
+		g.curSpan = ir.SrcSpan{Start: start, End: end}
+	}
 }
 
 // ---------- Statements ----------
@@ -289,6 +306,7 @@ func (g *Generator) genStmt(s ast.Stmt) {
 		// lowering can proceed (it will be removed by simplifycfg).
 		g.blk = g.fn.NewBlock("dead")
 	}
+	g.setSpan(s.Pos(), s.Pos())
 	switch x := s.(type) {
 	case *ast.Block:
 		if x == nil {
@@ -522,6 +540,8 @@ func valClass(v ir.Value) ir.Class { return v.Class() }
 // genFullExpr lowers a full expression and then emits the must-not-alias
 // intrinsics (and sanitizer checks) for its predicates.
 func (g *Generator) genFullExpr(e ast.Expr) ir.Value {
+	start, end := ast.Span(e)
+	g.setSpan(start, end)
 	g.lvPtr = make(map[int]ir.Value)
 	v := g.genExpr(e)
 	if preds, ok := g.preds[e.ID()]; ok && g.blk != nil {

@@ -79,7 +79,7 @@ func inlineOne(f *ir.Func, b *ir.Block, idx int, call *ir.Instr, callee *ir.Func
 	// Result slot for the return value.
 	var resSlot *ir.Instr
 	if call.Cls != ir.Void {
-		resSlot = &ir.Instr{Op: ir.OpAlloca, Cls: ir.Ptr, Name: "inline.ret", AllocSz: call.Cls.Size()}
+		resSlot = &ir.Instr{Op: ir.OpAlloca, Cls: ir.Ptr, Name: "inline.ret", AllocSz: call.Cls.Size(), Span: call.Span}
 		f.Entry().InsertBefore(0, resSlot)
 	}
 
@@ -104,7 +104,7 @@ func inlineOne(f *ir.Func, b *ir.Block, idx int, call *ir.Instr, callee *ir.Func
 				Op: in.Op, Cls: in.Cls, Name: in.Name, AllocSz: in.AllocSz,
 				Scale: in.Scale, Off: in.Off, Pred: in.Pred, Callee: in.Callee,
 				Width: in.Width, VecOp: in.VecOp, Unsigned: in.Unsigned, Meta: in.Meta,
-				Volatile: in.Volatile,
+				Volatile: in.Volatile, Span: in.Span,
 			}
 			if in.Op == ir.OpRet {
 				// Store result and branch to the continuation.
@@ -113,10 +113,10 @@ func inlineOne(f *ir.Func, b *ir.Block, idx int, call *ir.Instr, callee *ir.Func
 					if r, ok := remap[v]; ok {
 						v = r
 					}
-					st := &ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{resSlot, v}}
+					st := &ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{resSlot, v}, Span: in.Span}
 					nb.Append(st)
 				}
-				nb.Append(&ir.Instr{Op: ir.OpBr, Cls: ir.Void, Target: cont})
+				nb.Append(&ir.Instr{Op: ir.OpBr, Cls: ir.Void, Target: cont, Span: in.Span})
 				continue
 			}
 			cl.Args = make([]ir.Value, len(in.Args))
@@ -142,12 +142,12 @@ func inlineOne(f *ir.Func, b *ir.Block, idx int, call *ir.Instr, callee *ir.Func
 	}
 
 	// b falls through to the inlined entry.
-	b.Append(&ir.Instr{Op: ir.OpBr, Cls: ir.Void, Target: blockMap[callee.Entry()]})
+	b.Append(&ir.Instr{Op: ir.OpBr, Cls: ir.Void, Target: blockMap[callee.Entry()], Span: call.Span})
 
 	// Replace the call's value with a load of the result slot at the top
 	// of the continuation.
 	if resSlot != nil {
-		ld := &ir.Instr{Op: ir.OpLoad, Cls: call.Cls, Args: []ir.Value{resSlot}}
+		ld := &ir.Instr{Op: ir.OpLoad, Cls: call.Cls, Args: []ir.Value{resSlot}, Span: call.Span}
 		cont.InsertBefore(0, ld)
 		replaceUses(f, call, ld)
 	}

@@ -344,13 +344,19 @@ func promoteScalars(mod *ir.Module, f *ir.Func, l *ir.Loop, mgr *aa.Manager, dt 
 
 		// Promote: tmp = alloca; preheader: tmp <- load ptr; loop
 		// accesses retargeted; exits: ptr <- load tmp.
+		var gsp ir.SrcSpan // span of the promoted access group
+		if len(g.loads) > 0 {
+			gsp = g.loads[0].Span
+		} else if len(g.stores) > 0 {
+			gsp = g.stores[0].Span
+		}
 		entry := f.Entry()
-		tmp := &ir.Instr{Op: ir.OpAlloca, Cls: ir.Ptr, Name: "promote", AllocSz: size}
+		tmp := &ir.Instr{Op: ir.OpAlloca, Cls: ir.Ptr, Name: "promote", AllocSz: size, Span: gsp}
 		entry.InsertBefore(0, tmp)
 
-		preLoad := &ir.Instr{Op: ir.OpLoad, Cls: g.cls, Args: []ir.Value{g.ptr}}
+		preLoad := &ir.Instr{Op: ir.OpLoad, Cls: g.cls, Args: []ir.Value{g.ptr}, Span: gsp}
 		insertBeforeTerm(pre, preLoad)
-		preStore := &ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{tmp, preLoad}}
+		preStore := &ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{tmp, preLoad}, Span: gsp}
 		insertBeforeTerm(pre, preStore)
 
 		for _, ld := range g.loads {
@@ -363,9 +369,9 @@ func promoteScalars(mod *ir.Module, f *ir.Func, l *ir.Loop, mgr *aa.Manager, dt 
 		// Sink the final value on every exit edge.
 		for _, e := range l.Exits {
 			exit := e[1]
-			reload := &ir.Instr{Op: ir.OpLoad, Cls: g.cls, Args: []ir.Value{tmp}}
+			reload := &ir.Instr{Op: ir.OpLoad, Cls: g.cls, Args: []ir.Value{tmp}, Span: gsp}
 			exit.InsertBefore(0, reload)
-			sink := &ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{g.ptr, reload}}
+			sink := &ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{g.ptr, reload}, Span: gsp}
 			exit.InsertBefore(1, sink)
 		}
 		promoted++

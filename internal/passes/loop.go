@@ -128,7 +128,7 @@ func cloneInto(dst *ir.Block, body *ir.Block, remap map[ir.Value]ir.Value) {
 			Scale: in.Scale, Off: in.Off, Pred: in.Pred, Callee: in.Callee,
 			Target: in.Target, Then: in.Then, Else: in.Else, Width: in.Width,
 			VecOp: in.VecOp, Unsigned: in.Unsigned, Volatile: in.Volatile,
-			Meta: in.Meta,
+			Meta: in.Meta, Span: in.Span,
 		}
 		cl.Args = make([]ir.Value, len(in.Args))
 		for i, a := range in.Args {
@@ -210,27 +210,28 @@ func hasVectorOps(b *ir.Block) bool {
 // clamped to iv0 when negative, and returns (iv0, mainLimit).
 func emitBlockCountSplit(pre *ir.Block, cl *canonLoop, factor int) (ir.Value, ir.Value) {
 	cls := cl.ivCls
-	iv0 := &ir.Instr{Op: ir.OpLoad, Cls: cls, Args: []ir.Value{cl.ivAlloca}}
+	csp := cl.cmp.Span // trip-count math derives from the loop condition
+	iv0 := &ir.Instr{Op: ir.OpLoad, Cls: cls, Args: []ir.Value{cl.ivAlloca}, Span: csp}
 	insertBeforeTerm(pre, iv0)
 	limit := cl.limit
 	if cl.limitIncl {
 		// `iv <= limit` iterates up to the exclusive bound limit+1.
-		incl := &ir.Instr{Op: ir.OpAdd, Cls: cls, Args: []ir.Value{limit, ir.ConstInt(cls, 1)}}
+		incl := &ir.Instr{Op: ir.OpAdd, Cls: cls, Args: []ir.Value{limit, ir.ConstInt(cls, 1)}, Span: csp}
 		insertBeforeTerm(pre, incl)
 		limit = incl
 	}
-	span := &ir.Instr{Op: ir.OpSub, Cls: cls, Args: []ir.Value{limit, iv0}}
+	span := &ir.Instr{Op: ir.OpSub, Cls: cls, Args: []ir.Value{limit, iv0}, Span: csp}
 	insertBeforeTerm(pre, span)
-	q := &ir.Instr{Op: ir.OpDiv, Cls: cls, Args: []ir.Value{span, ir.ConstInt(cls, int64(factor))}}
+	q := &ir.Instr{Op: ir.OpDiv, Cls: cls, Args: []ir.Value{span, ir.ConstInt(cls, int64(factor))}, Span: csp}
 	insertBeforeTerm(pre, q)
-	mul := &ir.Instr{Op: ir.OpMul, Cls: cls, Args: []ir.Value{q, ir.ConstInt(cls, int64(factor))}}
+	mul := &ir.Instr{Op: ir.OpMul, Cls: cls, Args: []ir.Value{q, ir.ConstInt(cls, int64(factor))}, Span: csp}
 	insertBeforeTerm(pre, mul)
-	main := &ir.Instr{Op: ir.OpAdd, Cls: cls, Args: []ir.Value{iv0, mul}}
+	main := &ir.Instr{Op: ir.OpAdd, Cls: cls, Args: []ir.Value{iv0, mul}, Span: csp}
 	insertBeforeTerm(pre, main)
 	// Negative span guard: main = select(span < 0, iv0, main).
-	neg := &ir.Instr{Op: ir.OpCmp, Cls: ir.I32, Pred: ir.Lt, Args: []ir.Value{span, ir.ConstInt(cls, 0)}}
+	neg := &ir.Instr{Op: ir.OpCmp, Cls: ir.I32, Pred: ir.Lt, Args: []ir.Value{span, ir.ConstInt(cls, 0)}, Span: csp}
 	insertBeforeTerm(pre, neg)
-	clamped := &ir.Instr{Op: ir.OpSelect, Cls: cls, Args: []ir.Value{neg, iv0, main}}
+	clamped := &ir.Instr{Op: ir.OpSelect, Cls: cls, Args: []ir.Value{neg, iv0, main}, Span: csp}
 	insertBeforeTerm(pre, clamped)
 	return iv0, clamped
 }
@@ -247,17 +248,17 @@ func buildUnrolledLoop(f *ir.Func, cl *canonLoop, factor int) {
 	// Retarget preheader to the unrolled header.
 	retarget(pre.Terminator(), cl.header, uheader)
 
-	ivL := uheader.Append(&ir.Instr{Op: ir.OpLoad, Cls: cl.ivCls, Args: []ir.Value{cl.ivAlloca}})
+	ivL := uheader.Append(&ir.Instr{Op: ir.OpLoad, Cls: cl.ivCls, Args: []ir.Value{cl.ivAlloca}, Span: cl.ivLoadH.Span})
 	c := uheader.Append(&ir.Instr{Op: ir.OpCmp, Cls: ir.I32, Pred: ir.Lt, Unsigned: cl.cmp.Unsigned,
-		Args: []ir.Value{ivL, mainLimit}})
+		Args: []ir.Value{ivL, mainLimit}, Span: cl.cmp.Span})
 	uheader.Append(&ir.Instr{Op: ir.OpCondBr, Cls: ir.Void, Args: []ir.Value{c},
-		Then: ubody, Else: cl.header})
+		Then: ubody, Else: cl.header, Span: cl.cmp.Span})
 
 	for k := 0; k < factor; k++ {
 		remap := map[ir.Value]ir.Value{}
 		cloneInto(ubody, cl.body, remap)
 	}
-	ubody.Append(&ir.Instr{Op: ir.OpBr, Cls: ir.Void, Target: uheader})
+	ubody.Append(&ir.Instr{Op: ir.OpBr, Cls: ir.Void, Target: uheader, Span: cl.cmp.Span})
 }
 
 func retarget(term *ir.Instr, from, to *ir.Block) {

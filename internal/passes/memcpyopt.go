@@ -36,9 +36,9 @@ func memcpyOpt(mod *ir.Module, f *ir.Func, mgr *aa.Manager, tel *telemetry.Sessi
 			}
 			// Replace the first store with a memset; delete the rest.
 			gep := &ir.Instr{Op: ir.OpGEP, Cls: ir.Ptr,
-				Args: []ir.Value{base, ir.ConstInt(ir.I64, 0)}, Scale: 1, Off: lo}
+				Args: []ir.Value{base, ir.ConstInt(ir.I64, 0)}, Scale: 1, Off: lo, Span: first.Span}
 			ms := &ir.Instr{Op: ir.OpMemset, Cls: ir.Void, Scale: size,
-				Args: []ir.Value{gep, val, ir.ConstInt(ir.I64, int64(hi-lo))}}
+				Args: []ir.Value{gep, val, ir.ConstInt(ir.I64, int64(hi-lo))}, Span: first.Span}
 			b.InsertBefore(run[0], gep)
 			b.InsertBefore(run[0]+1, ms)
 			// Indices shifted by 2 after the inserts.

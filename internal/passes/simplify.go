@@ -154,11 +154,11 @@ func formSelects(f *ir.Func) int {
 				a.Instrs = append(a.Instrs, in)
 			}
 			sel := &ir.Instr{Op: ir.OpSelect, Cls: cls,
-				Args: []ir.Value{cond, ts.store.Args[1], es.store.Args[1]}}
+				Args: []ir.Value{cond, ts.store.Args[1], es.store.Args[1]}, Span: ts.store.Span}
 			a.Append(sel)
-			st := &ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{ts.store.Args[0], sel}}
+			st := &ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{ts.store.Args[0], sel}, Span: ts.store.Span}
 			a.Append(st)
-			a.Append(&ir.Instr{Op: ir.OpBr, Cls: ir.Void, Target: jt})
+			a.Append(&ir.Instr{Op: ir.OpBr, Cls: ir.Void, Target: jt, Span: ts.store.Span})
 			tb.Instrs = nil
 			eb.Instrs = nil
 			formed++

@@ -570,6 +570,7 @@ func matchReduction(cl *canonLoop, acc *ir.Instr, st *ir.Instr) (reduction, bool
 func emitVectorLoop(f *ir.Func, cl *canonLoop, plan *vecPlan, width int) {
 	pre := cl.l.Preheader
 	cls := cl.ivCls
+	preMark := len(pre.Instrs)
 
 	iv0, vecLimit := emitBlockCountSplit(pre, cl, width)
 
@@ -684,12 +685,12 @@ func emitVectorLoop(f *ir.Func, cl *canonLoop, plan *vecPlan, width int) {
 	entry := f.Entry()
 	addAcc := func(scalarPtr ir.Value, op ir.Op, loadIn, combine, store *ir.Instr) {
 		rcls := store.Args[1].Class()
-		slot := &ir.Instr{Op: ir.OpAlloca, Cls: ir.Ptr, Name: "vec.acc", AllocSz: rcls.Size() * width}
+		slot := &ir.Instr{Op: ir.OpAlloca, Cls: ir.Ptr, Name: "vec.acc", AllocSz: rcls.Size() * width, Span: store.Span}
 		entry.InsertBefore(0, slot)
 		splat := &ir.Instr{Op: ir.OpVecSplat, Cls: rcls, Width: width,
-			Args: []ir.Value{identOf(op, rcls)}}
+			Args: []ir.Value{identOf(op, rcls)}, Span: store.Span}
 		insertBeforeTerm(pre, splat)
-		vst := &ir.Instr{Op: ir.OpVecStore, Cls: rcls, Width: width, Args: []ir.Value{slot, splat}}
+		vst := &ir.Instr{Op: ir.OpVecStore, Cls: rcls, Width: width, Args: []ir.Value{slot, splat}, Span: store.Span}
 		insertBeforeTerm(pre, vst)
 		vaccs = append(vaccs, vacc{scalarPtr: scalarPtr, slot: slot, cls: rcls, op: op,
 			loadIn: loadIn, combine: combine, store: store})
@@ -701,13 +702,22 @@ func emitVectorLoop(f *ir.Func, cl *canonLoop, plan *vecPlan, width int) {
 		addAcc(mr.ptr, mr.op, mr.loadIn, mr.combine, mr.store)
 	}
 
+	// Guard/limit code in the preheader derives from the loop condition;
+	// instructions stamped above (trip-count math, accumulator init) keep
+	// their more specific spans.
+	for _, in := range pre.Instrs[preMark-1 : len(pre.Instrs)-1] {
+		if !in.Span.IsValid() {
+			in.Span = cl.cmp.Span
+		}
+	}
+
 	retarget(pre.Terminator(), cl.header, vheader)
 
-	ivL := vheader.Append(&ir.Instr{Op: ir.OpLoad, Cls: cls, Args: []ir.Value{cl.ivAlloca}})
+	ivL := vheader.Append(&ir.Instr{Op: ir.OpLoad, Cls: cls, Args: []ir.Value{cl.ivAlloca}, Span: cl.ivLoadH.Span})
 	c := vheader.Append(&ir.Instr{Op: ir.OpCmp, Cls: ir.I32, Pred: ir.Lt, Unsigned: cl.cmp.Unsigned,
-		Args: []ir.Value{ivL, vecLimit}})
+		Args: []ir.Value{ivL, vecLimit}, Span: cl.cmp.Span})
 	vheader.Append(&ir.Instr{Op: ir.OpCondBr, Cls: ir.Void, Args: []ir.Value{c},
-		Then: vbody, Else: vmerge})
+		Then: vbody, Else: vmerge, Span: cl.cmp.Span})
 
 	// Build the vector body.
 	vmap := map[ir.Value]ir.Value{}    // original -> vector value
@@ -772,6 +782,9 @@ func emitVectorLoop(f *ir.Func, cl *canonLoop, plan *vecPlan, width int) {
 	}
 
 	for _, in := range cl.body.Instrs {
+		// Everything the widening of this instruction appends (including
+		// lazy splats materialized by vecOf) inherits its span.
+		vbodyMark := len(vbody.Instrs)
 		switch {
 		case in == cl.incStore:
 			emitInc(cl.ivAlloca, cls)
@@ -935,21 +948,25 @@ func emitVectorLoop(f *ir.Func, cl *canonLoop, plan *vecPlan, width int) {
 		default:
 			// planVectorization guaranteed we never get here.
 		}
+		for _, ni := range vbody.Instrs[vbodyMark:] {
+			ni.Span = in.Span
+		}
 	}
-	vbody.Append(&ir.Instr{Op: ir.OpBr, Cls: ir.Void, Target: vheader})
+	vbody.Append(&ir.Instr{Op: ir.OpBr, Cls: ir.Void, Target: vheader, Span: cl.cmp.Span})
 
 	// Merge block: fold vector accumulators into the scalar locations,
 	// then fall into the scalar remainder loop.
 	for _, va := range vaccs {
+		sp := va.store.Span
 		vl := vmerge.Append(&ir.Instr{Op: ir.OpVecLoad, Cls: va.cls, Width: width,
-			Args: []ir.Value{va.slot}})
+			Args: []ir.Value{va.slot}, Span: sp})
 		red := vmerge.Append(&ir.Instr{Op: ir.OpVecReduce, Cls: va.cls, Width: width,
-			VecOp: va.op, Args: []ir.Value{vl}})
-		old := vmerge.Append(&ir.Instr{Op: ir.OpLoad, Cls: va.cls, Args: []ir.Value{va.scalarPtr}})
-		comb := vmerge.Append(&ir.Instr{Op: va.op, Cls: va.cls, Args: []ir.Value{old, red}})
-		vmerge.Append(&ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{va.scalarPtr, comb}})
+			VecOp: va.op, Args: []ir.Value{vl}, Span: sp})
+		old := vmerge.Append(&ir.Instr{Op: ir.OpLoad, Cls: va.cls, Args: []ir.Value{va.scalarPtr}, Span: sp})
+		comb := vmerge.Append(&ir.Instr{Op: va.op, Cls: va.cls, Args: []ir.Value{old, red}, Span: sp})
+		vmerge.Append(&ir.Instr{Op: ir.OpStore, Cls: ir.Void, Args: []ir.Value{va.scalarPtr, comb}, Span: sp})
 	}
-	vmerge.Append(&ir.Instr{Op: ir.OpBr, Cls: ir.Void, Target: cl.header})
+	vmerge.Append(&ir.Instr{Op: ir.OpBr, Cls: ir.Void, Target: cl.header, Span: cl.cmp.Span})
 }
 
 // anyVecArg reports whether any argument already has (or will need) a

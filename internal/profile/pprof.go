@@ -1,0 +1,136 @@
+package profile
+
+import (
+	"io"
+	"math"
+)
+
+// WritePprof renders the profile in the pprof profile.proto wire format
+// (uncompressed protobuf — `go tool pprof` auto-detects it). The
+// encoding is hand-rolled and timestamp-free, so equal profiles produce
+// byte-identical files.
+//
+// Layout: one Sample per aggregated source line, each with a single
+// Location whose Line points at the owning Function. Two sample types
+// are exported — retired instruction counts and simulated cycles — with
+// cycles last so it is the default view.
+func WritePprof(w io.Writer, p *Profile) error {
+	flat := Flatten(p)
+
+	// String table: index 0 is mandatory "".
+	strIdx := map[string]int64{"": 0}
+	strs := []string{""}
+	intern := func(s string) int64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := int64(len(strs))
+		strIdx[s] = i
+		strs = append(strs, s)
+		return i
+	}
+
+	type fnKey struct {
+		name string
+		file string
+	}
+	fnIDs := map[fnKey]uint64{}
+	var e enc
+
+	// sample_type: {retired, instructions}, {cycles, cycles}.
+	var vt enc
+	vt.varintField(1, uint64(intern("retired")))
+	vt.varintField(2, uint64(intern("instructions")))
+	e.bytesField(1, vt.b)
+	vt = enc{}
+	vt.varintField(1, uint64(intern("cycles")))
+	vt.varintField(2, uint64(intern("cycles")))
+	e.bytesField(1, vt.b)
+
+	var locs, fns, samples enc
+	for i := range flat {
+		fl := &flat[i]
+		k := fnKey{fl.Fn, fl.File}
+		fid, ok := fnIDs[k]
+		if !ok {
+			fid = uint64(len(fnIDs) + 1)
+			fnIDs[k] = fid
+			var f enc
+			f.varintField(1, fid)
+			f.varintField(2, uint64(intern(fl.Fn)))
+			f.varintField(4, uint64(intern(fl.File)))
+			fns.bytesField(5, f.b)
+		}
+		locID := uint64(i + 1)
+		var line enc
+		line.varintField(1, fid)
+		line.varintField(2, uint64(fl.Line))
+		var loc enc
+		loc.varintField(1, locID)
+		loc.bytesField(4, line.b)
+		locs.bytesField(4, loc.b)
+
+		var s enc
+		s.packedVarints(1, []uint64{locID})
+		s.packedVarints(2, []uint64{
+			uint64(fl.Retired),
+			uint64(int64(math.Round(fl.Cycles))),
+		})
+		samples.bytesField(2, s.b)
+	}
+
+	e.b = append(e.b, samples.b...)
+	e.b = append(e.b, locs.b...)
+	e.b = append(e.b, fns.b...)
+	for _, s := range strs {
+		e.stringField(6, s)
+	}
+	_, err := w.Write(e.b)
+	return err
+}
+
+// enc is a minimal protobuf writer (varint + length-delimited only —
+// all profile.proto needs).
+type enc struct {
+	b []byte
+}
+
+func (e *enc) varint(x uint64) {
+	for x >= 0x80 {
+		e.b = append(e.b, byte(x)|0x80)
+		x >>= 7
+	}
+	e.b = append(e.b, byte(x))
+}
+
+// varintField emits a varint-typed field; zero values are omitted, as
+// proto3 serializers do.
+func (e *enc) varintField(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	e.varint(uint64(field)<<3 | 0)
+	e.varint(v)
+}
+
+func (e *enc) bytesField(field int, p []byte) {
+	e.varint(uint64(field)<<3 | 2)
+	e.varint(uint64(len(p)))
+	e.b = append(e.b, p...)
+}
+
+func (e *enc) stringField(field int, s string) {
+	e.varint(uint64(field)<<3 | 2)
+	e.varint(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// packedVarints emits a packed repeated varint field (kept even when
+// all-zero: a sample must carry one value per sample type).
+func (e *enc) packedVarints(field int, vs []uint64) {
+	var p enc
+	for _, v := range vs {
+		p.varint(v)
+	}
+	e.bytesField(field, p.b)
+}

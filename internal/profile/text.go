@@ -1,0 +1,113 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WriteAnnotate renders a perf-annotate-style listing: per source file,
+// every line of the file interleaved with the cycles attributed to it.
+// sources maps file names (as they appear in spans) to their content;
+// files absent from the map fall back to a per-line table. Output is
+// deterministic: files sort lexically, lines numerically.
+func WriteAnnotate(w io.Writer, p *Profile, sources map[string]string) error {
+	flat := Flatten(p)
+	total := p.TotalCycles()
+	fmt.Fprintf(w, "# ooelala cycle profile: unit %s, engine %s\n", p.Unit, p.Engine)
+	fmt.Fprintf(w, "# total: %.2f cycles, %d instructions retired\n", total, p.TotalRetired())
+
+	// Aggregate per (file, line) across functions for the listing.
+	type fileLine struct {
+		cycles  float64
+		retired int64
+	}
+	perFile := map[string]map[int]*fileLine{}
+	unlocated := fileLine{}
+	for i := range flat {
+		fl := &flat[i]
+		if fl.File == "" || fl.Line <= 0 {
+			unlocated.cycles += fl.Cycles
+			unlocated.retired += fl.Retired
+			continue
+		}
+		m := perFile[fl.File]
+		if m == nil {
+			m = map[int]*fileLine{}
+			perFile[fl.File] = m
+		}
+		l := m[fl.Line]
+		if l == nil {
+			l = &fileLine{}
+			m[fl.Line] = l
+		}
+		l.cycles += fl.Cycles
+		l.retired += fl.Retired
+	}
+
+	files := make([]string, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	for _, f := range files {
+		m := perFile[f]
+		ftotal := 0.0
+		for _, l := range m {
+			ftotal += l.cycles
+		}
+		fmt.Fprintf(w, "\n=== %s (%s of total) ===\n", f, pct(ftotal, total))
+		if src, ok := sources[f]; ok {
+			lines := strings.Split(src, "\n")
+			for i, text := range lines {
+				ln := i + 1
+				if l, ok := m[ln]; ok {
+					fmt.Fprintf(w, "%12.2f %7s | %4d | %s\n", l.cycles, pct(l.cycles, total), ln, text)
+				} else {
+					fmt.Fprintf(w, "%12s %7s | %4d | %s\n", "", "", ln, text)
+				}
+			}
+			continue
+		}
+		// No source available: table of attributed lines only.
+		nums := make([]int, 0, len(m))
+		for ln := range m {
+			nums = append(nums, ln)
+		}
+		sort.Ints(nums)
+		for _, ln := range nums {
+			l := m[ln]
+			fmt.Fprintf(w, "%12.2f %7s | %s:%d (%d retired)\n", l.cycles, pct(l.cycles, total), f, ln, l.retired)
+		}
+	}
+	if unlocated.cycles != 0 || unlocated.retired != 0 {
+		fmt.Fprintf(w, "\n%12.2f %7s | <no source span> (%d retired)\n",
+			unlocated.cycles, pct(unlocated.cycles, total), unlocated.retired)
+	}
+	return nil
+}
+
+// WriteFolded renders folded-stack lines (`unit;fn;file:line cycles`)
+// for flamegraph tooling, sorted for byte-stable output.
+func WriteFolded(w io.Writer, p *Profile) error {
+	flat := Flatten(p)
+	lines := make([]string, 0, len(flat))
+	for i := range flat {
+		fl := &flat[i]
+		loc := "?"
+		if fl.File != "" && fl.Line > 0 {
+			loc = fmt.Sprintf("%s:%d", fl.File, fl.Line)
+		}
+		lines = append(lines, fmt.Sprintf("%s;%s;%s %d", p.Unit, fl.Fn, loc, int64(math.Round(fl.Cycles))))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

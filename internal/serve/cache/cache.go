@@ -56,10 +56,13 @@ type Inputs struct {
 }
 
 // FlagString canonicalizes the optimization flags that select a
-// compiler configuration. Every field that changes output must appear.
-func FlagString(ooelala, noOpt, sanitize bool) string {
+// compiler configuration. Every field that changes output must appear;
+// profile changes the artifact payload (it embeds a run-leg cycle
+// profile), so it is part of the identity too.
+func FlagString(ooelala, noOpt, sanitize, profile bool) string {
 	s := "ooelala="
-	s += boolStr(ooelala) + " noopt=" + boolStr(noOpt) + " sanitize=" + boolStr(sanitize)
+	s += boolStr(ooelala) + " noopt=" + boolStr(noOpt) + " sanitize=" + boolStr(sanitize) +
+		" profile=" + boolStr(profile)
 	return s
 }
 

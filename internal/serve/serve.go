@@ -17,13 +17,18 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/aa"
 	"repro/internal/driver"
 	"repro/internal/passes"
+	"repro/internal/profile"
 	"repro/internal/serve/cache"
 	"repro/internal/telemetry"
 )
@@ -68,6 +73,10 @@ type Config struct {
 	// BuildID overrides the compiler build identity in cache keys
 	// (empty = BuildID()). Tests use it to simulate a rebuilt compiler.
 	BuildID string
+	// AccessLog, when non-nil, receives one JSON line per resolved
+	// compile request (request id, unit, cache hit/miss, lane-wait ns,
+	// compile duration, artifact bytes). Writes are serialized.
+	AccessLog io.Writer
 }
 
 // Server is a running compile service (the HTTP-independent core; wrap
@@ -77,6 +86,9 @@ type Server struct {
 	cache   *cache.Cache
 	lanes   chan int
 	buildID string
+
+	reqID atomic.Int64
+	logMu sync.Mutex
 }
 
 // New builds a compile server.
@@ -143,6 +155,11 @@ type CompileRequest struct {
 	NoOpt bool `json:"noOpt,omitempty"`
 	// Passes overrides the server's pipeline spec.
 	Passes string `json:"passes,omitempty"`
+	// Profile additionally executes the unit's main() on the vm run leg
+	// with the cycle profiler enabled and embeds the line-level profile
+	// (ooelala-profile/v1) in the artifacts. Joins the cache key: a
+	// profiled artifact is a different artifact.
+	Profile bool `json:"profile,omitempty"`
 }
 
 // CompileResponse is the answer for one unit.
@@ -190,6 +207,10 @@ type Artifacts struct {
 	Remarks          []telemetry.Remark     `json:"remarks"`
 	AuditTail        []telemetry.AliasQuery `json:"auditTail"`
 	AuditTotal       int64                  `json:"auditTotal"`
+	// Profile is the run-leg cycle profile, present only when the
+	// request set Profile (deterministic, so it preserves the
+	// cold-vs-warm byte-identity contract).
+	Profile *profile.JSON `json:"profile,omitempty"`
 }
 
 // effectiveFiles overlays request files on the server include set.
@@ -219,7 +240,7 @@ func (s *Server) KeyFor(req CompileRequest) cache.Key {
 		Files:    s.effectiveFiles(req),
 		Defines:  req.Defines,
 		PassSpec: spec,
-		Flags:    cache.FlagString(!req.Baseline, req.NoOpt, false),
+		Flags:    cache.FlagString(!req.Baseline, req.NoOpt, false, req.Profile),
 		BuildID:  s.buildID,
 	}.Key()
 }
@@ -231,11 +252,15 @@ func (s *Server) KeyFor(req CompileRequest) cache.Key {
 func (s *Server) Compile(req CompileRequest) (CompileResponse, error) {
 	tel := s.cfg.Telemetry
 	tel.Count("serve/requests", 1)
+	id := s.reqID.Add(1)
 	key := s.KeyFor(req)
+	entry := AccessEntry{ID: id, Unit: req.Name, Key: key.String()}
 	val, hit, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
-		return s.compileCold(req)
+		return s.compileCold(req, &entry)
 	})
 	resp := CompileResponse{Name: req.Name, Key: key.String(), CacheHit: hit}
+	entry.CacheHit = hit
+	entry.ArtifactBytes = len(val)
 	if hit {
 		tel.FlightRecord("serve", "hit", req.Name)
 	} else {
@@ -244,10 +269,50 @@ func (s *Server) Compile(req CompileRequest) (CompileResponse, error) {
 	if err != nil {
 		tel.Count("serve/errors", 1)
 		resp.Error = err.Error()
+		entry.Error = err.Error()
+		s.logAccess(entry)
 		return resp, err
 	}
 	resp.Artifacts = val
+	s.logAccess(entry)
 	return resp, nil
+}
+
+// AccessEntry is one structured access-log line: every resolved compile
+// request emits exactly one, hot and cold alike. A cache hit (or a
+// request deduplicated into another's in-flight compile) has zero
+// LaneWaitNs/CompileNs — this request did not occupy a lane.
+type AccessEntry struct {
+	// ID is the per-server request sequence number.
+	ID int64 `json:"id"`
+	// Unit is the request's translation unit name.
+	Unit string `json:"unit"`
+	// Key is the content-address the request resolved to.
+	Key string `json:"key"`
+	// CacheHit mirrors CompileResponse.CacheHit.
+	CacheHit bool `json:"cacheHit"`
+	// LaneWaitNs is how long the cold compile waited for a free lane.
+	LaneWaitNs int64 `json:"laneWaitNs"`
+	// CompileNs is the cold compile's duration on the lane.
+	CompileNs int64 `json:"compileNs"`
+	// ArtifactBytes is the serialized artifact payload size.
+	ArtifactBytes int `json:"artifactBytes"`
+	// Error carries the compile error for failed units.
+	Error string `json:"error,omitempty"`
+}
+
+func (s *Server) logAccess(e AccessEntry) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	s.logMu.Lock()
+	s.cfg.AccessLog.Write(b)
+	s.logMu.Unlock()
 }
 
 // compileCold runs the actual compilation on a pooled lane and
@@ -256,9 +321,13 @@ func (s *Server) Compile(req CompileRequest) (CompileResponse, error) {
 // aggregate metrics are then folded into the serving session
 // (MergeMetrics), so /metrics sees every unit while the serving
 // session's memory stays bounded.
-func (s *Server) compileCold(req CompileRequest) ([]byte, error) {
+func (s *Server) compileCold(req CompileRequest, entry *AccessEntry) ([]byte, error) {
+	waitStart := time.Now()
 	lane := <-s.lanes
+	entry.LaneWaitNs = time.Since(waitStart).Nanoseconds()
 	defer func() { s.lanes <- lane }()
+	compileStart := time.Now()
+	defer func() { entry.CompileNs = time.Since(compileStart).Nanoseconds() }()
 
 	spec := req.Passes
 	if spec == "" {
@@ -289,10 +358,23 @@ func (s *Server) compileCold(req CompileRequest) ([]byte, error) {
 		Telemetry:   unit,
 		CrashDir:    s.cfg.CrashDir,
 	})
-	s.cfg.Telemetry.MergeMetrics(unit)
 	if err != nil {
+		s.cfg.Telemetry.MergeMetrics(unit)
 		return nil, err
 	}
+	// The optional run-leg profile executes before the metrics merge so
+	// the serving session's /metrics sees the run counters too.
+	var profJSON *profile.JSON
+	if req.Profile {
+		_, _, prof, perr := c.ProfileRun(driver.EngineVM, "")
+		if perr != nil {
+			s.cfg.Telemetry.MergeMetrics(unit)
+			return nil, fmt.Errorf("%s: profile run: %w", req.Name, perr)
+		}
+		pj := profile.ToJSON(prof)
+		profJSON = &pj
+	}
+	s.cfg.Telemetry.MergeMetrics(unit)
 	snap := unit.Snapshot()
 	art := Artifacts{
 		Schema:           ArtifactsSchema,
@@ -307,6 +389,7 @@ func (s *Server) compileCold(req CompileRequest) ([]byte, error) {
 		Remarks:          snap.Remarks,
 		AuditTail:        snap.AliasQueries,
 		AuditTotal:       snap.AliasQueriesTotal,
+		Profile:          profJSON,
 	}
 	if art.Remarks == nil {
 		art.Remarks = []telemetry.Remark{}

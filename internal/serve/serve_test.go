@@ -335,3 +335,95 @@ func TestHealthz(t *testing.T) {
 		t.Errorf("healthz status = %d", resp.StatusCode)
 	}
 }
+
+// TestProfileRequest pins the per-request profile section: a Profile
+// request embeds a deterministic ooelala-profile/v1 payload in the
+// artifacts, resolves to a different cache key than the unprofiled
+// request, and stays byte-identical warm vs cold.
+func TestProfileRequest(t *testing.T) {
+	srv, hs := testServer(t, Config{Lanes: 2})
+	req := smallUnit()
+	plain := req
+	req.Profile = true
+	if srv.KeyFor(plain) == srv.KeyFor(req) {
+		t.Fatal("profile flag must join the cache key")
+	}
+	status, cold := postCompile(t, hs.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %+v", status, cold)
+	}
+	var art Artifacts
+	if err := json.Unmarshal(cold.Artifacts, &art); err != nil {
+		t.Fatalf("artifacts: %v", err)
+	}
+	if art.Profile == nil {
+		t.Fatal("profiled request returned artifacts without a profile section")
+	}
+	if art.Profile.Schema != "ooelala-profile/v1" {
+		t.Errorf("profile schema %q", art.Profile.Schema)
+	}
+	if art.Profile.TotalCycles <= 0 || len(art.Profile.Lines) == 0 {
+		t.Errorf("empty profile: cycles=%v lines=%d", art.Profile.TotalCycles, len(art.Profile.Lines))
+	}
+	_, warm := postCompile(t, hs.URL, req)
+	if !warm.CacheHit {
+		t.Error("second profiled request should hit the cache")
+	}
+	if !bytes.Equal(cold.Artifacts, warm.Artifacts) {
+		t.Error("cold and warm profiled artifacts differ")
+	}
+	// The unprofiled request still compiles cold (its own key) and has
+	// no profile section.
+	_, plainResp := postCompile(t, hs.URL, plain)
+	var plainArt Artifacts
+	if err := json.Unmarshal(plainResp.Artifacts, &plainArt); err != nil {
+		t.Fatalf("plain artifacts: %v", err)
+	}
+	if plainArt.Profile != nil {
+		t.Error("unprofiled request returned a profile section")
+	}
+}
+
+// TestAccessLog pins the structured access log: one JSON line per
+// resolved request with ids, cache-hit flags, lane timings, and
+// artifact sizes.
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	_, hs := testServer(t, Config{Lanes: 1, AccessLog: &buf})
+	req := smallUnit()
+	postCompile(t, hs.URL, req)
+	postCompile(t, hs.URL, req)
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 access-log lines, got %d: %q", len(lines), buf.String())
+	}
+	var cold, warm AccessEntry
+	if err := json.Unmarshal([]byte(lines[0]), &cold); err != nil {
+		t.Fatalf("line 1: %v", err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &warm); err != nil {
+		t.Fatalf("line 2: %v", err)
+	}
+	if cold.ID == warm.ID {
+		t.Error("request ids must be distinct")
+	}
+	if cold.CacheHit || !warm.CacheHit {
+		t.Errorf("hit flags: cold=%v warm=%v", cold.CacheHit, warm.CacheHit)
+	}
+	if cold.CompileNs <= 0 {
+		t.Error("cold request should record a compile duration")
+	}
+	if warm.CompileNs != 0 || warm.LaneWaitNs != 0 {
+		t.Error("warm request should not record lane/compile time")
+	}
+	if cold.ArtifactBytes == 0 || warm.ArtifactBytes != cold.ArtifactBytes {
+		t.Errorf("artifact bytes: cold=%d warm=%d", cold.ArtifactBytes, warm.ArtifactBytes)
+	}
+	if cold.Key == "" || cold.Key != warm.Key {
+		t.Error("both requests should log the same content key")
+	}
+	if cold.Unit != req.Name {
+		t.Errorf("unit %q, want %q", cold.Unit, req.Name)
+	}
+}

@@ -134,6 +134,14 @@ type instr struct {
 	tb, eb *ir.Block
 }
 
+// pcIRRef is the line-table entry for one bytecode pc: the IR
+// instruction it executes, and for fused superinstructions the second
+// instruction folded into the same dispatch round. The pad trap of an
+// unterminated block has a zero entry.
+type pcIRRef struct {
+	a, b *ir.Instr
+}
+
 // fnCode is one compiled function.
 type fnCode struct {
 	name       string
@@ -145,6 +153,13 @@ type fnCode struct {
 	// buffer slot per activation (see Machine.callFn).
 	numVecDsts int
 	code       []instr
+	// pcIR is the side line table, parallel to code: pc -> IR instr(s) +
+	// source span. It is consulted only when a profile is exported, never
+	// by the dispatch loop.
+	pcIR []pcIRRef
+	// profOff is this function's base offset into a Machine's flat
+	// per-pc profile counter array (see Machine.Profile).
+	profOff int
 	// nonMeta counts instructions that occupy code bytes (everything but
 	// mustnotalias), the input to the icache-penalty rule — the same
 	// count interp.icachePenalized computes.
@@ -176,6 +191,9 @@ type Program struct {
 	// and reused by the next New, so steady-state run loops stop paying
 	// an image allocation per run.
 	memPool sync.Pool
+	// profCells is the total bytecode length across all functions — the
+	// size of a Machine's flat profile counter array.
+	profCells int
 }
 
 const memBase = 0x10000
@@ -239,6 +257,12 @@ func Compile(mod *ir.Module) *Program {
 	for i, f := range mod.Funcs {
 		c.compileFunc(f, p.fns[i])
 	}
+	off := 0
+	for _, fc := range p.fns {
+		fc.profOff = off
+		off += len(fc.code)
+	}
+	p.profCells = off
 	return p
 }
 
@@ -333,17 +357,20 @@ func (c *compiler) compileFunc(f *ir.Func, fc *fnCode) {
 				if uses[in.Args[0]] == 1 {
 					if fused, ok := tryFuse(&fc.code[n-1], &ins); ok {
 						fc.code[n-1] = fused
+						fc.pcIR[n-1].b = in
 						continue
 					}
 				}
 			}
 			fc.code = append(fc.code, ins)
+			fc.pcIR = append(fc.pcIR, pcIRRef{a: in})
 		}
 		// A block whose last instruction is not a terminator falls
 		// through at runtime under the interpreter; reproduce that as a
 		// trap so the error (if ever reached) is identical.
 		if n := len(fc.code); n == int(blockPC[b]) || !isTerminator(fc.code[n-1].op) {
 			fc.code = append(fc.code, instr{op: opFellThrough, block: b.Name})
+			fc.pcIR = append(fc.pcIR, pcIRRef{})
 		}
 	}
 	// Patch branch targets now that every block has a pc.

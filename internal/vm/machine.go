@@ -52,12 +52,30 @@ type Machine struct {
 	MaxSteps int64
 	steps    int64
 
+	// Profile enables per-pc cycle/retire attribution. Set it before the
+	// first Run. When off the dispatch loop pays nothing beyond one nil
+	// check per dispatch; when on, each dispatch charges the cycles
+	// accumulated since the previous dispatch to the previously executed
+	// pc (delta sampling), so handler-internal additions (memset, builtin
+	// calls, fused second halves, callee CallBase) land on the pc that
+	// caused them.
+	Profile   bool
+	profCells []profCell
+	profBase  float64
+	profLast  int
+
 	// framePool recycles activation frames per function (a stack per
 	// fnCode, so recursion just deepens the pool). Released frames are
 	// cleared: a register slot must read as zero until its defining
 	// instruction executes, exactly like the tree-walker's absent map
 	// entry, and alloca slot 0 is the unassigned sentinel.
 	framePool [][]*frame
+}
+
+// profCell is one pc's profile counters.
+type profCell struct {
+	cycles  float64
+	retired int64
 }
 
 // frame is the pooled per-activation state: register file, lazy alloca
@@ -256,7 +274,22 @@ func (m *Machine) Run(name string, args ...Val) (Val, error) {
 	if !ok {
 		return Val{}, fmt.Errorf("vm: no function %q", name)
 	}
-	return m.callFn(fc, args)
+	if m.Profile && m.profCells == nil {
+		m.profCells = make([]profCell, m.p.profCells)
+		m.profLast = -1
+	}
+	v, err := m.callFn(fc, args)
+	if m.profCells != nil {
+		// Attribute the trailing delta (the last executed instruction's
+		// own costs) so the profile total matches TotalCycles minus the
+		// top-level CallBase, which falls before the first sample.
+		if m.profLast >= 0 {
+			m.profCells[m.profLast].cycles += m.Cycles - m.profBase
+			m.profLast = -1
+		}
+		m.profBase = m.Cycles
+	}
+	return v, err
 }
 
 // RunMain executes main().
@@ -291,6 +324,7 @@ func (m *Machine) Report(tel *telemetry.Session) {
 	tel.AddGauge("interp/cycles", m.Cycles)
 	tel.Count("interp/instrs_executed", m.Executed)
 	tel.Count("interp/san_failures", int64(len(m.SanFailures)))
+	m.reportOpMix(tel)
 }
 
 // fl reads a value as float64 (the inlined Val.AsFloat over a pointer,
@@ -402,6 +436,8 @@ func (m *Machine) callFn(fc *fnCode, args []Val) (rv Val, rerr error) {
 	code := fc.code
 	consts := m.p.consts
 	tab := &m.costTab
+	prof := m.profCells
+	profOff := fc.profOff
 	// steps and Executed advance in lockstep (the budget-tripping step is
 	// the one exception, handled inline), so the loop keeps one counter
 	// and recovers steps from the bias on every write-back.
@@ -434,6 +470,17 @@ func (m *Machine) callFn(fc *fnCode, args []Val) (rv Val, rerr error) {
 			executed--
 			stepsBias++
 			return Val{}, fmt.Errorf("vm: step budget exceeded")
+		}
+		if prof != nil {
+			// Delta sampling: everything added since the previous dispatch
+			// (its fixed cost, penalties, handler-internal additions, a
+			// callee's CallBase) belongs to the previously executed pc.
+			if m.profLast >= 0 {
+				prof[m.profLast].cycles += cycles - m.profBase
+			}
+			m.profBase = cycles
+			m.profLast = profOff + pc
+			prof[profOff+pc].retired++
 		}
 		if pen != 0 {
 			cycles += pen

@@ -55,7 +55,7 @@ int main() {
   }
   for (int j = 0; j < NY; j++)
     p[j] = (double)(j % 5) * 0.25;
-  for (int rep = 0; rep < 8; rep++)
+  for (int rep = 0; rep < 16; rep++)
     kernel_bicg(NX, NY, A, s, q, p, r);
   double sum = 0.0;
   for (int j = 0; j < NY; j++)
