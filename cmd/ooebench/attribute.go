@@ -55,14 +55,32 @@ type benefitPair struct {
 
 // attribute runs every Table 4 kernel under both configurations with
 // the cycle profiler on, diffs the per-function profiles, and joins the
-// savings against π-pair provenance. Writes BENCH_attribution.json.
+// savings against π-pair provenance. The interprocedural kernels ride
+// along with their own A/B pair — summaries vs. the call barrier, both
+// inline-off — so the artifact also prices what π-through-summaries
+// buys. Writes BENCH_attribution.json.
 func attribute() error {
 	fmt.Println("== Benefit attribution: per-function cycle deltas joined to π-pair provenance ==")
 	out := benefitJSON{Schema: "ooelala-benefit/v1", Engine: driver.EngineVM}
+	type job struct {
+		p        workload.Program
+		base, ab driver.Config
+	}
+	jobs := make([]job, 0, 8)
 	for _, p := range workload.PolybenchKernels() {
-		k, err := attributeKernel(p)
+		jobs = append(jobs, job{p,
+			driver.Config{OOElala: false, Files: workload.Files()},
+			driver.Config{OOElala: true, Files: workload.Files()}})
+	}
+	for _, p := range workload.InterprocKernels() {
+		jobs = append(jobs, job{p,
+			driver.Config{OOElala: true, Files: workload.Files(), PassOptions: noInlineOptions(false)},
+			driver.Config{OOElala: true, Files: workload.Files(), PassOptions: noInlineOptions(true)}})
+	}
+	for _, j := range jobs {
+		k, err := attributeKernel(j.p, j.base, j.ab)
 		if err != nil {
-			return fmt.Errorf("%s: %w", p.Name, err)
+			return fmt.Errorf("%s: %w", j.p.Name, err)
 		}
 		out.Kernels = append(out.Kernels, *k)
 		fmt.Printf("%-12s base %14.0f  ooelala %14.0f  saved %12.0f (%.2f%%)\n",
@@ -99,20 +117,17 @@ func attribute() error {
 	return nil
 }
 
-func attributeKernel(p workload.Program) (*benefitKernel, error) {
-	// Baseline leg is untracked; the OOElala leg carries a private
+func attributeKernel(p workload.Program, baseCfg, optCfg driver.Config) (*benefitKernel, error) {
+	// Baseline leg is untracked; the optimized leg carries a private
 	// remark-collecting session so the join below sees exactly this
 	// kernel's remarks regardless of the process-wide telemetry flags.
-	base, err := driver.Compile(p.Name, p.Source, driver.Config{
-		OOElala: false, Files: workload.Files(),
-	})
+	base, err := driver.Compile(p.Name, p.Source, baseCfg)
 	if err != nil {
 		return nil, fmt.Errorf("baseline compile: %w", err)
 	}
 	atel := telemetry.New(telemetry.Config{Metrics: true, Remarks: true})
-	opt, err := driver.Compile(p.Name, p.Source, driver.Config{
-		OOElala: true, Files: workload.Files(), Telemetry: atel,
-	})
+	optCfg.Telemetry = atel
+	opt, err := driver.Compile(p.Name, p.Source, optCfg)
 	if err != nil {
 		return nil, fmt.Errorf("ooelala compile: %w", err)
 	}

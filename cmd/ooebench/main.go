@@ -35,6 +35,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/ooe"
 	"repro/internal/parser"
+	"repro/internal/passes"
 	"repro/internal/sanitizer"
 	"repro/internal/sema"
 	"repro/internal/telemetry"
@@ -48,8 +49,9 @@ var tel *telemetry.Session
 // benchJSON is the -json artifact: the machine-readable rows of the
 // runtime tables.
 type benchJSON struct {
-	Table4 []table4Row `json:"table4,omitempty"`
-	Table6 []table6Row `json:"table6,omitempty"`
+	Table4    []table4Row    `json:"table4,omitempty"`
+	Table6    []table6Row    `json:"table6,omitempty"`
+	Interproc []interprocRow `json:"interproc,omitempty"`
 }
 
 type table4Row struct {
@@ -67,6 +69,18 @@ type table6Row struct {
 	PaperDeltaPct float64 `json:"paperDeltaPct"`
 }
 
+// interprocRow is one inline-off A/B measurement: the same unseq-O3
+// pipeline with call-site mod/ref resolved through bottom-up summaries
+// vs. the legacy call barrier.
+type interprocRow struct {
+	Bench          string  `json:"bench"`
+	CyclesBarrier  float64 `json:"cyclesBarrier"`
+	CyclesSummary  float64 `json:"cyclesSummaries"`
+	DeltaPct       float64 `json:"deltaPct"`
+	SummaryNoAlias int     `json:"summaryNoAlias"`
+	AuditedQueries int     `json:"auditedViaSummary"`
+}
+
 var benchOut benchJSON
 
 func main() {
@@ -75,6 +89,8 @@ func main() {
 	t4 := flag.Bool("table4", false, "reproduce Table 4")
 	t5 := flag.Bool("table5", false, "reproduce Table 5")
 	t6 := flag.Bool("table6", false, "reproduce Table 6")
+	ip := flag.Bool("interproc-ab", false,
+		"run the inline-off interprocedural A/B: call-site mod/ref via bottom-up summaries vs the call barrier")
 	f2 := flag.Bool("fig2", false, "reproduce Fig. 2 case studies")
 	intro := flag.Bool("intro", false, "reproduce the introduction examples")
 	ub := flag.Bool("ubsan", false, "run the sanitizer sweep (§4.2.3)")
@@ -130,6 +146,7 @@ func main() {
 	run(*f2, fig2)
 	run(*t5, table5)
 	run(*t6, table6)
+	run(*ip, interprocTable)
 	run(*ub, ubsanSweep)
 	run(*attr, attribute)
 	if *profKernel != "" {
@@ -361,6 +378,71 @@ func table6() error {
 		100*(base-ooeC)/base, 0.064)
 	fmt.Printf("%-10s %14.0f %14.0f %+10.3f %+10.3f\n", "w/o perl", baseNP, ooeNP,
 		100*(baseNP-ooeNP)/baseNP, 0.147)
+	return nil
+}
+
+// noInlineOptions builds -O3 pass options with inlining defeated
+// (threshold 0: every callee is over budget) and the summary tier
+// toggled, so the A/B isolates call-site mod/ref resolution.
+func noInlineOptions(interproc bool) *passes.Options {
+	opts := passes.DefaultOptions()
+	opts.InlineThreshold = 0
+	opts.InterprocSummaries = interproc
+	return &opts
+}
+
+// interprocTable measures the inline-off interprocedural kernels under
+// both call-site disciplines. Both legs run the unseq-O3 pipeline; only
+// how a call's mod/ref is answered differs. The audit column counts
+// queries the summary provider issued that unseq-aa decided — the
+// π-pairs-across-call-boundaries mechanism, observable end to end.
+func interprocTable() error {
+	fmt.Println("== Interprocedural A/B: summaries vs call barrier (inlining off) ==")
+	fmt.Printf("%-10s %14s %14s %10s %10s %12s\n",
+		"bench", "barrier", "summaries", "delta%", "π-noalias", "via-summary")
+	for _, p := range workload.InterprocKernels() {
+		bar, err := driver.Compile(p.Name, p.Source, driver.Config{
+			OOElala: true, Files: workload.Files(), PassOptions: noInlineOptions(false),
+		})
+		if err != nil {
+			return fmt.Errorf("%s barrier: %w", p.Name, err)
+		}
+		atel := telemetry.New(telemetry.Config{Metrics: true, Audit: true})
+		sum, err := driver.Compile(p.Name, p.Source, driver.Config{
+			OOElala: true, Files: workload.Files(), PassOptions: noInlineOptions(true),
+			Telemetry: atel,
+		})
+		if err != nil {
+			return fmt.Errorf("%s summaries: %w", p.Name, err)
+		}
+		rBar, cyBar, err := bar.Run("")
+		if err != nil {
+			return fmt.Errorf("%s barrier run: %w", p.Name, err)
+		}
+		rSum, cySum, err := sum.Run("")
+		if err != nil {
+			return fmt.Errorf("%s summaries run: %w", p.Name, err)
+		}
+		if rBar != rSum {
+			return fmt.Errorf("%s MISCOMPILE: barrier=%d summaries=%d", p.Name, rBar, rSum)
+		}
+		audited := 0
+		for _, q := range atel.Snapshot().AliasQueries {
+			if q.ViaSummary && q.UnseqDecided {
+				audited++
+			}
+		}
+		row := interprocRow{
+			Bench: p.Name, CyclesBarrier: cyBar, CyclesSummary: cySum,
+			SummaryNoAlias: sum.AAStats.SummaryNoAlias, AuditedQueries: audited,
+		}
+		if cyBar > 0 {
+			row.DeltaPct = 100 * (cyBar - cySum) / cyBar
+		}
+		benchOut.Interproc = append(benchOut.Interproc, row)
+		fmt.Printf("%-10s %14.0f %14.0f %+10.3f %10d %12d\n",
+			p.Name, cyBar, cySum, row.DeltaPct, row.SummaryNoAlias, audited)
+	}
 	return nil
 }
 

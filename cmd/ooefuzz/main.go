@@ -41,6 +41,10 @@ func main() {
 		quiet   = flag.Bool("q", false, "suppress per-crash progress lines")
 		cross   = flag.Bool("cross-engine", false,
 			"run every leg on both the bytecode vm and the tree-walking oracle and flag any divergence")
+		inlineOff = flag.Bool("inline-off", false,
+			"add -O3 legs with inlining defeated, so call-site mod/ref resolves through interprocedural summaries")
+		callBias = flag.Float64("callbias", -1,
+			"probability a statement is a standalone helper call (negative = generator default)")
 	)
 	ef := driver.RegisterEngineFlag(flag.CommandLine)
 	obs := obsserver.RegisterFlags(flag.CommandLine)
@@ -77,6 +81,9 @@ func main() {
 	if *stmts > 0 {
 		cfg.MaxStmts = *stmts
 	}
+	if *callBias >= 0 {
+		cfg.CallBias = *callBias
+	}
 	opts := fuzz.RunOpts{
 		N:           *n,
 		Seed:        *seed,
@@ -84,6 +91,7 @@ func main() {
 		Reduce:      *reduce,
 		Strict:      *strict,
 		CrossEngine: *cross,
+		InlineOff:   *inlineOff,
 		Explore:     csem.ExploreOpts{MaxOrders: *orders, Seed: *seed},
 	}
 	if !*quiet {

@@ -80,13 +80,13 @@ func TestExitCodes(t *testing.T) {
 	})
 
 	t.Run("strict-miss-is-one", func(t *testing.T) {
-		// Seed 9001 at racy bias 0.3 deterministically generates a racy
+		// Seed 9005 at racy bias 0.3 deterministically generates a racy
 		// program the sanitizer misses; -strict promotes that to a finding.
-		stdout, _, exit := runCmd(t, bin, "-n", "1", "-seed", "9001", "-racy", "0.3", "-strict", "-q")
+		stdout, _, exit := runCmd(t, bin, "-n", "1", "-seed", "9005", "-racy", "0.3", "-strict", "-q")
 		if exit != 1 {
 			t.Fatalf("exit = %d, want 1\n%s", exit, stdout)
 		}
-		if !strings.Contains(stdout, "CRASH seed=9001 kind=sanitizer-miss") {
+		if !strings.Contains(stdout, "CRASH seed=9005 kind=sanitizer-miss") {
 			t.Errorf("missing crash line:\n%s", stdout)
 		}
 	})
@@ -127,12 +127,12 @@ func TestCrashReportFiles(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "corpus")
 	stdout, _, exit := runCmd(t, bin,
-		"-n", "1", "-seed", "9001", "-racy", "0.3", "-strict", "-out", out, "-q")
+		"-n", "1", "-seed", "9005", "-racy", "0.3", "-strict", "-out", out, "-q")
 	if exit != 1 {
 		t.Fatalf("exit = %d, want 1\n%s", exit, stdout)
 	}
 
-	data, err := os.ReadFile(filepath.Join(out, "crash-seed9001.json"))
+	data, err := os.ReadFile(filepath.Join(out, "crash-seed9005.json"))
 	if err != nil {
 		t.Fatalf("crash report not written: %v", err)
 	}
@@ -163,7 +163,7 @@ func TestCrashReportFiles(t *testing.T) {
 		t.Error("finding missing detail")
 	}
 
-	src, err := os.ReadFile(filepath.Join(out, "crash-seed9001.c"))
+	src, err := os.ReadFile(filepath.Join(out, "crash-seed9005.c"))
 	if err != nil {
 		t.Fatalf(".c companion not written: %v", err)
 	}

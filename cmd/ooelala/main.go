@@ -28,6 +28,10 @@
 //	-folded        write folded flamegraph stack lines of the run leg (implies -run)
 //	-crash-dir     directory for crash-<unit>.json flight-recorder dumps
 //	-explain       print per-full-expression ω/θ/γ/π sets and π-pair consumption
+//	-interproc     resolve call-site mod/ref through bottom-up summaries (default true)
+//	-inline-threshold  inliner size cutoff (0 = never inline; -1 = pipeline default)
+//	-print-callgraph  print the module call graph with bottom-up SCC order
+//	-print-summaries  print the per-function interprocedural summaries
 //	-j N           per-function compilation parallelism (0 = GOMAXPROCS)
 //	-D name=value  predefine an object-like macro (repeatable)
 //	-passes        comma-separated middle-end pass pipeline (default: the O3 sequence)
@@ -70,6 +74,8 @@ func main() {
 	run := flag.Bool("run", false, "execute main() and report result + cycles")
 	compare := flag.Bool("compare", false, "run under both configurations and report the speedup")
 	dumpIR := flag.Bool("dump-ir", false, "print the optimized IR")
+	printCG := flag.Bool("print-callgraph", false, "print the module call graph with bottom-up SCC order")
+	printSums := flag.Bool("print-summaries", false, "print the per-function interprocedural mod/ref + π summaries")
 	jobs := flag.Int("j", 0, "per-function compilation parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	pf := driver.RegisterPassFlags(flag.CommandLine)
 	ef := driver.RegisterEngineFlag(flag.CommandLine)
@@ -124,12 +130,14 @@ func main() {
 	}
 	defer obsHandle.Close()
 	cfg := driver.Config{
-		OOElala:   !*baseline,
-		NoOpt:     *noOpt,
-		Files:     workload.Files(),
-		Defines:   defines,
-		Jobs:      *jobs,
-		Telemetry: tel,
+		OOElala:       !*baseline,
+		NoOpt:         *noOpt,
+		Files:         workload.Files(),
+		Defines:       defines,
+		Jobs:          *jobs,
+		Telemetry:     tel,
+		DumpCallGraph: *printCG,
+		DumpSummaries: *printSums,
 	}
 	if *autoAnnotate {
 		rep, err := annotate.Validate(path, string(src), workload.Files())
@@ -178,6 +186,12 @@ func main() {
 		if err := driver.Explain(os.Stdout, c, tel.Snapshot()); err != nil {
 			fatal(err)
 		}
+	}
+	if *printCG {
+		fmt.Print(c.CallGraphText)
+	}
+	if *printSums {
+		fmt.Print(c.SummariesText)
 	}
 	if *dumpIR {
 		fmt.Print(c.Module.String())

@@ -49,6 +49,22 @@ type Stats struct {
 	// every other analysis in the chain said MayAlias — the paper's
 	// "additional must-not-alias responses".
 	UnseqNoAlias int
+	// SummaryNoAlias counts NoAlias answers to queries issued inside a
+	// CallModRef resolution — the interprocedural-summary sub-queries
+	// that let a transform cross a call site. A subset of NoAlias.
+	SummaryNoAlias int
+}
+
+// Add accumulates other into s (the scheduler's ordered fan-in and the
+// driver both merge per-function stats through it).
+func (s *Stats) Add(other Stats) {
+	s.Queries += other.Queries
+	s.NoAlias += other.NoAlias
+	s.MayAlias += other.MayAlias
+	s.MustAlias += other.MustAlias
+	s.PartialAlias += other.PartialAlias
+	s.UnseqNoAlias += other.UnseqNoAlias
+	s.SummaryNoAlias += other.SummaryNoAlias
 }
 
 // Attribution describes how a query (or a window of queries) was
@@ -71,6 +87,15 @@ type Manager struct {
 	unseq    *UnseqAA // may be nil
 	Stats    Stats
 
+	// fn is the function whose accesses the chain reasons about;
+	// summaries is the module's interprocedural table (nil = every call
+	// is a clobber-everything barrier). inSummary flags queries issued
+	// from inside CallModRef for the SummaryNoAlias stat and the audit
+	// log's viaSummary attribute.
+	fn        *ir.Func
+	summaries *Summaries
+	inSummary bool
+
 	// last describes the most recent query; window accumulates since
 	// ResetWindow — passes bracket a transform candidate's legality
 	// queries with ResetWindow/Window to attribute the transform.
@@ -89,7 +114,7 @@ type Manager struct {
 // NewManager builds the default chain: basic-aa, tbaa, and (optionally)
 // unseq-aa.
 func NewManager(fn *ir.Func, unseq bool) *Manager {
-	m := &Manager{}
+	m := &Manager{fn: fn}
 	m.analyses = append(m.analyses, NewBasicAA(fn))
 	m.analyses = append(m.analyses, NewRestrictAA(fn))
 	m.analyses = append(m.analyses, NewTBAA())
@@ -103,11 +128,114 @@ func NewManager(fn *ir.Func, unseq bool) *Manager {
 // Refresh rebuilds analysis caches after a transform invalidates them
 // (e.g. unrolling cloned intrinsics, new allocas).
 func (m *Manager) Refresh(fn *ir.Func) {
+	m.fn = fn
 	m.analyses[0] = NewBasicAA(fn)
 	m.analyses[1] = NewRestrictAA(fn)
 	if m.unseq != nil {
 		m.unseq.Rebuild(fn)
+		m.unseq.Propagate(fn, m.summaries)
 	}
+}
+
+// SetSummaries attaches the module's interprocedural summary table:
+// CallModRef starts answering from it, and callee-exported π facts are
+// registered on the call arguments in unseq-aa (π-set propagation
+// through arguments).
+func (m *Manager) SetSummaries(s *Summaries) {
+	m.summaries = s
+	if m.unseq != nil {
+		m.unseq.Propagate(m.fn, s)
+	}
+}
+
+// HasSummaries reports whether an interprocedural table is attached.
+func (m *Manager) HasSummaries() bool { return m.summaries != nil }
+
+// Summaries returns the attached table (nil when interprocedural
+// analysis is off).
+func (m *Manager) Summaries() *Summaries { return m.summaries }
+
+// CallReadNone reports whether the callee's summary proves the call
+// touches no caller-visible memory at all — no queries needed.
+func (m *Manager) CallReadNone(call *ir.Instr) bool {
+	fs := m.summaries.ForCall(call)
+	return fs != nil && fs.Empty()
+}
+
+// CallModRef resolves a call instruction's effect on loc through the
+// callee's summary: the Unknown bucket applies unconditionally, global
+// effects apply unless the chain proves loc NoAlias with the global,
+// and per-parameter effects apply unless the chain proves loc NoAlias
+// with the actual argument (value-exact for direct accesses — where a
+// caller π pair over the argument answers — and WholeObject for wide
+// ones). Without a summary (indirect call, unknown external, no table
+// attached) the answer is the legacy barrier, ModRefEffect.
+//
+// Sub-queries run through the ordinary chain in deterministic order,
+// so stats, audit records, and the attribution window accumulate
+// exactly as direct queries do; afterwards Last() carries the first
+// unseq-decided sub-query's attribution (the π pair that crossed the
+// call), or a zero Attribution if none did.
+func (m *Manager) CallModRef(call *ir.Instr, loc Location) Effect {
+	if call == nil || call.Op != ir.OpCall || m.summaries == nil {
+		return ModRefEffect
+	}
+	fs := m.summaries.ForCall(call)
+	if fs == nil {
+		m.last = Attribution{}
+		return ModRefEffect
+	}
+	if loc.Ptr == nil {
+		m.last = Attribution{}
+		if fs.Empty() {
+			return 0
+		}
+		return ModRefEffect
+	}
+	m.inSummary = true
+	var att Attribution
+	eff := fs.Unknown
+	for _, ge := range fs.Globals {
+		if eff == ModRefEffect {
+			break
+		}
+		if ge.Eff&^eff == 0 {
+			continue
+		}
+		gsize := ge.Global.Size
+		if gsize <= 0 {
+			gsize = 8
+		}
+		if m.Alias(loc, Location{Ptr: ge.Global, Size: gsize}) != NoAlias {
+			eff |= ge.Eff
+		} else if m.last.UnseqDecided && !att.UnseqDecided {
+			att = m.last
+		}
+	}
+	for i, pe := range fs.Params {
+		if eff == ModRefEffect {
+			break
+		}
+		if pe.Eff == 0 || pe.Eff&^eff == 0 {
+			continue
+		}
+		if i >= len(call.Args) {
+			eff |= pe.Eff
+			continue
+		}
+		q := Location{Ptr: call.Args[i], Size: WholeObject}
+		if !pe.Wide {
+			q.Size, q.Cls = pe.DirectSize, pe.DirectCls
+		}
+		if m.Alias(loc, q) != NoAlias {
+			eff |= pe.Eff
+		} else if m.last.UnseqDecided && !att.UnseqDecided {
+			att = m.last
+		}
+	}
+	m.inSummary = false
+	m.last = att
+	return eff
 }
 
 // Unseq exposes the unseq-aa instance (nil when disabled).
@@ -166,6 +294,9 @@ func (m *Manager) Alias(a, b Location) Result {
 				}
 			}
 			m.Stats.NoAlias++
+			if m.inSummary {
+				m.Stats.SummaryNoAlias++
+			}
 			return NoAlias
 		}
 		if r > best {

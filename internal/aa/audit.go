@@ -33,7 +33,11 @@ func (m *Manager) SetPass(pass string) string {
 
 // locString renders a memory location for the audit log.
 func locString(l Location) string {
-	s := ir.ValueName(l.Ptr) + " [" + strconv.Itoa(l.Size) + "B]"
+	sz := strconv.Itoa(l.Size) + "B"
+	if l.Size == WholeObject {
+		sz = "whole-object"
+	}
+	s := ir.ValueName(l.Ptr) + " [" + sz + "]"
 	if l.Cls != ir.Void {
 		s += " " + l.Cls.String()
 	}
@@ -48,11 +52,12 @@ func (m *Manager) aliasAudited(a, b Location) Result {
 	m.Stats.Queries++
 	m.last = Attribution{}
 	q := telemetry.AliasQuery{
-		Pass:     m.pass,
-		Function: m.fname,
-		LocA:     locString(a),
-		LocB:     locString(b),
-		Chain:    make([]telemetry.ProviderVerdict, 0, len(m.analyses)),
+		Pass:       m.pass,
+		Function:   m.fname,
+		LocA:       locString(a),
+		LocB:       locString(b),
+		ViaSummary: m.inSummary,
+		Chain:      make([]telemetry.ProviderVerdict, 0, len(m.analyses)),
 	}
 	best := MayAlias
 	othersBest := MayAlias
@@ -76,6 +81,9 @@ func (m *Manager) aliasAudited(a, b Location) Result {
 				}
 			}
 			m.Stats.NoAlias++
+			if m.inSummary {
+				m.Stats.SummaryNoAlias++
+			}
 			q.Decider = an.Name()
 			best = NoAlias
 			decided = true

@@ -163,6 +163,13 @@ func (ba *BasicAA) Alias(a, b Location) Result {
 		return MayAlias
 	}
 
+	// A whole-object extent (interprocedural wide access) reaches any
+	// offset within the shared base: only the distinct-object reasoning
+	// above applies, never the offset arithmetic below.
+	if a.Size == WholeObject || b.Size == WholeObject {
+		return MayAlias
+	}
+
 	// Same base: a const-offset access below a field whose variable index
 	// is provably non-negative cannot overlap it (LLVM basic-aa's
 	// non-negative GEP reasoning; resolves coder->pos vs

@@ -53,6 +53,44 @@ func (u *UnseqAA) Rebuild(fn *ir.Func) {
 	}
 }
 
+// Propagate registers derived facts from interprocedural summaries: at
+// every direct call whose callee exports a π pair over two pointer
+// parameters (an entry-block fact, so it holds whenever the call
+// executes), the corresponding pair of actual arguments must not alias
+// in this function either. The derived pair keeps the callee
+// predicate's provenance id, so attribution reaches back to the
+// original CANT_ALIAS annotation. A no-op without summaries.
+func (u *UnseqAA) Propagate(fn *ir.Func, sums *Summaries) {
+	if fn == nil || sums == nil {
+		return
+	}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpCall {
+				continue
+			}
+			fs := sums.ForCall(in)
+			if fs == nil {
+				continue
+			}
+			for _, p := range fs.PiPairs {
+				if p.I >= len(in.Args) || p.J >= len(in.Args) {
+					continue
+				}
+				a := resolveCopies(in.Args[p.I])
+				c := resolveCopies(in.Args[p.J])
+				if a == c {
+					continue
+				}
+				key := normPair(a, c)
+				if _, ok := u.pairs[key]; !ok {
+					u.pairs[key] = p.Meta
+				}
+			}
+		}
+	}
+}
+
 // LastMeta returns the predicate provenance id behind the most recent
 // NoAlias answer.
 func (u *UnseqAA) LastMeta() int { return u.lastMeta }
@@ -100,6 +138,12 @@ func (*UnseqAA) Name() string { return "unseq-aa" }
 
 // Alias implements Analysis.
 func (u *UnseqAA) Alias(a, b Location) Result {
+	if a.Size == WholeObject || b.Size == WholeObject {
+		// A whole-object query stands for accesses at arbitrary offsets
+		// from the pointer; a π fact covers only the registered values'
+		// own accesses, so it must not answer.
+		return MayAlias
+	}
 	pa := resolveCopies(a.Ptr)
 	pb := resolveCopies(b.Ptr)
 	if pa == pb {

@@ -63,6 +63,16 @@ type Config struct {
 	// written when a pass panics. Empty uses the process default
 	// (SetDefaultCrashDir, else the current directory).
 	CrashDir string
+	// DumpCallGraph / DumpSummaries capture the pre-pipeline module call
+	// graph and the bottom-up interprocedural summaries as text into
+	// Compilation.CallGraphText / SummariesText (-print-callgraph,
+	// -print-summaries).
+	DumpCallGraph bool
+	DumpSummaries bool
+	// WantFuncKeys captures per-function content keys — function body +
+	// reachable callee summaries, the compile service's sub-TU cache
+	// identities — into Compilation.FuncKeys.
+	WantFuncKeys bool
 }
 
 // FrontendStats are the AST-level analysis counts (Table 5, cols 3-4).
@@ -99,6 +109,14 @@ type Compilation struct {
 	UniqueFinalPreds int
 	// UBChecks counts sanitizer checks emitted.
 	UBChecks int
+
+	// CallGraphText / SummariesText are the pre-pipeline call graph and
+	// interprocedural summary renderings (set by Config.DumpCallGraph /
+	// DumpSummaries). FuncKeys are the per-function content keys (set by
+	// Config.WantFuncKeys).
+	CallGraphText string
+	SummariesText string
+	FuncKeys      []passes.FuncKey
 
 	cfg Config
 
@@ -187,6 +205,23 @@ func Compile(name, src string, cfg Config) (*Compilation, error) {
 	if cfg.NoOpt || cfg.Sanitize {
 		// The paper limits the sanitizer to unoptimized IR.
 		popts.OptLevel = 0
+	}
+	if cfg.DumpCallGraph || cfg.DumpSummaries || cfg.WantFuncKeys {
+		// Force the module analyses now, against the pre-pipeline module
+		// (they are defined on that snapshot); RunModule reuses the same
+		// cached results through popts.ModuleAnalyses.
+		ma := passes.NewModuleAnalyses(mod)
+		popts.ModuleAnalyses = ma
+		if cfg.DumpCallGraph {
+			c.CallGraphText = ma.CallGraph().String()
+		}
+		if cfg.DumpSummaries {
+			c.SummariesText = ma.Summaries().String()
+		}
+		if cfg.WantFuncKeys {
+			popts.WantFuncKeys = true
+			c.FuncKeys = ma.FuncKeys()
+		}
 	}
 	stop = tel.Span("phase/opt")
 	pstats, perr := passes.RunModule(mod, popts, &c.AAStats)

@@ -16,21 +16,29 @@ import (
 // the caller supplied an explicit Config.PassOptions value for the
 // corresponding field.
 type passDefaults struct {
-	pipeline     *passes.Pipeline
-	verifyEach   bool
-	printChanged io.Writer
+	pipeline        *passes.Pipeline
+	verifyEach      bool
+	printChanged    io.Writer
+	interprocOff    bool
+	inlineThreshold int
 }
 
 var defaultPassCfg atomic.Pointer[passDefaults]
 
 // SetDefaultPassConfig installs process-wide pipeline defaults. Call it
 // once, before compiling. A nil pipeline leaves the built-in default;
-// a nil printChanged leaves the mode off.
-func SetDefaultPassConfig(pipeline *passes.Pipeline, verifyEach bool, printChanged io.Writer) {
+// a nil printChanged leaves the mode off; interprocOff disables the
+// bottom-up call-graph summary tier (-interproc=false); a non-negative
+// inlineThreshold overrides the inliner's size cutoff (0 defeats
+// inlining entirely, keeping every call site live for the summary
+// tier), while -1 leaves the pipeline default.
+func SetDefaultPassConfig(pipeline *passes.Pipeline, verifyEach bool, printChanged io.Writer, interprocOff bool, inlineThreshold int) {
 	defaultPassCfg.Store(&passDefaults{
-		pipeline:     pipeline,
-		verifyEach:   verifyEach,
-		printChanged: printChanged,
+		pipeline:        pipeline,
+		verifyEach:      verifyEach,
+		printChanged:    printChanged,
+		interprocOff:    interprocOff,
+		inlineThreshold: inlineThreshold,
 	})
 }
 
@@ -50,14 +58,23 @@ func applyDefaultPassConfig(opts *passes.Options) {
 	if opts.PrintChanged == nil {
 		opts.PrintChanged = d.printChanged
 	}
+	if d.interprocOff {
+		opts.InterprocSummaries = false
+	}
+	if d.inlineThreshold >= 0 {
+		opts.InlineThreshold = d.inlineThreshold
+	}
 }
 
 // PassFlags carries the shared middle-end pipeline flags each CLI
-// registers: -passes, -verify-each, -print-changed.
+// registers: -passes, -verify-each, -print-changed, -interproc,
+// -inline-threshold.
 type PassFlags struct {
-	Spec         string
-	VerifyEach   bool
-	PrintChanged bool
+	Spec            string
+	VerifyEach      bool
+	PrintChanged    bool
+	Interproc       bool
+	InlineThreshold int
 }
 
 // RegisterPassFlags registers the pipeline flags on fs.
@@ -69,6 +86,10 @@ func RegisterPassFlags(fs *flag.FlagSet) *PassFlags {
 		"run the IR verifier after every pass; fail at the first broken invariant")
 	fs.BoolVar(&pf.PrintChanged, "print-changed", false,
 		"print a function's IR after every pass that changed it (forces -j 1)")
+	fs.BoolVar(&pf.Interproc, "interproc", true,
+		"resolve call-site mod/ref through bottom-up call-graph summaries (false = every unknown call is a read+write barrier)")
+	fs.IntVar(&pf.InlineThreshold, "inline-threshold", -1,
+		"inliner size cutoff in IR instructions (0 = never inline, keeping call sites live for the summary tier; -1 = pipeline default)")
 	return pf
 }
 
@@ -82,6 +103,6 @@ func (pf *PassFlags) Apply() error {
 	if pf.PrintChanged {
 		w = os.Stderr
 	}
-	SetDefaultPassConfig(pipe, pf.VerifyEach, w)
+	SetDefaultPassConfig(pipe, pf.VerifyEach, w, !pf.Interproc, pf.InlineThreshold)
 	return nil
 }

@@ -21,6 +21,9 @@ type RunOpts struct {
 	// CrossEngine cross-checks every leg on the bytecode vm against the
 	// tree-walking oracle (see HarnessOpts.CrossEngine).
 	CrossEngine bool
+	// InlineOff adds the inline-defeated interprocedural cohort (see
+	// HarnessOpts.InlineOff).
+	InlineOff bool
 	// Explore bounds the reference-order exploration per program.
 	Explore csem.ExploreOpts
 	// Progress, if set, receives one line per event worth narrating.
@@ -54,7 +57,8 @@ func Run(opts RunOpts) *RunStats {
 	if say == nil {
 		say = func(string) {}
 	}
-	hopts := HarnessOpts{Explore: opts.Explore, Strict: opts.Strict, CrossEngine: opts.CrossEngine}
+	hopts := HarnessOpts{Explore: opts.Explore, Strict: opts.Strict,
+		CrossEngine: opts.CrossEngine, InlineOff: opts.InlineOff}
 	for i := 0; i < opts.N; i++ {
 		if opts.Stop != nil && opts.Stop() {
 			say(fmt.Sprintf("stopped after %d programs", stats.Programs))

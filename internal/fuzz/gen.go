@@ -29,6 +29,12 @@ type Config struct {
 	// RacyBias is the probability that a full expression deliberately
 	// introduces an unsequenced race (making the program UB).
 	RacyBias float64
+	// CallBias is the probability that a statement position emits a
+	// standalone helper call instead of the usual statement mix —
+	// the knob that makes programs call-heavy enough to exercise the
+	// interprocedural summary tier (pointer-param helpers called with
+	// addresses of distinct objects).
+	CallBias float64
 	// Structs/Calls/Loops gate those features.
 	Structs bool
 	Calls   bool
@@ -37,7 +43,7 @@ type Config struct {
 
 // DefaultConfig is the harness's standard generator shape.
 func DefaultConfig() Config {
-	return Config{MaxStmts: 10, MaxDepth: 4, Structs: true, Calls: true, Loops: true}
+	return Config{MaxStmts: 10, MaxDepth: 4, CallBias: 0.2, Structs: true, Calls: true, Loops: true}
 }
 
 // ctype is the generator's view of a C scalar type.
@@ -87,6 +93,7 @@ type funcInfo struct {
 	name     string
 	nparams  int
 	restrict bool // params are int *restrict; must get distinct objects
+	ptr      bool // first param is int *; reads and writes its pointee
 }
 
 // expr is the generator's typed AST node.
@@ -290,6 +297,16 @@ func (g *Generator) program() (string, bool) {
 			b.WriteString("int fr(int *restrict p, int *restrict q) { *p = *p + 1; return *p - *q; }\n")
 			g.funcs = append(g.funcs, funcInfo{name: "fr", nparams: 2, restrict: true})
 		}
+		// Pointer-param helpers: read and write through an int* argument,
+		// the shape whose mod/ref only the interprocedural summary tier
+		// can resolve at call sites once inlining is off.
+		np := 1 + g.intn(2)
+		for i := 0; i < np; i++ {
+			name := fmt.Sprintf("fp%d", i)
+			fmt.Fprintf(&b, "int %s(int *p, int y) { *p = *p + y * %d; return *p ^ %d; }\n",
+				name, 1+g.intn(3), g.intn(7))
+			g.funcs = append(g.funcs, funcInfo{name: name, nparams: 2, ptr: true})
+		}
 	}
 
 	// main: locals, pointers, statements, canonical return.
@@ -345,6 +362,13 @@ func (g *Generator) beginFullExpr() {
 // d. The bool reports whether a deliberate race was emitted.
 func (g *Generator) statement(d int) (string, bool) {
 	ind := strings.Repeat("  ", d)
+	// Call-heavy bias: a standalone helper call (often through a
+	// pointer-param helper) instead of the usual statement mix.
+	if g.cfg.Calls && len(g.funcs) > 0 && g.chance(g.cfg.CallBias) {
+		g.beginFullExpr()
+		e := g.callExpr(1)
+		return ind + e.String() + ";\n", g.racy && g.cfg.RacyBias > 0
+	}
 	switch k := g.intn(10); {
 	case k < 4: // expression statement
 		g.beginFullExpr()
@@ -457,6 +481,26 @@ func (g *Generator) pickSETarget() (object, bool) {
 	for tries := 0; tries < 10; tries++ {
 		o := g.scalars[g.intn(len(g.scalars))]
 		if g.racy || (!g.written[o.key] && !g.read[o.key]) {
+			return o, true
+		}
+	}
+	return object{}, false
+}
+
+// pickPtrArg chooses an addressable int-typed scalar a pointer-param
+// helper may be aimed at. The callee both reads and writes the pointee;
+// function execution is indeterminately sequenced (not unsequenced)
+// with the rest of the full expression, but claiming the key for both
+// directions keeps the rest of the discipline conservative.
+func (g *Generator) pickPtrArg() (object, bool) {
+	for tries := 0; tries < 10; tries++ {
+		o := g.scalars[g.intn(len(g.scalars))]
+		if o.typ.unsigned || o.typ.bits != 32 || o.bits != 0 {
+			continue // helper signature is int*; bitfields have no address
+		}
+		if g.racy || (!g.written[o.key] && !g.read[o.key]) {
+			g.written[o.key] = true
+			g.read[o.key] = true
 			return o, true
 		}
 	}
@@ -586,6 +630,14 @@ func (g *Generator) effectfulOperand(depth int) *expr {
 func (g *Generator) callExpr(depth int) *expr {
 	f := g.funcs[g.intn(len(g.funcs))]
 	tInt := ctype{"int", false, 32}
+	if f.ptr {
+		o, ok := g.pickPtrArg()
+		if !ok {
+			return leaf("0", tInt)
+		}
+		args := []*expr{leaf("&"+o.name, o.typ), g.intExpr(depth + 1)}
+		return &expr{kind: "call", kids: append([]*expr{leaf(f.name, tInt)}, args...), typ: tInt}
+	}
 	if f.restrict {
 		// Distinct halves of one array — never aliasing, so the restrict
 		// qualifier is honoured.

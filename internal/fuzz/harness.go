@@ -8,6 +8,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/interp"
 	"repro/internal/parser"
+	"repro/internal/passes"
 	"repro/internal/sema"
 )
 
@@ -76,18 +77,55 @@ type HarnessOpts struct {
 	// bytecode vm and the tree-walking oracle and flags any divergence
 	// in result, cycles, error text, or sanitizer verdict.
 	CrossEngine bool
+	// InlineOff adds the interprocedural cohort: -O3 legs with inlining
+	// defeated, so every helper call survives into the mid-end and the
+	// summary tier (not the inliner) is what must keep the pipelines
+	// inside the reference set.
+	InlineOff bool
 }
 
-// legConfigs are the compiled pipelines every UB-free program is run
-// through. Order matters: j1/j4 are compared pairwise.
-var legConfigs = []struct {
+// legConfig is one compiled pipeline a program is run through.
+type legConfig struct {
 	name string
 	cfg  driver.Config
-}{
+}
+
+// legConfigs are the standard pipelines every UB-free program is run
+// through. Order matters: j1/j4 pairs are compared pairwise.
+var legConfigs = []legConfig{
 	{"O0", driver.Config{NoOpt: true}},
 	{"O3-baseline", driver.Config{}},
 	{"O3-unseq-j1", driver.Config{OOElala: true, Jobs: 1}},
 	{"O3-unseq-j4", driver.Config{OOElala: true, Jobs: 4}},
+}
+
+// jobsPairs are the (sequential, parallel) leg names whose results must
+// be identical — the byte-identity contract observed through values.
+var jobsPairs = [][2]string{
+	{"O3-unseq-j1", "O3-unseq-j4"},
+	{"O3-unseq-noinline-j1", "O3-unseq-noinline-j4"},
+}
+
+// noInlineOptions defeats the inliner (threshold 0: every callee is
+// over budget) while keeping the rest of -O3.
+func noInlineOptions() *passes.Options {
+	opts := passes.DefaultOptions()
+	opts.InlineThreshold = 0
+	return &opts
+}
+
+// legsFor returns the pipelines for one Check run.
+func legsFor(opts HarnessOpts) []legConfig {
+	legs := legConfigs
+	if opts.InlineOff {
+		ni := noInlineOptions()
+		legs = append(legs[:len(legs):len(legs)],
+			legConfig{"O3-base-noinline", driver.Config{PassOptions: ni}},
+			legConfig{"O3-unseq-noinline-j1", driver.Config{OOElala: true, Jobs: 1, PassOptions: ni}},
+			legConfig{"O3-unseq-noinline-j4", driver.Config{OOElala: true, Jobs: 4, PassOptions: ni}},
+		)
+	}
+	return legs
 }
 
 func (o *Outcome) flag(kind, format string, args ...any) {
@@ -140,7 +178,7 @@ func Check(p Program, opts HarnessOpts) *Outcome {
 		allowed[v] = true
 	}
 	values := map[string]int64{}
-	for _, leg := range legConfigs {
+	for _, leg := range legsFor(opts) {
 		lr := LegResult{Name: leg.name}
 		c, err := driver.Compile("fuzz.c", p.Source, leg.cfg)
 		if err != nil {
@@ -187,9 +225,12 @@ func Check(p Program, opts HarnessOpts) *Outcome {
 			}
 		}
 	}
-	if v1, ok1 := values["O3-unseq-j1"]; ok1 {
-		if v4, ok4 := values["O3-unseq-j4"]; ok4 && v1 != v4 {
-			out.flag(KindJobsMismatch, "-j1 returned %d but -j4 returned %d", v1, v4)
+	for _, pair := range jobsPairs {
+		if v1, ok1 := values[pair[0]]; ok1 {
+			if v4, ok4 := values[pair[1]]; ok4 && v1 != v4 {
+				out.flag(KindJobsMismatch, "%s returned %d but %s returned %d",
+					pair[0], v1, pair[1], v4)
+			}
 		}
 	}
 

@@ -1,6 +1,11 @@
 package passes
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+
 	"repro/internal/aa"
 	"repro/internal/ir"
 	"repro/internal/telemetry"
@@ -103,8 +108,11 @@ type AnalysisManager struct {
 
 // newAnalysisManager builds the manager for one function's pipeline
 // run. resolve supplies callee bodies for inlining (nil = the live
-// module).
-func newAnalysisManager(mod *ir.Module, fn *ir.Func, opts *Options, resolve func(string) *ir.Func) *AnalysisManager {
+// module). sums is the module's pre-pipeline interprocedural summary
+// table (nil = calls stay clobber-everything barriers); it is computed
+// once before the function pipelines start and read-only here, which
+// keeps -j1 and -jN byte-identical.
+func newAnalysisManager(mod *ir.Module, fn *ir.Func, opts *Options, resolve func(string) *ir.Func, sums *aa.Summaries) *AnalysisManager {
 	am := &AnalysisManager{
 		mod:     mod,
 		fn:      fn,
@@ -117,6 +125,9 @@ func newAnalysisManager(mod *ir.Module, fn *ir.Func, opts *Options, resolve func
 	}
 	am.mgr = aa.NewManager(fn, opts.UseUnseqAA)
 	am.mgr.AttachAudit(am.tel, mod, fn.Name)
+	if sums != nil {
+		am.mgr.SetSummaries(sums)
+	}
 	return am
 }
 
@@ -200,6 +211,233 @@ func (am *AnalysisManager) Invalidate(p Preserved) {
 // InvalidateUses drops the use-list cache only — for passes that mutate
 // the function while holding other analyses.
 func (am *AnalysisManager) InvalidateUses() { am.valid[AnalysisUses] = false }
+
+// ---------- module-level analyses ----------
+
+// ModuleAnalysisID names one cached module-level analysis.
+type ModuleAnalysisID uint8
+
+const (
+	// ModuleAnalysisCallGraph is the call graph + SCC decomposition.
+	ModuleAnalysisCallGraph ModuleAnalysisID = iota
+	// ModuleAnalysisSummaries is the bottom-up interprocedural summary
+	// table (aa.Summaries), which consumes the call graph's SCC order.
+	ModuleAnalysisSummaries
+
+	numModuleAnalyses
+)
+
+func (id ModuleAnalysisID) String() string {
+	switch id {
+	case ModuleAnalysisCallGraph:
+		return "callgraph"
+	case ModuleAnalysisSummaries:
+		return "summaries"
+	}
+	return "?"
+}
+
+// ModulePreserved is the set of module analyses still valid after a
+// module-shape edit, mirroring the function-level Preserved bitset.
+type ModulePreserved uint8
+
+// ModulePreserveNone invalidates every module analysis — the safe
+// answer whenever the call graph was edited (inlining, dead-function
+// removal).
+const ModulePreserveNone ModulePreserved = 0
+
+// PreserveModule builds a set from explicit IDs.
+func PreserveModule(ids ...ModuleAnalysisID) ModulePreserved {
+	var p ModulePreserved
+	for _, id := range ids {
+		p |= 1 << id
+	}
+	return p
+}
+
+// Has reports whether id is in the set.
+func (p ModulePreserved) Has(id ModuleAnalysisID) bool { return p&(1<<id) != 0 }
+
+// ModuleAnalyses lazily computes and caches module-scoped analyses —
+// the AnalysisManager's module-level tier. Unlike the per-function
+// manager it must be safe for concurrent use: the -j scheduler's
+// workers share one instance. Determinism note: RunModule forces both
+// analyses eagerly *before* the function pipelines start, so every
+// worker reads the same pre-pipeline snapshot regardless of
+// scheduling; laziness only serves ad-hoc consumers (debug dumps,
+// tests).
+type ModuleAnalyses struct {
+	mod *ir.Module
+
+	mu    sync.Mutex
+	cg    *CallGraph
+	sums  *aa.Summaries
+	keys  []FuncKey
+	valid [numModuleAnalyses]bool
+
+	hits, misses [numModuleAnalyses]int64
+}
+
+// NewModuleAnalyses builds the manager for mod.
+func NewModuleAnalyses(mod *ir.Module) *ModuleAnalyses {
+	return &ModuleAnalyses{mod: mod}
+}
+
+// Module returns the analyzed module.
+func (ma *ModuleAnalyses) Module() *ir.Module { return ma.mod }
+
+func (ma *ModuleAnalyses) touch(id ModuleAnalysisID) bool {
+	if ma.valid[id] {
+		ma.hits[id]++
+		return true
+	}
+	ma.misses[id]++
+	ma.valid[id] = true
+	return false
+}
+
+// CallGraph returns the (cached) call graph.
+func (ma *ModuleAnalyses) CallGraph() *CallGraph {
+	ma.mu.Lock()
+	defer ma.mu.Unlock()
+	return ma.callGraphLocked()
+}
+
+func (ma *ModuleAnalyses) callGraphLocked() *CallGraph {
+	if !ma.touch(ModuleAnalysisCallGraph) {
+		ma.cg = BuildCallGraph(ma.mod)
+	}
+	return ma.cg
+}
+
+// Summaries returns the (cached) interprocedural summary table,
+// computed in the call graph's bottom-up SCC order.
+func (ma *ModuleAnalyses) Summaries() *aa.Summaries {
+	ma.mu.Lock()
+	defer ma.mu.Unlock()
+	cg := ma.callGraphLocked()
+	if !ma.touch(ModuleAnalysisSummaries) {
+		ma.sums = aa.BuildSummaries(ma.mod, cg.BottomUp(), pureBuiltin)
+	}
+	return ma.sums
+}
+
+// SnapshotSummaries returns the most recently computed table without
+// recomputing, even if a later Invalidate marked it stale — the dump
+// consumers (-print-summaries) want exactly what the pipelines
+// consumed. Nil if never computed.
+func (ma *ModuleAnalyses) SnapshotSummaries() *aa.Summaries {
+	ma.mu.Lock()
+	defer ma.mu.Unlock()
+	return ma.sums
+}
+
+// SnapshotCallGraph is SnapshotSummaries' call-graph counterpart.
+func (ma *ModuleAnalyses) SnapshotCallGraph() *CallGraph {
+	ma.mu.Lock()
+	defer ma.mu.Unlock()
+	return ma.cg
+}
+
+// Invalidate drops every module analysis not in p. RunModule calls it
+// with ModulePreserveNone after a run whose stats show the call graph
+// was edited (inlined calls or deleted functions); a consumer that
+// re-runs analyses afterwards recomputes them from the current module.
+func (ma *ModuleAnalyses) Invalidate(p ModulePreserved) {
+	ma.mu.Lock()
+	defer ma.mu.Unlock()
+	for id := ModuleAnalysisID(0); id < numModuleAnalyses; id++ {
+		if !p.Has(id) {
+			ma.valid[id] = false
+		}
+	}
+	// ma.keys survives: FuncKeys is defined as a pre-pipeline snapshot
+	// (like SnapshotSummaries), not a live analysis.
+}
+
+// record exports hit/miss counters under the module_analysis/
+// namespace.
+func (ma *ModuleAnalyses) record(tel *telemetry.Session) {
+	if !tel.MetricsEnabled() {
+		return
+	}
+	ma.mu.Lock()
+	defer ma.mu.Unlock()
+	for id := ModuleAnalysisID(0); id < numModuleAnalyses; id++ {
+		tel.Count("module_analysis/hits/"+id.String(), ma.hits[id])
+		tel.Count("module_analysis/misses/"+id.String(), ma.misses[id])
+	}
+}
+
+// FuncKey is one function's content key: a digest of everything the
+// function's pipeline can observe — its own pre-pipeline body, the
+// summaries of every function it can reach (so an edit to a callee
+// invalidates its callers but nobody else), and the source provenance
+// of the π predicates in its body. This is the sub-TU cache identity
+// the compile service keys per-function artifacts on.
+type FuncKey struct {
+	Name string `json:"name"`
+	Key  string `json:"key"`
+}
+
+// FuncKeys computes (and caches) the per-function content keys from
+// the current module state. RunModule calls it before the pipelines
+// mutate anything when Options.WantFuncKeys is set.
+func (ma *ModuleAnalyses) FuncKeys() []FuncKey {
+	ma.mu.Lock()
+	defer ma.mu.Unlock()
+	if ma.keys != nil {
+		return ma.keys
+	}
+	cg := ma.callGraphLocked()
+	if !ma.touch(ModuleAnalysisSummaries) {
+		ma.sums = aa.BuildSummaries(ma.mod, cg.BottomUp(), pureBuiltin)
+	}
+	reach := cg.Reachable()
+	keys := make([]FuncKey, len(ma.mod.Funcs))
+	for i, f := range ma.mod.Funcs {
+		h := sha256.New()
+		field := func(tag, val string) {
+			var n [8]byte
+			binary.LittleEndian.PutUint64(n[:], uint64(len(tag)))
+			h.Write(n[:])
+			h.Write([]byte(tag))
+			binary.LittleEndian.PutUint64(n[:], uint64(len(val)))
+			h.Write(n[:])
+			h.Write([]byte(val))
+		}
+		field("schema", "ooed-funckey/v1")
+		field("body", f.String())
+		// Reachable callees in deterministic (module-index) order: both
+		// the summary (param-level effects and exported π pairs — the
+		// mod/ref surface the caller's pipeline consumes) and the body
+		// (the inliner splices reachable callee bodies verbatim, so any
+		// callee edit is a caller input change even when the summary is
+		// unaffected).
+		for j := range ma.mod.Funcs {
+			if _, ok := reach[i][j]; ok {
+				cf := ma.mod.Funcs[j]
+				field("callee:"+cf.Name, ma.sums.Of(cf.Name).String())
+				field("calleebody:"+cf.Name, cf.String())
+			}
+		}
+		// π provenance: the source spellings behind the Meta ids in this
+		// function's body (remarks/audit render them, so they are part of
+		// the artifact identity).
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpMustNotAlias && in.Meta > 0 {
+					if p := ma.mod.FindProvenance(in.Meta); p != nil {
+						field("pi", p.E1+"|"+p.E2+"|"+p.Span1.String()+"|"+p.Span2.String())
+					}
+				}
+			}
+		}
+		keys[i] = FuncKey{Name: f.Name, Key: hex.EncodeToString(h.Sum(nil))}
+	}
+	ma.keys = keys
+	return keys
+}
 
 // record exports the hit/miss counters to the telemetry registry.
 func (am *AnalysisManager) record() {

@@ -95,6 +95,21 @@ func earlyCSE(mod *ir.Module, f *ir.Func, mgr *aa.Manager, tel *telemetry.Sessio
 				}
 			}
 		}
+		// invalidateCallTable drops only the entries the call's summary
+		// says it may write, instead of clearing the whole table.
+		invalidateCallTable := func(t *memTable, call *ir.Instr) {
+			for _, en := range t.entries {
+				if en.dead {
+					continue
+				}
+				if mgr.CallModRef(call, aa.Location{Ptr: en.ptr, Size: 8})&aa.ModEffect != 0 {
+					t.del(en.ptr)
+				} else if att := mgr.Last(); att.UnseqDecided && !en.e.unseqKept {
+					en.e.unseqKept = true
+					en.e.meta = att.PredicateMeta
+				}
+			}
+		}
 		invalidate := func(writePtr ir.Value, size int) {
 			invalidateTable(loads, writePtr, size)
 			invalidateTable(stored, writePtr, size)
@@ -170,7 +185,12 @@ func earlyCSE(mod *ir.Module, f *ir.Func, mgr *aa.Manager, tel *telemetry.Sessio
 				reads, writes := callEffects(mod, in)
 				_ = reads
 				if writes {
-					invalidate(nil, 0)
+					if mgr.HasSummaries() {
+						invalidateCallTable(loads, in)
+						invalidateCallTable(stored, in)
+					} else {
+						invalidate(nil, 0)
+					}
 				}
 
 			case in.Op == ir.OpMustNotAlias:

@@ -66,9 +66,28 @@ func dse(mod *ir.Module, f *ir.Func, mgr *aa.Manager, tel *telemetry.Session) in
 				// stores here nor read memory.
 			case ir.OpCall:
 				reads, writes := callEffects(mod, in)
-				if reads || writes {
-					pending = nil
+				if !reads && !writes {
+					continue
 				}
+				if !mgr.HasSummaries() {
+					pending = nil
+					continue
+				}
+				// Only a possible read makes a pending store observable.
+				// A call that merely may write the slot leaves the
+				// pending store exactly as dead as a later must-alias
+				// store does: its value is still never loaded.
+				out := pending[:0]
+				for _, p := range pending {
+					if mgr.CallModRef(in, aa.Location{Ptr: p.ptr, Size: p.size})&aa.RefEffect == 0 {
+						if att := mgr.Last(); att.UnseqDecided && !p.unseqKept {
+							p.unseqKept = true
+							p.meta = att.PredicateMeta
+						}
+						out = append(out, p)
+					}
+				}
+				pending = out
 			case ir.OpUBCheck, ir.OpMustNotAlias:
 				// Use only the pointer values, not memory contents.
 			}

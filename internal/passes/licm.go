@@ -86,25 +86,28 @@ func hoistInvariants(mod *ir.Module, f *ir.Func, l *ir.Loop, mgr *aa.Manager, dt
 	hoisted := 0
 
 	// Collect loop memory writes once per round for load hoisting.
-	writesIn := func() []*ir.Instr {
-		var ws []*ir.Instr
+	// Calls that may write are kept separately: with interprocedural
+	// summaries each one gets a per-candidate CallModRef query instead
+	// of vetoing every load hoist in the loop.
+	writesIn := func() (ws, calls []*ir.Instr, ok bool) {
 		for _, in := range loopInstrs(l) {
-			if in.Op == ir.OpStore || in.Op == ir.OpVecStore ||
-				in.Op == ir.OpMemset || in.Op == ir.OpMemcpy {
+			switch in.Op {
+			case ir.OpStore, ir.OpVecStore, ir.OpMemset, ir.OpMemcpy:
 				ws = append(ws, in)
-			}
-			if in.Op == ir.OpCall {
+			case ir.OpCall:
 				if _, w := callEffects(mod, in); w {
-					return nil // unknown write: no load hoisting
+					if !mgr.HasSummaries() {
+						return nil, nil, false // unknown write: no load hoisting
+					}
+					calls = append(calls, in)
 				}
 			}
 		}
-		return ws
+		return ws, calls, true
 	}
 
 	for round := 0; round < 4; round++ {
-		writes := writesIn()
-		writesKnown := writes != nil || !anyCallWrites(mod, l)
+		writes, calls, writesKnown := writesIn()
 		changed := false
 		for _, b := range blocksOf(l) {
 			// Only hoist from blocks that execute on every iteration.
@@ -150,6 +153,14 @@ func hoistInvariants(mod *ir.Module, f *ir.Func, l *ir.Loop, mgr *aa.Manager, dt
 							break
 						}
 					}
+					if canHoist {
+						for _, c := range calls {
+							if mgr.CallModRef(c, aa.Location{Ptr: in.Args[0], Size: accessSize(in), Cls: in.Cls})&aa.ModEffect != 0 {
+								canHoist = false
+								break
+							}
+						}
+					}
 					// The load must execute on every iteration to be safe
 					// to speculate into the preheader.
 					if !execEvery && b != l.Header {
@@ -175,17 +186,6 @@ func hoistInvariants(mod *ir.Module, f *ir.Func, l *ir.Loop, mgr *aa.Manager, dt
 		}
 	}
 	return hoisted
-}
-
-func anyCallWrites(mod *ir.Module, l *ir.Loop) bool {
-	for _, in := range loopInstrs(l) {
-		if in.Op == ir.OpCall {
-			if _, w := callEffects(mod, in); w {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 func insertBeforeTerm(b *ir.Block, in *ir.Instr) {
@@ -221,6 +221,7 @@ func promoteScalars(mod *ir.Module, f *ir.Func, l *ir.Loop, mgr *aa.Manager, dt 
 	groups := map[ir.Value]*group{}
 	var groupOrder []ir.Value
 	var others []*ir.Instr // memory ops not in any group (by pointer)
+	var calls []*ir.Instr  // calls with memory effects, summary-checked per group
 	for _, b := range blocksOf(l) {
 		for _, in := range b.Instrs {
 			switch in.Op {
@@ -258,7 +259,10 @@ func promoteScalars(mod *ir.Module, f *ir.Func, l *ir.Loop, mgr *aa.Manager, dt 
 			case ir.OpCall:
 				r, w := callEffects(mod, in)
 				if r || w {
-					return 0 // unknown memory effects: no promotion at all
+					if !mgr.HasSummaries() {
+						return 0 // unknown memory effects: no promotion at all
+					}
+					calls = append(calls, in)
 				}
 			}
 		}
@@ -295,6 +299,17 @@ func promoteScalars(mod *ir.Module, f *ir.Func, l *ir.Loop, mgr *aa.Manager, dt 
 			}
 			if mgr.Alias(aa.Location{Ptr: g.ptr, Size: size, Cls: g.cls},
 				locOf(o)) != aa.NoAlias {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// While the location lives in a register slot, no call may
+		// observe (read) or update (write) it behind the loop's back.
+		for _, c := range calls {
+			if mgr.CallModRef(c, aa.Location{Ptr: g.ptr, Size: size, Cls: g.cls}) != 0 {
 				ok = false
 				break
 			}

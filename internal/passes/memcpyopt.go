@@ -106,6 +106,16 @@ func collectStoreRun(mod *ir.Module, mgr *aa.Manager, b *ir.Block, i int) []int 
 		if isPureValueOp(in) || in.Op == ir.OpMustNotAlias {
 			continue
 		}
+		if in.Op == ir.OpCall {
+			// A call proven (via its interprocedural summary) to neither
+			// read nor write anywhere in base's object cannot observe the
+			// reordered stores or clobber the covered range; anything
+			// weaker terminates the run.
+			if r, w := callModRef(mod, mgr, in, aa.Location{Ptr: base, Size: aa.WholeObject}); !r && !w {
+				continue
+			}
+			break
+		}
 		b2, off, sz, v2 := storeKey(in)
 		if b2 == nil || b2 != base || sz != size {
 			break

@@ -123,18 +123,37 @@ type Options struct {
 	// pass that changed it (-print-changed). Forces Jobs to 1 so the
 	// dump order matches the sequential pipeline.
 	PrintChanged io.Writer
+	// InterprocSummaries enables the bottom-up call-graph summary tier:
+	// mod/ref effects resolved per call site instead of the blanket
+	// call barrier, plus π-pair propagation through arguments when
+	// unseq-aa is on. Summaries are computed once from the pre-pipeline
+	// module and are read-only during the function pipelines (sound
+	// because optimization never makes a function touch memory it could
+	// not already touch; see DESIGN.md §12). -interproc=false restores
+	// the call-barrier behaviour for A/B measurement.
+	InterprocSummaries bool
+	// ModuleAnalyses, when non-nil, is the caller-owned module-level
+	// analysis manager RunModule should use (and leave populated for
+	// inspection: -print-callgraph/-print-summaries, per-function cache
+	// keys). Nil makes RunModule create a private one.
+	ModuleAnalyses *ModuleAnalyses
+	// WantFuncKeys makes RunModule capture per-function content keys
+	// (FuncKeys) from the pre-pipeline module into ModuleAnalyses — the
+	// compile service's sub-TU cache identities.
+	WantFuncKeys bool
 }
 
 // DefaultOptions is -O3.
 func DefaultOptions() Options {
 	return Options{
-		UseUnseqAA:        true,
-		OptLevel:          3,
-		InlineThreshold:   60,
-		UnrollFactor:      4,
-		VectorWidth:       4,
-		MemcheckThreshold: 3,
-		MaxIterations:     3,
+		UseUnseqAA:         true,
+		OptLevel:           3,
+		InlineThreshold:    60,
+		UnrollFactor:       4,
+		VectorWidth:        4,
+		MemcheckThreshold:  3,
+		MaxIterations:      3,
+		InterprocSummaries: true,
 	}
 }
 
@@ -167,11 +186,34 @@ func RunModule(mod *ir.Module, opts Options, aaStats *aa.Stats) (Stats, error) {
 	for _, f := range mod.Funcs {
 		sizes[f.Name] = f.NumInstrs()
 	}
-	total, err := runFuncs(mod, opts, aaStats)
+	// Module-level analyses run eagerly against the pre-pipeline module
+	// so every worker — at any job count — consumes the same snapshot.
+	ma := opts.ModuleAnalyses
+	if ma == nil {
+		ma = NewModuleAnalyses(mod)
+	}
+	var sums *aa.Summaries
+	if opts.InterprocSummaries {
+		sums = ma.Summaries()
+	} else {
+		ma.CallGraph() // the scheduler needs reachability either way
+	}
+	if opts.WantFuncKeys {
+		ma.FuncKeys()
+	}
+	total, err := runFuncs(mod, opts, aaStats, ma, sums)
+	ma.record(opts.Telemetry)
 	if err != nil {
 		return total, err
 	}
 	total.FuncsDeleted = removeDeadFuncs(mod, sizes, total.CallsInlined > 0)
+	if total.CallsInlined > 0 || total.FuncsDeleted > 0 {
+		// The inliner/DCE edited the call graph: whoever consumes the
+		// module analyses next (a second RunModule, a live dump of the
+		// post-pipeline graph) must recompute them. The pre-pipeline
+		// snapshots (SnapshotSummaries, FuncKeys) survive by design.
+		ma.Invalidate(ModulePreserveNone)
+	}
 	return total, nil
 }
 
@@ -222,7 +264,7 @@ func removeDeadFuncs(mod *ir.Module, sizes map[string]int, inlined bool) int {
 // is recovered into a *PanicError attributing the executing pass and
 // function, so one broken pass fails this function instead of the
 // whole process.
-func runFunc(mod *ir.Module, f *ir.Func, opts Options, aaStats *aa.Stats, resolve func(string) *ir.Func) (st Stats, err error) {
+func runFunc(mod *ir.Module, f *ir.Func, opts Options, aaStats *aa.Stats, resolve func(string) *ir.Func, sums *aa.Summaries) (st Stats, err error) {
 	tel := opts.Telemetry
 	if tel.TraceEnabled() {
 		// Per-function span (trace-only: too high-cardinality for the
@@ -233,7 +275,7 @@ func runFunc(mod *ir.Module, f *ir.Func, opts Options, aaStats *aa.Stats, resolv
 	if pipe == nil {
 		pipe = DefaultPipeline()
 	}
-	am := newAnalysisManager(mod, f, &opts, resolve)
+	am := newAnalysisManager(mod, f, &opts, resolve, sums)
 	inst := instrumentationFor(&opts)
 	defer func() {
 		if r := recover(); r != nil {
@@ -265,12 +307,7 @@ func runFunc(mod *ir.Module, f *ir.Func, opts Options, aaStats *aa.Stats, resolv
 	}
 	am.record()
 	if aaStats != nil {
-		aaStats.Queries += am.mgr.Stats.Queries
-		aaStats.NoAlias += am.mgr.Stats.NoAlias
-		aaStats.MayAlias += am.mgr.Stats.MayAlias
-		aaStats.MustAlias += am.mgr.Stats.MustAlias
-		aaStats.PartialAlias += am.mgr.Stats.PartialAlias
-		aaStats.UnseqNoAlias += am.mgr.Stats.UnseqNoAlias
+		aaStats.Add(am.mgr.Stats)
 	}
 	return st, nil
 }
@@ -391,6 +428,21 @@ func callEffects(mod *ir.Module, in *ir.Instr) (reads, writes bool) {
 		}
 	}
 	return true, true
+}
+
+// callModRef reports whether the call may read and/or write the given
+// location. The coarse per-module effects (ReadNone flag, pure
+// builtins) answer first; otherwise, when interprocedural summaries
+// are loaded, the callee's bottom-up mod/ref summary is resolved
+// against the call's actual arguments. An unknown call without a
+// summary stays a full read+write barrier.
+func callModRef(mod *ir.Module, mgr *aa.Manager, call *ir.Instr, loc aa.Location) (reads, writes bool) {
+	r, w := callEffects(mod, call)
+	if (!r && !w) || mgr == nil || !mgr.HasSummaries() || loc.Ptr == nil {
+		return r, w
+	}
+	eff := mgr.CallModRef(call, loc)
+	return eff&aa.RefEffect != 0, eff&aa.ModEffect != 0
 }
 
 func pureBuiltin(name string) bool {

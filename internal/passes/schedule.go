@@ -40,7 +40,7 @@ type funcResult struct {
 // recovered pass panics) do not stop the other functions: every
 // function runs, and the errors aggregate with errors.Join in source
 // order, so -j 1 and -j N report the same failures in the same order.
-func runFuncs(mod *ir.Module, opts Options, aaStats *aa.Stats) (Stats, error) {
+func runFuncs(mod *ir.Module, opts Options, aaStats *aa.Stats, ma *ModuleAnalyses, sums *aa.Summaries) (Stats, error) {
 	var total Stats
 	n := len(mod.Funcs)
 	if n == 0 {
@@ -57,7 +57,7 @@ func runFuncs(mod *ir.Module, opts Options, aaStats *aa.Stats) (Stats, error) {
 		errs := make([]error, 0, n)
 		for _, f := range mod.Funcs {
 			start := time.Now()
-			st, err := runFunc(mod, f, opts, aaStats, nil)
+			st, err := runFunc(mod, f, opts, aaStats, nil, sums)
 			opts.Telemetry.AddLaneBusy(time.Since(start))
 			total.Add(st)
 			errs = append(errs, err)
@@ -65,11 +65,18 @@ func runFuncs(mod *ir.Module, opts Options, aaStats *aa.Stats) (Stats, error) {
 		return total, errors.Join(errs...)
 	}
 
+	// The shared call graph supplies the reachability relation (it was
+	// built from the pre-pipeline bodies in RunModule, before any worker
+	// could mutate a function).
+	cg := ma.SnapshotCallGraph()
+	if cg == nil {
+		cg = ma.CallGraph()
+	}
 	idx := make(map[string]int, n)
 	for i, f := range mod.Funcs {
 		idx[f.Name] = i
 	}
-	reach := reachability(mod, idx)
+	reach := cg.Reachable()
 
 	// deps[i] = reachable functions with a smaller index: those the
 	// sequential pipeline would have finished before starting i, so the
@@ -136,7 +143,7 @@ func runFuncs(mod *ir.Module, opts Options, aaStats *aa.Stats) (Stats, error) {
 					o.Telemetry = tel.ForkLane(lane)
 					r.tel = o.Telemetry
 					start := time.Now()
-					r.stats, r.err = runFunc(mod, mod.Funcs[i], o, &r.aa, resolveFor(i))
+					r.stats, r.err = runFunc(mod, mod.Funcs[i], o, &r.aa, resolveFor(i), sums)
 					o.Telemetry.AddLaneBusy(time.Since(start))
 				}()
 				for _, d := range dependents[i] {
@@ -159,62 +166,10 @@ func runFuncs(mod *ir.Module, opts Options, aaStats *aa.Stats) (Stats, error) {
 	for i := range results {
 		total.Add(results[i].stats)
 		if aaStats != nil {
-			aaStats.Queries += results[i].aa.Queries
-			aaStats.NoAlias += results[i].aa.NoAlias
-			aaStats.MayAlias += results[i].aa.MayAlias
-			aaStats.MustAlias += results[i].aa.MustAlias
-			aaStats.PartialAlias += results[i].aa.PartialAlias
-			aaStats.UnseqNoAlias += results[i].aa.UnseqNoAlias
+			aaStats.Add(results[i].aa)
 		}
 		tel.Merge(results[i].tel)
 		errs = append(errs, results[i].err)
 	}
 	return total, errors.Join(errs...)
-}
-
-// reachability returns, for every function index, the set of function
-// indices transitively reachable through direct calls and function
-// references in the original (pre-pipeline) bodies. Optimization never
-// introduces a callee outside this closure: inlining splices bodies of
-// reachable functions, whose own calls are reachable by transitivity.
-func reachability(mod *ir.Module, idx map[string]int) []map[int]struct{} {
-	n := len(mod.Funcs)
-	callees := make([][]int, n)
-	for i, f := range mod.Funcs {
-		seen := map[int]bool{}
-		add := func(name string) {
-			if j, ok := idx[name]; ok && !seen[j] {
-				seen[j] = true
-				callees[i] = append(callees[i], j)
-			}
-		}
-		for _, b := range f.Blocks {
-			for _, in := range b.Instrs {
-				if in.Op == ir.OpCall && in.Callee != "" {
-					add(in.Callee)
-				}
-				for _, a := range in.Args {
-					if fr, ok := a.(*ir.FuncRef); ok {
-						add(fr.Name)
-					}
-				}
-			}
-		}
-	}
-	reach := make([]map[int]struct{}, n)
-	for i := 0; i < n; i++ {
-		r := make(map[int]struct{})
-		stack := append([]int(nil), callees[i]...)
-		for len(stack) > 0 {
-			j := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if _, ok := r[j]; ok {
-				continue
-			}
-			r[j] = struct{}{}
-			stack = append(stack, callees[j]...)
-		}
-		reach[i] = r
-	}
-	return reach
 }

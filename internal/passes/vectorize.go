@@ -268,8 +268,21 @@ func planVectorization(f *ir.Func, cl *canonLoop, mgr *aa.Manager, uses map[ir.V
 			}
 			plan.stores = append(plan.stores, stream{instr: in, gep: gep, base: gep.Args[0]})
 		case ir.OpCall:
-			if !pureBuiltin(in.Callee) {
+			if pureBuiltin(in.Callee) {
+				continue
+			}
+			// A callee whose interprocedural summary proves it touches
+			// no memory is as good as a pure builtin — but it has no
+			// vector form, so it is only admissible with loop-invariant
+			// arguments (the transform clones it as one uniform scalar
+			// call per vector iteration).
+			if !mgr.CallReadNone(in) {
 				return nil, false
+			}
+			for _, a := range in.Args {
+				if definedInLoop(l, a) {
+					return nil, false
+				}
 			}
 		case ir.OpVecLoad, ir.OpVecStore, ir.OpMemset, ir.OpMemcpy, ir.OpUBCheck:
 			return nil, false
@@ -841,7 +854,10 @@ func emitVectorLoop(f *ir.Func, cl *canonLoop, plan *vecPlan, width int) {
 				Args: []ir.Value{scalarOf(in.Args[0]), scalarOf(in.Args[1])}})
 			uniform[in] = cp
 
-		case in.Op == ir.OpCall && pureBuiltin(in.Callee):
+		case in.Op == ir.OpCall:
+			// Non-builtin calls reach here only when planVectorization
+			// admitted them: summary-proven ReadNone with loop-invariant
+			// arguments, so anyVec is false and the uniform clone applies.
 			anyVec := false
 			for _, a := range in.Args {
 				if isVec(a) || isIotaSource(ivLoads, a) {

@@ -58,11 +58,13 @@ type Inputs struct {
 // FlagString canonicalizes the optimization flags that select a
 // compiler configuration. Every field that changes output must appear;
 // profile changes the artifact payload (it embeds a run-leg cycle
-// profile), so it is part of the identity too.
-func FlagString(ooelala, noOpt, sanitize, profile bool) string {
+// profile), so it is part of the identity too, and interproc selects
+// whether call-site mod/ref resolves through bottom-up summaries —
+// a different middle-end, hence different artifacts.
+func FlagString(ooelala, noOpt, sanitize, profile, interproc bool) string {
 	s := "ooelala="
 	s += boolStr(ooelala) + " noopt=" + boolStr(noOpt) + " sanitize=" + boolStr(sanitize) +
-		" profile=" + boolStr(profile)
+		" profile=" + boolStr(profile) + " interproc=" + boolStr(interproc)
 	return s
 }
 
@@ -87,7 +89,7 @@ func (in Inputs) Key() Key {
 		h.Write(n[:])
 		h.Write([]byte(val))
 	}
-	field("schema", "ooed-cache/v1")
+	field("schema", "ooed-cache/v2")
 	field("build", in.BuildID)
 	field("name", in.Name)
 	field("source", in.Source)

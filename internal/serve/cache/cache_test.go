@@ -17,7 +17,7 @@ func baseInputs() Inputs {
 		Files:    map[string]string{"ooelala.h": "#define X 1"},
 		Defines:  map[string]string{"N": "64"},
 		PassSpec: "simplifycfg,mem2reg",
-		Flags:    FlagString(true, false, false, false),
+		Flags:    FlagString(true, false, false, false, true),
 		BuildID:  "go=go1.24 rev=abc",
 	}
 }
@@ -35,9 +35,10 @@ func TestKeySensitivity(t *testing.T) {
 		"name":          func(in *Inputs) { in.Name = "other.c" },
 		"source":        func(in *Inputs) { in.Source = "int main() { return 1; }" },
 		"pass spec":     func(in *Inputs) { in.PassSpec = "simplifycfg" },
-		"flags":         func(in *Inputs) { in.Flags = FlagString(false, false, false, false) },
-		"noopt flag":    func(in *Inputs) { in.Flags = FlagString(true, true, false, false) },
-		"profile flag":  func(in *Inputs) { in.Flags = FlagString(true, false, false, true) },
+		"flags":         func(in *Inputs) { in.Flags = FlagString(false, false, false, false, true) },
+		"noopt flag":    func(in *Inputs) { in.Flags = FlagString(true, true, false, false, true) },
+		"profile flag":  func(in *Inputs) { in.Flags = FlagString(true, false, false, true, true) },
+		"interproc off": func(in *Inputs) { in.Flags = FlagString(true, false, false, false, false) },
 		"file content":  func(in *Inputs) { in.Files = map[string]string{"ooelala.h": "#define X 2"} },
 		"file added":    func(in *Inputs) { in.Files = map[string]string{"ooelala.h": "#define X 1", "b.h": ""} },
 		"define value":  func(in *Inputs) { in.Defines = map[string]string{"N": "128"} },

@@ -34,7 +34,7 @@ import (
 )
 
 // ArtifactsSchema identifies the serialized artifact payload format.
-const ArtifactsSchema = "ooelala-artifacts/v1"
+const ArtifactsSchema = "ooelala-artifacts/v2"
 
 // DefaultAuditTail bounds the per-unit alias-query audit ring that is
 // serialized into artifacts (the most recent entries win, as in a
@@ -160,6 +160,11 @@ type CompileRequest struct {
 	// (ooelala-profile/v1) in the artifacts. Joins the cache key: a
 	// profiled artifact is a different artifact.
 	Profile bool `json:"profile,omitempty"`
+	// NoInterproc disables the bottom-up call-graph summary tier
+	// (-interproc=false): every unknown call is a read+write barrier.
+	// Joins the cache key — a different middle-end produces different
+	// artifacts.
+	NoInterproc bool `json:"noInterproc,omitempty"`
 }
 
 // CompileResponse is the answer for one unit.
@@ -207,6 +212,11 @@ type Artifacts struct {
 	Remarks          []telemetry.Remark     `json:"remarks"`
 	AuditTail        []telemetry.AliasQuery `json:"auditTail"`
 	AuditTotal       int64                  `json:"auditTotal"`
+	// FuncKeys are the pre-pipeline per-function content keys (function
+	// body + reachable callee summaries + π provenance) — the sub-TU
+	// identities an incremental client can diff to see which functions a
+	// source edit actually invalidated. Module order; byte-stable.
+	FuncKeys []passes.FuncKey `json:"funcKeys"`
 	// Profile is the run-leg cycle profile, present only when the
 	// request set Profile (deterministic, so it preserves the
 	// cold-vs-warm byte-identity contract).
@@ -240,7 +250,7 @@ func (s *Server) KeyFor(req CompileRequest) cache.Key {
 		Files:    s.effectiveFiles(req),
 		Defines:  req.Defines,
 		PassSpec: spec,
-		Flags:    cache.FlagString(!req.Baseline, req.NoOpt, false, req.Profile),
+		Flags:    cache.FlagString(!req.Baseline, req.NoOpt, false, req.Profile, !req.NoInterproc),
 		BuildID:  s.buildID,
 	}.Key()
 }
@@ -348,15 +358,17 @@ func (s *Server) compileCold(req CompileRequest, entry *AccessEntry) ([]byte, er
 		Audit:    true,
 		AuditCap: s.cfg.AuditTail,
 	})
+	popts.InterprocSummaries = !req.NoInterproc
 	c, err := driver.Compile(req.Name, req.Source, driver.Config{
-		OOElala:     !req.Baseline,
-		NoOpt:       req.NoOpt,
-		Files:       s.effectiveFiles(req),
-		Defines:     req.Defines,
-		PassOptions: &popts,
-		Jobs:        s.cfg.UnitJobs,
-		Telemetry:   unit,
-		CrashDir:    s.cfg.CrashDir,
+		OOElala:      !req.Baseline,
+		NoOpt:        req.NoOpt,
+		Files:        s.effectiveFiles(req),
+		Defines:      req.Defines,
+		PassOptions:  &popts,
+		Jobs:         s.cfg.UnitJobs,
+		Telemetry:    unit,
+		CrashDir:     s.cfg.CrashDir,
+		WantFuncKeys: true,
 	})
 	if err != nil {
 		s.cfg.Telemetry.MergeMetrics(unit)
@@ -389,6 +401,7 @@ func (s *Server) compileCold(req CompileRequest, entry *AccessEntry) ([]byte, er
 		Remarks:          snap.Remarks,
 		AuditTail:        snap.AliasQueries,
 		AuditTotal:       snap.AliasQueriesTotal,
+		FuncKeys:         c.FuncKeys,
 		Profile:          profJSON,
 	}
 	if art.Remarks == nil {
@@ -396,6 +409,9 @@ func (s *Server) compileCold(req CompileRequest, entry *AccessEntry) ([]byte, er
 	}
 	if art.AuditTail == nil {
 		art.AuditTail = []telemetry.AliasQuery{}
+	}
+	if art.FuncKeys == nil {
+		art.FuncKeys = []passes.FuncKey{}
 	}
 	return json.Marshal(art)
 }

@@ -427,3 +427,50 @@ func TestAccessLog(t *testing.T) {
 		t.Errorf("unit %q, want %q", cold.Unit, req.Name)
 	}
 }
+
+// TestFuncKeysTrackCalleeEdits: the per-function content keys in the
+// artifacts are sub-TU cache identities. Editing a callee's body must
+// change the callee's AND every transitive caller's key (callers embed
+// reachable callee summaries), while a function that cannot reach the
+// edit keeps its key byte-for-byte — the property an incremental client
+// diffs on.
+func TestFuncKeysTrackCalleeEdits(t *testing.T) {
+	_, hs := testServer(t, Config{})
+	src := func(leafBody string) string {
+		return `
+int leaf(int *p, int k) { ` + leafBody + ` }
+int mid(int *a) { return leaf(a, 1); }
+int other(int x) { return x * 3; }
+int main(void) { int v = 2; return mid(&v) + other(v); }
+`
+	}
+	keysOf := func(source string) map[string]string {
+		t.Helper()
+		status, cr := postCompile(t, hs.URL, CompileRequest{Name: "fk.c", Source: source})
+		if status != http.StatusOK {
+			t.Fatalf("status = %d (%s)", status, cr.Error)
+		}
+		var art Artifacts
+		if err := json.Unmarshal(cr.Artifacts, &art); err != nil {
+			t.Fatal(err)
+		}
+		if len(art.FuncKeys) == 0 {
+			t.Fatal("artifacts carry no function keys")
+		}
+		m := map[string]string{}
+		for _, fk := range art.FuncKeys {
+			m[fk.Name] = fk.Key
+		}
+		return m
+	}
+	before := keysOf(src(`*p = *p + k; return 0;`))
+	after := keysOf(src(`*p = *p - k; return 1;`))
+	for _, fn := range []string{"leaf", "mid", "main"} {
+		if before[fn] == after[fn] {
+			t.Errorf("%s: key unchanged by callee edit", fn)
+		}
+	}
+	if before["other"] != after["other"] {
+		t.Error("other: key changed despite not reaching the edit")
+	}
+}

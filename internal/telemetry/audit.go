@@ -36,6 +36,10 @@ type AliasQuery struct {
 	// responses": unseq-aa said NoAlias while every other provider said
 	// MayAlias.
 	UnseqDecided bool `json:"unseqDecided,omitempty"`
+	// ViaSummary marks a sub-query issued while resolving a call site's
+	// mod/ref effect through the callee's interprocedural summary — the
+	// queries that let a transform cross a call boundary.
+	ViaSummary bool `json:"viaSummary,omitempty"`
 	// PredicateMeta is the provenance id of the π predicate behind an
 	// unseq-aa NoAlias (0 when unseq-aa did not answer NoAlias).
 	PredicateMeta int `json:"predicateMeta,omitempty"`
